@@ -1,0 +1,29 @@
+//! Baseline overlays for comparison with the paper's construction.
+//!
+//! Section 3 of the paper surveys the systems its design generalises — Chord's identifier
+//! circle, Kleinberg's small-world grid and Plaxton-style (Tapestry) digit routing — and
+//! argues that they are all "greedy routing on a graph embedded in a metric space". The
+//! benchmark suite compares the paper's inverse power-law overlay against working
+//! implementations of these baselines under identical workloads and failure models:
+//!
+//! * [`ChordNetwork`] — nodes on a ring with finger tables at powers of two, greedy
+//!   clockwise routing.
+//! * [`KleinbergGrid`] — a 2-D torus with lattice links plus long-range contacts drawn
+//!   with probability `∝ d^{-r}` (Kleinberg's exponent-2 construction by default).
+//! * [`PlaxtonNetwork`] — hypercube-style digit-fixing routing, the mechanism behind
+//!   Tapestry.
+//!
+//! All baselines report results using the same [`RouteResult`](faultline_routing::RouteResult)
+//! type as the main router, so experiment code can treat every system uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chord;
+mod kleinberg;
+mod plaxton;
+
+pub use chord::ChordNetwork;
+pub use kleinberg::KleinbergGrid;
+pub use plaxton::PlaxtonNetwork;

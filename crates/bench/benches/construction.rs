@@ -1,0 +1,81 @@
+//! Criterion benchmarks for overlay construction: the ideal builder vs the Section 5
+//! incremental heuristic, and the two link-replacement strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultline_construction::{IncrementalBuilder, NetworkMaintainer, ReplacementStrategy};
+use faultline_linkdist::InversePowerLaw;
+use faultline_metric::Geometry;
+use faultline_overlay::GraphBuilder;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_ideal_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/ideal");
+    group.sample_size(10);
+    for exp in [10u32, 12, 14] {
+        let n = 1u64 << exp;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let geometry = Geometry::line(n);
+            let spec = InversePowerLaw::exponent_one(&geometry);
+            let builder = GraphBuilder::new(geometry).links_per_node(exp as usize);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| builder.build(&spec, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/incremental");
+    group.sample_size(10);
+    for exp in [9u32, 10, 11] {
+        let n = 1u64 << exp;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let builder = IncrementalBuilder::new(Geometry::line(n), exp as usize);
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| builder.build_full(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_replacement_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/replacement");
+    group.sample_size(10);
+    let n = 1u64 << 10;
+    for strategy in [ReplacementStrategy::InverseDistance, ReplacementStrategy::Oldest] {
+        group.bench_function(strategy.label(), |b| {
+            let builder =
+                IncrementalBuilder::new(Geometry::line(n), 10).replacement_strategy(strategy);
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| builder.build_full(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/join");
+    group.sample_size(20);
+    let n = 1u64 << 14;
+    // Build a half-populated network, then repeatedly join/leave one node.
+    let mut rng = StdRng::seed_from_u64(4);
+    let base = IncrementalBuilder::new(Geometry::line(n), 14).build_prefix(n / 2, &mut rng);
+    group.bench_function("join+leave", |b| {
+        let mut maintainer =
+            NetworkMaintainer::from_graph(base.clone(), 14, ReplacementStrategy::InverseDistance);
+        let mut rng = StdRng::seed_from_u64(5);
+        let position = n - 7;
+        b.iter(|| {
+            maintainer.join(position, &mut rng).expect("position is free");
+            maintainer.leave(position, &mut rng).expect("position is occupied");
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_ideal_builder, bench_incremental_builder, bench_replacement_strategies, bench_single_join
+}
+criterion_main!(benches);

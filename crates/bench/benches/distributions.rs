@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the link-distribution samplers: per-draw cost and table
+//! construction cost (these dominate overlay construction time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultline_linkdist::{DistanceTable, InversePowerLaw, LinkSpec, UniformLinks};
+use faultline_metric::Geometry;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_table_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions/table-build");
+    group.sample_size(20);
+    for exp in [14u32, 17, 20] {
+        let n = 1u64 << exp;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| DistanceTable::new(n - 1, 1.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions/sample");
+    let geometry = Geometry::line(1 << 17);
+    let ipl = InversePowerLaw::exponent_one(&geometry);
+    let uniform = UniformLinks::new(&geometry);
+    group.bench_function("inverse-power-law x17", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| ipl.targets(1 << 16, 17, &mut rng));
+    });
+    group.bench_function("uniform x17", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| uniform.targets(1 << 16, 17, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions/poisson");
+    group.bench_function("rate-17", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| faultline_construction::sample_poisson(17.0, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_table_construction, bench_sampling, bench_poisson
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for routing over damaged overlays: failure-injection cost and
+//! end-to-end "one Section 6 simulation" cost per strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultline_core::{Network, NetworkConfig};
+use faultline_failure::{FailurePlan, LinkFailure, NodeFailure};
+use faultline_linkdist::InversePowerLaw;
+use faultline_metric::Geometry;
+use faultline_overlay::GraphBuilder;
+use faultline_routing::FaultStrategy;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_failure_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure/injection");
+    group.sample_size(20);
+    let n = 1u64 << 14;
+    let geometry = Geometry::line(n);
+    let spec = InversePowerLaw::exponent_one(&geometry);
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = GraphBuilder::new(geometry).links_per_node(14).build(&spec, &mut rng);
+    group.bench_function("node-fraction-0.5", |b| {
+        let plan = NodeFailure::fraction(0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut g = graph.clone();
+            plan.apply(&mut g, &mut rng)
+        });
+    });
+    group.bench_function("link-presence-0.5", |b| {
+        let plan = LinkFailure::with_presence(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut g = graph.clone();
+            plan.apply(&mut g, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulation_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure/simulation");
+    group.sample_size(10);
+    let n = 1u64 << 12;
+    for (label, strategy) in [
+        ("terminate", FaultStrategy::Terminate),
+        ("reroute", FaultStrategy::single_reroute()),
+        ("backtrack", FaultStrategy::paper_backtrack()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            let config = NetworkConfig::paper_default(n).fault_strategy(strategy);
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let mut network = Network::build(&config, &mut rng);
+                network.apply_failure(&NodeFailure::fraction(0.4), &mut rng);
+                network
+                    .route_random_batch(100, &mut rng)
+                    .expect("alive nodes remain")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_failure_injection, bench_simulation_per_strategy
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for greedy routing cost.
+//!
+//! Measures the wall-clock cost of a single greedy route on ideal overlays of increasing
+//! size and link count. The hop counts themselves are the subject of the figure binaries;
+//! these benches track how expensive the routing engine is per message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultline_linkdist::InversePowerLaw;
+use faultline_metric::Geometry;
+use faultline_overlay::{GraphBuilder, OverlayGraph};
+use faultline_routing::{FaultStrategy, Router};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn build(n: u64, ell: usize, seed: u64) -> OverlayGraph {
+    let geometry = Geometry::line(n);
+    let spec = InversePowerLaw::exponent_one(&geometry);
+    let mut rng = StdRng::seed_from_u64(seed);
+    GraphBuilder::new(geometry).links_per_node(ell).build(&spec, &mut rng)
+}
+
+fn bench_route_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route/size");
+    for exp in [10u32, 12, 14, 16] {
+        let n = 1u64 << exp;
+        let ell = exp as usize;
+        let graph = build(n, ell, 1);
+        let router = Router::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                router.route(&graph, s, t, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_route_by_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route/links");
+    let n = 1u64 << 14;
+    for ell in [1usize, 4, 14, 28] {
+        let graph = build(n, ell, 3);
+        let router = Router::new();
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                router.route(&graph, s, t, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_route_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route/strategy");
+    let n = 1u64 << 13;
+    let mut graph = build(n, 13, 5);
+    // Damage the graph so the strategies actually engage.
+    let mut rng = StdRng::seed_from_u64(6);
+    for p in 0..n {
+        if rng.gen_bool(0.4) {
+            graph.fail_node(p);
+        }
+    }
+    let alive: Vec<u64> = graph.alive_nodes();
+    for (label, strategy) in [
+        ("terminate", FaultStrategy::Terminate),
+        ("reroute", FaultStrategy::single_reroute()),
+        ("backtrack", FaultStrategy::paper_backtrack()),
+    ] {
+        let router = Router::new().with_strategy(strategy);
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let s = alive[rng.gen_range(0..alive.len())];
+                let t = alive[rng.gen_range(0..alive.len())];
+                router.route(&graph, s, t, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_route_by_size, bench_route_by_links, bench_route_strategies
+}
+criterion_main!(benches);

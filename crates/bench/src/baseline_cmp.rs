@@ -1,0 +1,201 @@
+//! Baseline comparison: the paper's overlay against Chord, Kleinberg's grid and Plaxton
+//! routing under identical node-failure levels.
+
+use faultline_baselines::{ChordNetwork, KleinbergGrid, PlaxtonNetwork};
+use faultline_core::{BatchStats, Network, NetworkConfig};
+use faultline_failure::NodeFailure;
+use faultline_routing::{FaultStrategy, RouteResult};
+use faultline_sim::ExperimentRunner;
+use rand::Rng;
+
+/// Which overlay a comparison row measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// The paper's overlay (1/d links, backtracking recovery).
+    Faultline,
+    /// Chord finger tables with clockwise greedy routing.
+    Chord,
+    /// Kleinberg's 2-D grid with exponent-2 long-range contacts.
+    KleinbergGrid,
+    /// Plaxton-style digit-fixing routing.
+    Plaxton,
+}
+
+impl System {
+    /// All systems, in presentation order.
+    #[must_use]
+    pub fn all() -> Vec<System> {
+        vec![
+            System::Faultline,
+            System::Chord,
+            System::KleinbergGrid,
+            System::Plaxton,
+        ]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::Faultline => "faultline (1/d links)",
+            System::Chord => "chord fingers",
+            System::KleinbergGrid => "kleinberg 2-d grid",
+            System::Plaxton => "plaxton digits",
+        }
+    }
+}
+
+/// One row of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonRow {
+    /// System measured.
+    pub system: System,
+    /// Fraction of nodes failed before routing.
+    pub failed_fraction: f64,
+    /// Fraction of failed searches.
+    pub failed_searches: f64,
+    /// Mean hops over successful searches.
+    pub mean_hops: f64,
+}
+
+fn record(stats: &mut BatchStats, result: &RouteResult) {
+    stats.record(result.is_delivered(), result.hops, result.recoveries);
+}
+
+fn route_many<R: Rng, F: FnMut(u64, u64) -> RouteResult>(
+    alive: &[u64],
+    messages: u64,
+    rng: &mut R,
+    mut route: F,
+) -> BatchStats {
+    let mut stats = BatchStats::new();
+    for _ in 0..messages {
+        let s = alive[rng.gen_range(0..alive.len())];
+        let t = alive[rng.gen_range(0..alive.len())];
+        record(&mut stats, &route(s, t));
+    }
+    stats
+}
+
+/// Runs the comparison at one failure level. `log2_nodes` controls the population
+/// (`2^log2_nodes` nodes; the Kleinberg grid uses the nearest square side).
+#[must_use]
+pub fn compare_at(
+    log2_nodes: u32,
+    failed_fraction: f64,
+    trials: u64,
+    messages: u64,
+    seed: u64,
+) -> Vec<ComparisonRow> {
+    let n = 1u64 << log2_nodes;
+    let side = 1u64 << (log2_nodes / 2);
+    let mut rows = Vec::new();
+    for system in System::all() {
+        let runner = ExperimentRunner::new(
+            seed ^ ((failed_fraction * 100.0) as u64) ^ ((system as u64 + 1) << 8),
+            trials,
+        );
+        let per_trial = runner.run_values(move |_, rng| match system {
+            System::Faultline => {
+                let config = NetworkConfig::paper_default(n)
+                    .fault_strategy(FaultStrategy::paper_backtrack());
+                let mut network = Network::build(&config, rng);
+                if failed_fraction > 0.0 {
+                    network.apply_failure(&NodeFailure::fraction(failed_fraction), rng);
+                }
+                network
+                    .route_random_batch(messages, rng)
+                    .expect("fractions below 1 keep nodes alive")
+            }
+            System::Chord => {
+                let mut chord = ChordNetwork::new(n);
+                chord.fail_fraction(failed_fraction, rng);
+                let alive = chord.alive_nodes();
+                route_many(&alive, messages, rng, |s, t| chord.route(s, t))
+            }
+            System::KleinbergGrid => {
+                let mut grid = KleinbergGrid::kleinberg_optimal(side, 2, rng);
+                grid.fail_fraction(failed_fraction, rng);
+                let alive = grid.alive_nodes();
+                route_many(&alive, messages, rng, |s, t| grid.route(s, t))
+            }
+            System::Plaxton => {
+                let mut plaxton = PlaxtonNetwork::new(2, log2_nodes);
+                plaxton.fail_fraction(failed_fraction, rng);
+                let alive = plaxton.alive_nodes();
+                route_many(&alive, messages, rng, |s, t| plaxton.route(s, t))
+            }
+        });
+        let mut total = BatchStats::new();
+        for stats in per_trial {
+            total.absorb(stats);
+        }
+        rows.push(ComparisonRow {
+            system,
+            failed_fraction,
+            failed_searches: total.failure_fraction(),
+            mean_hops: total.mean_hops_delivered().unwrap_or(f64::NAN),
+        });
+    }
+    rows
+}
+
+/// Runs the comparison across several failure levels.
+#[must_use]
+pub fn comparison_sweep(
+    log2_nodes: u32,
+    fractions: &[f64],
+    trials: u64,
+    messages: u64,
+    seed: u64,
+) -> Vec<ComparisonRow> {
+    fractions
+        .iter()
+        .flat_map(|&f| compare_at(log2_nodes, f, trials, messages, seed))
+        .collect()
+}
+
+/// Prints the comparison table.
+pub fn print(log2_nodes: u32, rows: &[ComparisonRow]) {
+    println!("# Baseline comparison (2^{log2_nodes} nodes)");
+    println!(
+        "{:<24} {:>14} {:>16} {:>12}",
+        "system", "failed nodes", "failed searches", "mean hops"
+    );
+    for row in rows {
+        println!(
+            "{:<24} {:>14.2} {:>16.3} {:>12.2}",
+            row.system.label(),
+            row.failed_fraction,
+            row.failed_searches,
+            row.mean_hops
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_deliver_everything_without_failures() {
+        let rows = compare_at(8, 0.0, 1, 40, 3);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.failed_searches, 0.0, "{:?}", row.system);
+            assert!(row.mean_hops > 0.0);
+        }
+    }
+
+    #[test]
+    fn randomized_overlay_is_most_robust_under_heavy_failures() {
+        let rows = compare_at(9, 0.4, 2, 60, 4);
+        let get = |s: System| rows.iter().find(|r| r.system == s).unwrap();
+        let faultline = get(System::Faultline).failed_searches;
+        let plaxton = get(System::Plaxton).failed_searches;
+        assert!(
+            faultline <= plaxton,
+            "faultline ({faultline}) should not fail more than Plaxton ({plaxton})"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1: measured delivery time against the analytic upper/lower bounds.
+
+use faultline_bench::{table1, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let mut config = table1::Table1Config::default_sweep(args.seed);
+    if args.paper_scale {
+        config.sizes = vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 17];
+        config.trials = 10;
+        config.messages = 500;
+    }
+    if let Some(trials) = args.trials {
+        config.trials = trials;
+    }
+    if let Some(messages) = args.messages {
+        config.messages = messages;
+    }
+    if let Some(nodes) = args.nodes {
+        config.sizes = vec![nodes];
+    }
+    let rows = table1::scaling_experiment(&config);
+    table1::print(&config, &rows);
+}

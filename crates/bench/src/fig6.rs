@@ -1,0 +1,207 @@
+//! Figure 6: failed searches and delivery time vs the fraction of failed nodes, for the
+//! three fault-handling strategies.
+//!
+//! "We simulated a network of n = 2^17 nodes [...] each node has lg n = 17 long-distance
+//! links [...] a fraction p of the nodes fail. We then repeatedly choose random source and
+//! destination nodes that have not failed and route a message between them. For each value
+//! of p, we ran 1000 simulations, delivering 100 messages in each simulation."
+
+use faultline_core::{BatchStats, Network, NetworkConfig};
+use faultline_failure::NodeFailure;
+use faultline_routing::FaultStrategy;
+use faultline_sim::ExperimentRunner;
+
+/// One data point of Figure 6: a (failure fraction, strategy) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Fraction of nodes that were failed before routing.
+    pub failed_fraction: f64,
+    /// Strategy label ("terminate", "random-reroute(…)", "backtrack(…)").
+    pub strategy: String,
+    /// Fraction of searches that failed (Figure 6(a)).
+    pub failed_searches: f64,
+    /// Mean delivery time in hops over successful searches (Figure 6(b)).
+    pub mean_hops: f64,
+    /// Number of messages this row aggregates.
+    pub messages: u64,
+}
+
+/// Configuration of the Figure 6 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Config {
+    /// Grid points in the overlay.
+    pub nodes: u64,
+    /// Long-distance links per node.
+    pub links: usize,
+    /// Node-failure fractions to sweep.
+    pub fractions: Vec<f64>,
+    /// Independent networks per (fraction, strategy) point.
+    pub trials: u64,
+    /// Messages routed per network.
+    pub messages: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Fig6Config {
+    /// The paper's exact configuration (`2^17` nodes, 17 links, 1000 × 100 messages).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            nodes: 1 << 17,
+            links: 17,
+            fractions: (0..=8).map(|i| f64::from(i) / 10.0).collect(),
+            trials: 1000,
+            messages: 100,
+            seed: 2002,
+        }
+    }
+
+    /// A scaled-down configuration that finishes in seconds.
+    #[must_use]
+    pub fn quick(nodes: u64, trials: u64, messages: u64, seed: u64) -> Self {
+        let links = (64 - (nodes - 1).leading_zeros()) as usize;
+        Self {
+            nodes,
+            links,
+            fractions: (0..=8).map(|i| f64::from(i) / 10.0).collect(),
+            trials,
+            messages,
+            seed,
+        }
+    }
+}
+
+/// The three strategies compared in Figure 6, with the labels used in the plots.
+#[must_use]
+pub fn paper_strategies() -> Vec<(String, FaultStrategy)> {
+    vec![
+        ("terminate".to_owned(), FaultStrategy::Terminate),
+        ("random-reroute".to_owned(), FaultStrategy::single_reroute()),
+        ("backtracking(5)".to_owned(), FaultStrategy::paper_backtrack()),
+    ]
+}
+
+/// Runs one (fraction, strategy) cell: `trials` fresh networks, `messages` messages each.
+#[must_use]
+pub fn run_cell(config: &Fig6Config, fraction: f64, strategy: FaultStrategy) -> BatchStats {
+    let runner = ExperimentRunner::new(
+        config.seed ^ (fraction * 1000.0) as u64 ^ ((config.nodes as u64) << 1),
+        config.trials,
+    );
+    let network_config = NetworkConfig::paper_default(config.nodes)
+        .links_per_node(config.links)
+        .fault_strategy(strategy);
+    let messages = config.messages;
+    let stats_per_trial = runner.run_values(move |_, rng| {
+        let mut network = Network::build(&network_config, rng);
+        if fraction > 0.0 {
+            network.apply_failure(&NodeFailure::fraction(fraction), rng);
+        }
+        network
+            .route_random_batch(messages, rng)
+            .expect("the failure fraction never removes every node")
+    });
+    let mut total = BatchStats::new();
+    for stats in stats_per_trial {
+        total.absorb(stats);
+    }
+    total
+}
+
+/// Runs the full Figure 6 sweep.
+#[must_use]
+pub fn node_failure_experiment(config: &Fig6Config) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for &fraction in &config.fractions {
+        for (label, strategy) in paper_strategies() {
+            let stats = run_cell(config, fraction, strategy);
+            rows.push(Fig6Row {
+                failed_fraction: fraction,
+                strategy: label,
+                failed_searches: stats.failure_fraction(),
+                mean_hops: stats.mean_hops_delivered().unwrap_or(f64::NAN),
+                messages: stats.messages,
+            });
+        }
+    }
+    rows
+}
+
+/// Prints both Figure 6(a) (failed searches) and Figure 6(b) (delivery time) series.
+pub fn print(config: &Fig6Config, rows: &[Fig6Row]) {
+    println!(
+        "# Figure 6: n = {}, l = {}, {} trials x {} messages per point",
+        config.nodes, config.links, config.trials, config.messages
+    );
+    println!(
+        "{:>14} {:<18} {:>16} {:>18} {:>10}",
+        "failed nodes", "strategy", "failed searches", "mean hops (ok)", "messages"
+    );
+    for row in rows {
+        println!(
+            "{:>14.2} {:<18} {:>16.4} {:>18.2} {:>10}",
+            row.failed_fraction, row.strategy, row.failed_searches, row.mean_hops, row.messages
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Fig6Config {
+        Fig6Config {
+            nodes: 1 << 9,
+            links: 9,
+            fractions: vec![0.0, 0.4, 0.8],
+            trials: 3,
+            messages: 30,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn failure_free_network_never_fails_searches() {
+        let config = tiny_config();
+        let stats = run_cell(&config, 0.0, FaultStrategy::Terminate);
+        assert_eq!(stats.failure_fraction(), 0.0);
+        assert!(stats.mean_hops_delivered().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn failed_searches_increase_with_failure_fraction() {
+        let config = tiny_config();
+        let rows = node_failure_experiment(&config);
+        assert_eq!(rows.len(), 3 * 3);
+        // For each strategy, the failed-search fraction at 0.8 must exceed that at 0.0.
+        for (label, _) in paper_strategies() {
+            let series: Vec<&Fig6Row> = rows.iter().filter(|r| r.strategy == label).collect();
+            assert_eq!(series.len(), 3);
+            assert!(series[0].failed_searches <= series[2].failed_searches + 1e-12);
+        }
+    }
+
+    #[test]
+    fn backtracking_fails_less_than_terminate_under_heavy_failures() {
+        let config = tiny_config();
+        let terminate = run_cell(&config, 0.6, FaultStrategy::Terminate);
+        let backtrack = run_cell(&config, 0.6, FaultStrategy::paper_backtrack());
+        assert!(
+            backtrack.failure_fraction() <= terminate.failure_fraction(),
+            "backtracking {} vs terminate {}",
+            backtrack.failure_fraction(),
+            terminate.failure_fraction()
+        );
+    }
+
+    #[test]
+    fn paper_config_matches_section_6() {
+        let paper = Fig6Config::paper();
+        assert_eq!(paper.nodes, 1 << 17);
+        assert_eq!(paper.links, 17);
+        assert_eq!(paper.trials, 1000);
+        assert_eq!(paper.messages, 100);
+        assert_eq!(paper.fractions.len(), 9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure 7: failed searches of the heuristically constructed network vs the ideal one.
+//!
+//! "We also compared the performance of the ideal network and that of the network
+//! constructed using the heuristics given in Section 5. We ran 10 iterations of
+//! constructing a network of 16384 nodes, both ideally as well as according to the
+//! heuristic, and delivered 1000 messages between randomly chosen nodes."
+
+use faultline_core::{BatchStats, ConstructionMode, Network, NetworkConfig};
+use faultline_failure::NodeFailure;
+use faultline_routing::FaultStrategy;
+use faultline_sim::ExperimentRunner;
+
+/// One data point of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Row {
+    /// Node-failure probability applied before routing.
+    pub failure_probability: f64,
+    /// Fraction of failed searches in the ideal network.
+    pub ideal_failed: f64,
+    /// Fraction of failed searches in the heuristically constructed network.
+    pub constructed_failed: f64,
+}
+
+/// Configuration of the Figure 7 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Config {
+    /// Grid points (the paper uses 16384).
+    pub nodes: u64,
+    /// Long links per node (the paper uses 14 for 2^14 nodes).
+    pub links: usize,
+    /// Failure probabilities swept on the x-axis.
+    pub probabilities: Vec<f64>,
+    /// Independent network constructions per point (the paper uses 10).
+    pub trials: u64,
+    /// Messages routed per network (the paper uses 1000).
+    pub messages: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Fig7Config {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            nodes: 1 << 14,
+            links: 14,
+            probabilities: (0..=9).map(|i| f64::from(i) / 10.0).collect(),
+            trials: 10,
+            messages: 1000,
+            seed: 2002,
+        }
+    }
+
+    /// A scaled-down configuration.
+    #[must_use]
+    pub fn quick(nodes: u64, trials: u64, messages: u64, seed: u64) -> Self {
+        let links = (64 - (nodes - 1).leading_zeros()) as usize;
+        Self {
+            nodes,
+            links,
+            probabilities: (0..=9).map(|i| f64::from(i) / 10.0).collect(),
+            trials,
+            messages,
+            seed,
+        }
+    }
+}
+
+fn run_variant(config: &Fig7Config, probability: f64, construction: ConstructionMode) -> BatchStats {
+    let runner = ExperimentRunner::new(
+        config.seed ^ (probability * 977.0) as u64,
+        config.trials,
+    );
+    let network_config = NetworkConfig::paper_default(config.nodes)
+        .links_per_node(config.links)
+        .construction(construction)
+        .fault_strategy(FaultStrategy::Terminate);
+    let messages = config.messages;
+    let per_trial = runner.run_values(move |_, rng| {
+        let mut network = Network::build(&network_config, rng);
+        if probability > 0.0 {
+            network.apply_failure(&NodeFailure::independent(probability), rng);
+        }
+        match network.route_random_batch(messages, rng) {
+            Ok(stats) => stats,
+            Err(_) => {
+                // Every node failed (possible at p close to 1): count all messages as failed.
+                let mut stats = BatchStats::new();
+                for _ in 0..messages {
+                    stats.record(false, 0, 0);
+                }
+                stats
+            }
+        }
+    });
+    let mut total = BatchStats::new();
+    for stats in per_trial {
+        total.absorb(stats);
+    }
+    total
+}
+
+/// Runs the full Figure 7 sweep.
+#[must_use]
+pub fn constructed_vs_ideal(config: &Fig7Config) -> Vec<Fig7Row> {
+    config
+        .probabilities
+        .iter()
+        .map(|&p| {
+            let ideal = run_variant(config, p, ConstructionMode::Ideal);
+            let constructed = run_variant(config, p, ConstructionMode::incremental_default());
+            Fig7Row {
+                failure_probability: p,
+                ideal_failed: ideal.failure_fraction(),
+                constructed_failed: constructed.failure_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the Figure 7 series.
+pub fn print(config: &Fig7Config, rows: &[Fig7Row]) {
+    println!(
+        "# Figure 7: n = {}, l = {}, {} constructions x {} messages per point",
+        config.nodes, config.links, config.trials, config.messages
+    );
+    println!(
+        "{:>18} {:>18} {:>22}",
+        "failure prob", "ideal network", "constructed network"
+    );
+    for row in rows {
+        println!(
+            "{:>18.2} {:>18.4} {:>22.4}",
+            row.failure_probability, row.ideal_failed, row.constructed_failed
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructed_is_comparable_to_ideal_at_small_scale() {
+        let config = Fig7Config {
+            nodes: 1 << 9,
+            links: 9,
+            probabilities: vec![0.0, 0.5],
+            trials: 2,
+            messages: 60,
+            seed: 3,
+        };
+        let rows = constructed_vs_ideal(&config);
+        assert_eq!(rows.len(), 2);
+        // With no failures both networks deliver everything.
+        assert_eq!(rows[0].ideal_failed, 0.0);
+        assert_eq!(rows[0].constructed_failed, 0.0);
+        // With failures, both lose some searches and the constructed network is within a
+        // reasonable factor of the ideal one (the paper finds it slightly worse).
+        assert!(rows[1].ideal_failed > 0.0);
+        assert!(rows[1].constructed_failed > 0.0);
+        assert!(rows[1].constructed_failed < rows[1].ideal_failed + 0.4);
+    }
+
+    #[test]
+    fn paper_config_matches_section_6() {
+        let paper = Fig7Config::paper();
+        assert_eq!(paper.nodes, 16384);
+        assert_eq!(paper.trials, 10);
+        assert_eq!(paper.messages, 1000);
+        assert_eq!(paper.probabilities.len(), 10);
+    }
+}

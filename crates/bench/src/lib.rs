@@ -1,0 +1,32 @@
+//! Benchmark harness for the `faultline` workspace.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding experiment
+//! function here and a thin binary under `src/bin/` that runs it and prints the same
+//! rows/series the paper reports:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Figure 5(a)+(b) — constructed vs ideal link distribution | [`fig5`] | `fig5_link_distribution` |
+//! | Figure 6(a)+(b) — failed searches / delivery time vs node failures | [`fig6`] | `fig6_node_failures` |
+//! | Figure 7 — constructed vs ideal network under failures | [`fig7`] | `fig7_constructed_vs_ideal` |
+//! | Table 1 — upper/lower bounds vs measured scaling | [`table1`] | `table1_bounds` |
+//! | Ablations (exponent sweep, replacement strategy, region failures) | [`ablation`] | `ablation_exponent`, `ablation_replacement` |
+//! | Baseline comparison (Chord / Kleinberg / Plaxton) | [`baseline_cmp`] | `baseline_comparison` |
+//!
+//! The experiment functions are ordinary library code so the integration tests run them at
+//! tiny scale to validate the *shape* of every result (monotonicity, orderings,
+//! crossovers), while the binaries default to larger sizes and accept `--paper-scale` to
+//! reproduce the paper's exact configuration (`n = 2^17`, 1000 × 100 messages).
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod baseline_cmp;
+pub mod cli;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+
+pub use cli::BenchArgs;

@@ -1,0 +1,456 @@
+//! Event-by-event maintenance of a constructed overlay (joins and departures).
+
+use crate::poisson::sample_poisson;
+use crate::replacement::{ReplacementDecision, ReplacementStrategy};
+use faultline_linkdist::{InversePowerLaw, LinkSpec};
+use faultline_metric::{Geometry, MetricSpace};
+use faultline_overlay::{LinkKind, NodeId, OverlayGraph};
+use rand::Rng;
+
+/// Errors returned by the maintenance operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstructionError {
+    /// A join was requested for a grid point that already hosts a node.
+    AlreadyPresent(NodeId),
+    /// A leave was requested for a grid point that hosts no node.
+    NotPresent(NodeId),
+    /// The requested grid point lies outside the metric space.
+    OutOfRange(NodeId),
+}
+
+impl std::fmt::Display for ConstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstructionError::AlreadyPresent(p) => {
+                write!(f, "a node is already present at position {p}")
+            }
+            ConstructionError::NotPresent(p) => write!(f, "no node is present at position {p}"),
+            ConstructionError::OutOfRange(p) => {
+                write!(f, "position {p} lies outside the metric space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstructionError {}
+
+/// What happened during one node arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JoinReport {
+    /// Position of the new node.
+    pub position: NodeId,
+    /// Number of outgoing long-distance links the new node created.
+    pub outgoing_links: usize,
+    /// Number of earlier nodes the new node asked for an incoming link (the Poisson draw).
+    pub incoming_requests: u64,
+    /// How many of those requests resulted in a link being redirected (or newly created)
+    /// towards the new node.
+    pub incoming_granted: u64,
+}
+
+/// What happened during one node departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LeaveReport {
+    /// Position of the departed node.
+    pub position: NodeId,
+    /// Number of dangling long-distance links that were re-pointed at fresh targets.
+    pub repaired_links: usize,
+    /// Number of dangling long-distance links that were dropped (no valid target).
+    pub dropped_links: usize,
+}
+
+/// Maintains a constructed overlay under joins and departures using the Section 5
+/// heuristic.
+#[derive(Debug)]
+pub struct NetworkMaintainer {
+    graph: OverlayGraph,
+    sampler: InversePowerLaw,
+    ell: usize,
+    strategy: ReplacementStrategy,
+}
+
+impl NetworkMaintainer {
+    /// Creates a maintainer over an initially empty overlay.
+    #[must_use]
+    pub fn new(geometry: Geometry, ell: usize, strategy: ReplacementStrategy) -> Self {
+        Self {
+            graph: OverlayGraph::empty(geometry),
+            sampler: InversePowerLaw::exponent_one(&geometry),
+            ell,
+            strategy,
+        }
+    }
+
+    /// Wraps an existing overlay (e.g. one built by the ideal builder) so it can be
+    /// maintained incrementally from here on.
+    #[must_use]
+    pub fn from_graph(graph: OverlayGraph, ell: usize, strategy: ReplacementStrategy) -> Self {
+        let geometry = graph.geometry();
+        Self {
+            graph,
+            sampler: InversePowerLaw::exponent_one(&geometry),
+            ell,
+            strategy,
+        }
+    }
+
+    /// The maintained overlay.
+    #[must_use]
+    pub fn graph(&self) -> &OverlayGraph {
+        &self.graph
+    }
+
+    /// Consumes the maintainer and returns the overlay.
+    #[must_use]
+    pub fn into_graph(self) -> OverlayGraph {
+        self.graph
+    }
+
+    /// Number of long-distance links each node aims to hold.
+    #[must_use]
+    pub fn links_per_node(&self) -> usize {
+        self.ell
+    }
+
+    /// The configured replacement strategy.
+    #[must_use]
+    pub fn strategy(&self) -> ReplacementStrategy {
+        self.strategy
+    }
+
+    /// Handles the arrival of a node at `position`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstructionError::AlreadyPresent`] if a node already occupies the
+    /// position, or [`ConstructionError::OutOfRange`] if the position is not a grid point.
+    pub fn join<R: Rng>(
+        &mut self,
+        position: NodeId,
+        rng: &mut R,
+    ) -> Result<JoinReport, ConstructionError> {
+        let n = self.graph.geometry().len();
+        if position >= n {
+            return Err(ConstructionError::OutOfRange(position));
+        }
+        if self.graph.is_present(position) {
+            return Err(ConstructionError::AlreadyPresent(position));
+        }
+        self.graph.insert_node(position);
+        self.splice_ring_links(position);
+
+        // (1) Outgoing links: sample ideal sinks, land on the nearest present node.
+        let mut outgoing = 0usize;
+        if self.graph.present_count() > 1 {
+            let sinks = self.sampler.targets(position, self.ell, rng);
+            for sink in sinks {
+                if let Some(target) = self.graph.nearest_present(sink) {
+                    if target != position {
+                        self.graph.add_link(position, target, LinkKind::Long);
+                        outgoing += 1;
+                    }
+                }
+            }
+        }
+
+        // (2) Incoming links: estimate how many links should end here and invite earlier
+        // nodes to redirect one of theirs.
+        let mut granted = 0u64;
+        let incoming_requests = if self.graph.present_count() > 1 {
+            sample_poisson(self.ell as f64, rng)
+        } else {
+            0
+        };
+        for _ in 0..incoming_requests {
+            let candidate = self.sampler.targets(position, 1, rng)[0];
+            let Some(source) = self.graph.nearest_present(candidate) else {
+                continue;
+            };
+            if source == position {
+                continue;
+            }
+            if self.invite_redirect(source, position, rng) {
+                granted += 1;
+            }
+        }
+
+        Ok(JoinReport {
+            position,
+            outgoing_links: outgoing,
+            incoming_requests,
+            incoming_granted: granted,
+        })
+    }
+
+    /// Handles the departure (crash or graceful leave) of the node at `position`,
+    /// repairing ring links and regenerating dangling long-distance links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstructionError::NotPresent`] if no node occupies the position.
+    pub fn leave<R: Rng>(
+        &mut self,
+        position: NodeId,
+        rng: &mut R,
+    ) -> Result<LeaveReport, ConstructionError> {
+        if !self.graph.is_present(position) {
+            return Err(ConstructionError::NotPresent(position));
+        }
+        let (pred, succ) = self.neighbors_around(position);
+        // Collect sources whose long links dangle at the departing node before mutating.
+        let dangling: Vec<NodeId> = self
+            .graph
+            .long_links()
+            .filter(|(_, link)| link.target == position)
+            .map(|(src, _)| src)
+            .collect();
+        let ring_sources: Vec<NodeId> = [pred, succ].into_iter().flatten().collect();
+
+        self.graph.remove_node(position);
+        for src in ring_sources {
+            self.graph.remove_link(src, position, LinkKind::Ring);
+        }
+        // Re-close the ring around the hole.
+        if let (Some(a), Some(b)) = (pred, succ) {
+            if a != b {
+                self.graph.add_link(a, b, LinkKind::Ring);
+                self.graph.add_link(b, a, LinkKind::Ring);
+            }
+        }
+
+        // (3) Regenerate dangling long links using the same distribution.
+        let mut repaired = 0usize;
+        let mut dropped = 0usize;
+        for src in dangling {
+            if !self.graph.is_present(src) {
+                continue;
+            }
+            let fresh = self.sampler.targets(src, 1, rng)[0];
+            let new_target = self.graph.nearest_present(fresh).filter(|&t| t != src);
+            match new_target {
+                Some(target) => {
+                    if self.graph.redirect_long_link(src, position, target) {
+                        repaired += 1;
+                    } else {
+                        dropped += 1;
+                    }
+                }
+                None => {
+                    self.graph.remove_link(src, position, LinkKind::Long);
+                    dropped += 1;
+                }
+            }
+        }
+
+        Ok(LeaveReport {
+            position,
+            repaired_links: repaired,
+            dropped_links: dropped,
+        })
+    }
+
+    /// Asks `source` to redirect one of its long links towards `newcomer`. Returns `true`
+    /// if a link now points at the newcomer.
+    fn invite_redirect<R: Rng>(&mut self, source: NodeId, newcomer: NodeId, rng: &mut R) -> bool {
+        let geometry = self.graph.geometry();
+        let new_distance = geometry.distance(source, newcomer);
+        if new_distance == 0 {
+            return false;
+        }
+        let existing: Vec<(NodeId, u64, u64)> = self
+            .graph
+            .links(source)
+            .iter()
+            .filter(|l| l.alive && l.is_long())
+            .map(|l| (l.target, geometry.distance(source, l.target).max(1), l.birth))
+            .collect();
+        match self.strategy.decide(&existing, new_distance, rng) {
+            ReplacementDecision::Keep => false,
+            ReplacementDecision::Redirect { victim } => {
+                if victim == NodeId::MAX || !existing.iter().any(|&(t, _, _)| t == victim) {
+                    self.graph.add_link(source, newcomer, LinkKind::Long);
+                    true
+                } else {
+                    self.graph.redirect_long_link(source, victim, newcomer)
+                }
+            }
+        }
+    }
+
+    /// Inserts ring links around a freshly added node, replacing the link that previously
+    /// spanned the gap.
+    fn splice_ring_links(&mut self, position: NodeId) {
+        let (pred, succ) = self.neighbors_around(position);
+        match (pred, succ) {
+            (Some(a), Some(b)) => {
+                if a != b {
+                    self.graph.remove_link(a, b, LinkKind::Ring);
+                    self.graph.remove_link(b, a, LinkKind::Ring);
+                }
+                self.graph.add_link(position, a, LinkKind::Ring);
+                self.graph.add_link(a, position, LinkKind::Ring);
+                if b != a {
+                    self.graph.add_link(position, b, LinkKind::Ring);
+                    self.graph.add_link(b, position, LinkKind::Ring);
+                }
+            }
+            (Some(a), None) | (None, Some(a)) => {
+                self.graph.add_link(position, a, LinkKind::Ring);
+                self.graph.add_link(a, position, LinkKind::Ring);
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// The present neighbours immediately below and above `position` (excluding the
+    /// position itself), wrapping around on a ring.
+    fn neighbors_around(&self, position: NodeId) -> (Option<NodeId>, Option<NodeId>) {
+        let present = self.graph.present_nodes();
+        let others: Vec<NodeId> = present.iter().copied().filter(|&p| p != position).collect();
+        if others.is_empty() {
+            return (None, None);
+        }
+        let is_ring = self.graph.geometry().is_ring();
+        let idx = others.partition_point(|&p| p < position);
+        let pred = if idx > 0 {
+            Some(others[idx - 1])
+        } else if is_ring {
+            Some(others[others.len() - 1])
+        } else {
+            None
+        };
+        let succ = if idx < others.len() {
+            Some(others[idx])
+        } else if is_ring {
+            Some(others[0])
+        } else {
+            None
+        };
+        (pred, succ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn maintainer(n: u64, ell: usize) -> NetworkMaintainer {
+        NetworkMaintainer::new(Geometry::line(n), ell, ReplacementStrategy::InverseDistance)
+    }
+
+    #[test]
+    fn first_join_creates_a_lonely_node() {
+        let mut m = maintainer(100, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = m.join(50, &mut rng).unwrap();
+        assert_eq!(report.outgoing_links, 0);
+        assert_eq!(report.incoming_requests, 0);
+        assert_eq!(m.graph().present_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_join_and_bogus_leave_are_errors() {
+        let mut m = maintainer(100, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        m.join(10, &mut rng).unwrap();
+        assert_eq!(
+            m.join(10, &mut rng),
+            Err(ConstructionError::AlreadyPresent(10))
+        );
+        assert_eq!(m.leave(11, &mut rng), Err(ConstructionError::NotPresent(11)));
+        assert_eq!(m.join(1000, &mut rng), Err(ConstructionError::OutOfRange(1000)));
+        assert!(!ConstructionError::AlreadyPresent(10).to_string().is_empty());
+    }
+
+    #[test]
+    fn ring_links_are_spliced_on_join() {
+        let mut m = maintainer(100, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in [10u64, 30, 20] {
+            m.join(p, &mut rng).unwrap();
+        }
+        let g = m.graph();
+        // After inserting 20 between 10 and 30, ring neighbours must be 10<->20<->30.
+        assert!(g.links(10).iter().any(|l| !l.is_long() && l.target == 20));
+        assert!(g.links(20).iter().any(|l| !l.is_long() && l.target == 10));
+        assert!(g.links(20).iter().any(|l| !l.is_long() && l.target == 30));
+        assert!(g.links(30).iter().any(|l| !l.is_long() && l.target == 20));
+        // The old 10<->30 ring link has been removed.
+        assert!(!g.links(10).iter().any(|l| !l.is_long() && l.target == 30));
+        assert!(!g.links(30).iter().any(|l| !l.is_long() && l.target == 10));
+    }
+
+    #[test]
+    fn joins_create_roughly_ell_outgoing_links() {
+        // Random arrival order, as the heuristic assumes ("the hash function populates
+        // the metric space evenly"); a strictly sequential order would leave early nodes
+        // with no right-hand candidates and systematically depress the degree.
+        let mut m = maintainer(1 << 10, 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut order: Vec<u64> = (0..(1u64 << 10)).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+        for p in order {
+            m.join(p, &mut rng).unwrap();
+        }
+        let g = m.graph();
+        let mean_long: f64 =
+            (0..g.len()).map(|p| g.long_degree(p) as f64).sum::<f64>() / g.len() as f64;
+        // Outgoing ~ ell (minus dedup) plus redirected incoming links; must be in a sane band.
+        assert!(mean_long > 4.0, "mean long degree {mean_long} too low");
+        assert!(mean_long < 14.0, "mean long degree {mean_long} too high");
+    }
+
+    #[test]
+    fn leave_repairs_ring_and_dangling_links() {
+        let mut m = maintainer(200, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        for p in (0..200).step_by(2) {
+            m.join(p, &mut rng).unwrap();
+        }
+        // Make sure someone links to node 100, then remove it.
+        m.graph().long_links().count();
+        let report = m.leave(100, &mut rng).unwrap();
+        let g = m.graph();
+        assert!(!g.is_present(100));
+        // Ring re-closed around the hole.
+        assert!(g.links(98).iter().any(|l| !l.is_long() && l.target == 102));
+        assert!(g.links(102).iter().any(|l| !l.is_long() && l.target == 98));
+        // No live link points at the departed node any more.
+        assert!(g.long_links().all(|(_, l)| l.target != 100));
+        let _ = report.repaired_links + report.dropped_links;
+    }
+
+    #[test]
+    fn ring_geometry_wraps_ring_links() {
+        let mut m = NetworkMaintainer::new(
+            Geometry::ring(64),
+            2,
+            ReplacementStrategy::Oldest,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for p in [0u64, 20, 40, 60] {
+            m.join(p, &mut rng).unwrap();
+        }
+        let g = m.graph();
+        assert!(g.links(0).iter().any(|l| !l.is_long() && l.target == 60));
+        assert!(g.links(60).iter().any(|l| !l.is_long() && l.target == 0));
+    }
+
+    #[test]
+    fn from_graph_preserves_existing_structure() {
+        let mut m = maintainer(100, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        for p in (0..100).step_by(5) {
+            m.join(p, &mut rng).unwrap();
+        }
+        let graph = m.into_graph();
+        let count_before = graph.present_count();
+        let mut m2 = NetworkMaintainer::from_graph(graph, 3, ReplacementStrategy::Oldest);
+        m2.join(1, &mut rng).unwrap();
+        assert_eq!(m2.graph().present_count(), count_before + 1);
+        assert_eq!(m2.strategy(), ReplacementStrategy::Oldest);
+        assert_eq!(m2.links_per_node(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Poisson sampling for the incoming-link estimate.
+
+use rand::Rng;
+
+/// Samples from a Poisson distribution with rate `lambda`.
+///
+/// The arriving node uses this to "approximate the number of links ending at `v` by using
+/// a Poisson distribution with rate `ℓ`" — i.e. how many earlier nodes it should invite to
+/// redirect a link towards it. Rates in this workspace are at most a few dozen (`ℓ ≤ lg n`),
+/// so Knuth's multiplication method is used below a threshold and a normal approximation
+/// (rounded, clamped at zero) above it.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+#[must_use]
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "Poisson rate must be finite and non-negative"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        // Knuth: multiply uniforms until the product drops below e^-lambda.
+        let threshold = (-lambda).exp();
+        let mut k = 0u64;
+        let mut product = 1.0f64;
+        loop {
+            product *= rng.gen_range(0.0f64..1.0);
+            if product <= threshold {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction, adequate for large rates.
+        let standard_normal: f64 = {
+            // Box-Muller from two uniforms.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let value = lambda + lambda.sqrt() * standard_normal + 0.5;
+        if value <= 0.0 {
+            0
+        } else {
+            value.floor() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mean_and_var(lambda: f64, samples: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..samples)
+            .map(|_| sample_poisson(lambda, &mut rng) as f64)
+            .collect();
+        let mean = values.iter().sum::<f64>() / samples as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_rate_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn small_rate_matches_moments() {
+        let (mean, var) = mean_and_var(3.5, 40_000, 1);
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.25, "variance {var}");
+    }
+
+    #[test]
+    fn paper_rate_matches_moments() {
+        // ℓ = 14 is the Figure 5 configuration.
+        let (mean, var) = mean_and_var(14.0, 40_000, 2);
+        assert!((mean - 14.0).abs() < 0.2, "mean {mean}");
+        assert!((var - 14.0).abs() < 1.0, "variance {var}");
+    }
+
+    #[test]
+    fn large_rate_uses_normal_approximation_sensibly() {
+        let (mean, var) = mean_and_var(200.0, 20_000, 3);
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+        assert!((var - 200.0).abs() < 20.0, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_poisson(-1.0, &mut rng);
+    }
+}

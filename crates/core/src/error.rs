@@ -1,0 +1,60 @@
+//! Error type of the public API.
+
+use faultline_construction::ConstructionError;
+use faultline_overlay::NodeId;
+
+/// Errors returned by [`Network`](crate::Network) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A join/leave request could not be applied to the overlay.
+    Construction(ConstructionError),
+    /// The overlay has no alive node, so the requested operation is meaningless.
+    NoAliveNodes,
+    /// The given position does not host an alive node.
+    NodeNotAlive(NodeId),
+    /// The requested origin position lies outside the metric space.
+    OutOfRange(NodeId),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Construction(e) => write!(f, "overlay maintenance failed: {e}"),
+            CoreError::NoAliveNodes => write!(f, "the overlay has no alive nodes"),
+            CoreError::NodeNotAlive(p) => write!(f, "no alive node at position {p}"),
+            CoreError::OutOfRange(p) => write!(f, "position {p} lies outside the metric space"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Construction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConstructionError> for CoreError {
+    fn from(e: ConstructionError) -> Self {
+        CoreError::Construction(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_are_wired_up() {
+        let e = CoreError::from(ConstructionError::NotPresent(9));
+        assert!(e.to_string().contains("position 9"));
+        assert!(e.source().is_some());
+        assert!(CoreError::NoAliveNodes.source().is_none());
+        assert!(!CoreError::NodeNotAlive(3).to_string().is_empty());
+        assert!(!CoreError::OutOfRange(3).to_string().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Aggregated measurements over batches of routed messages.
+
+/// Statistics of a batch of routed messages — the quantities Figure 6 plots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BatchStats {
+    /// Number of messages attempted.
+    pub messages: u64,
+    /// Messages that reached their destination.
+    pub delivered: u64,
+    /// Messages that failed (stuck, hop limit, dead endpoint).
+    pub failed: u64,
+    /// Total hops summed over **delivered** messages only (the paper averages delivery
+    /// time over successful searches).
+    pub hops_delivered: u64,
+    /// Total fault-strategy interventions across all messages.
+    pub recoveries: u64,
+}
+
+impl BatchStats {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a single message outcome to the batch.
+    pub fn record(&mut self, delivered: bool, hops: u64, recoveries: u64) {
+        self.messages += 1;
+        if delivered {
+            self.delivered += 1;
+            self.hops_delivered += hops;
+        } else {
+            self.failed += 1;
+        }
+        self.recoveries += recoveries;
+    }
+
+    /// Merges another batch into this one.
+    pub fn absorb(&mut self, other: BatchStats) {
+        self.messages += other.messages;
+        self.delivered += other.delivered;
+        self.failed += other.failed;
+        self.hops_delivered += other.hops_delivered;
+        self.recoveries += other.recoveries;
+    }
+
+    /// Fraction of messages that failed to be delivered (Figure 6(a)'s y-axis).
+    #[must_use]
+    pub fn failure_fraction(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.messages as f64
+        }
+    }
+
+    /// Average delivery time (hops) over successful searches (Figure 6(b)'s y-axis).
+    /// Returns `None` if nothing was delivered.
+    #[must_use]
+    pub fn mean_hops_delivered(&self) -> Option<f64> {
+        if self.delivered == 0 {
+            None
+        } else {
+            Some(self.hops_delivered as f64 / self.delivered as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fractions() {
+        let mut b = BatchStats::new();
+        b.record(true, 10, 0);
+        b.record(true, 20, 1);
+        b.record(false, 7, 2);
+        assert_eq!(b.messages, 3);
+        assert_eq!(b.delivered, 2);
+        assert_eq!(b.failed, 1);
+        assert!((b.failure_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.mean_hops_delivered(), Some(15.0));
+        assert_eq!(b.recoveries, 3);
+    }
+
+    #[test]
+    fn empty_batch_degenerates_gracefully() {
+        let b = BatchStats::new();
+        assert_eq!(b.failure_fraction(), 0.0);
+        assert_eq!(b.mean_hops_delivered(), None);
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let mut a = BatchStats::new();
+        a.record(true, 4, 0);
+        let mut b = BatchStats::new();
+        b.record(false, 0, 1);
+        b.record(true, 6, 0);
+        a.absorb(b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.delivered, 2);
+        assert_eq!(a.mean_hops_delivered(), Some(5.0));
+        assert!((a.failure_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

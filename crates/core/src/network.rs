@@ -1,0 +1,509 @@
+//! The [`Network`]: the paper's system behind one type.
+
+use crate::config::{ConstructionMode, LinkSpecChoice, NetworkConfig};
+use crate::directory::{Directory, StoredResource};
+use crate::error::CoreError;
+use crate::measurement::BatchStats;
+use faultline_construction::{IncrementalBuilder, NetworkMaintainer, ReplacementStrategy};
+use faultline_failure::{FailurePlan, FailureReport};
+use faultline_linkdist::{BaseBLinks, InversePowerLaw, LinkSpec, PowerLadderLinks, UniformLinks};
+use faultline_metric::{Geometry, Key, KeySpace, MetricSpace, Position};
+use faultline_overlay::{GraphBuilder, NodeId, OverlayGraph};
+use faultline_routing::{RouteResult, Router};
+use rand::Rng;
+
+/// The outcome of a key lookup.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LookupOutcome {
+    /// The metric-space point the key hashes to.
+    pub point: Position,
+    /// The alive node currently responsible for that point (the routing target).
+    pub responsible: NodeId,
+    /// The greedy route that was taken.
+    pub route: RouteResult,
+}
+
+impl LookupOutcome {
+    /// Returns `true` if the lookup reached the responsible node.
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        self.route.is_delivered()
+    }
+}
+
+/// A fault-tolerant peer-to-peer overlay with hash-table functionality.
+///
+/// A `Network` owns the overlay graph (wrapped in the Section 5 maintainer so nodes can
+/// join and leave at any time), the routing configuration, the key space and the resource
+/// directory. See the crate-level documentation for a quick-start example.
+#[derive(Debug)]
+pub struct Network {
+    maintainer: NetworkMaintainer,
+    router: Router,
+    key_space: KeySpace,
+    directory: Directory,
+    config: NetworkConfig,
+}
+
+impl Network {
+    /// Builds a network according to `config`, drawing randomness from `rng`.
+    pub fn build<R: Rng>(config: &NetworkConfig, rng: &mut R) -> Self {
+        let geometry = if config.is_ring() {
+            Geometry::ring(config.nodes())
+        } else {
+            Geometry::line(config.nodes())
+        };
+        let ell = config.links();
+        let (graph, replacement) = match config.construction_mode() {
+            ConstructionMode::Ideal => {
+                let spec = make_spec(config.link_spec_choice(), &geometry);
+                let mut builder = GraphBuilder::new(geometry).links_per_node(ell);
+                if let Some(p) = config.presence() {
+                    builder = builder.binomial_presence(p, rng);
+                }
+                (
+                    builder.build(spec.as_ref(), rng),
+                    ReplacementStrategy::InverseDistance,
+                )
+            }
+            ConstructionMode::Incremental { replacement } => {
+                // The incremental heuristic is defined for the paper's 1/d distribution;
+                // other link specs fall back to the ideal builder above.
+                let graph = IncrementalBuilder::new(geometry, ell)
+                    .replacement_strategy(replacement)
+                    .build_full(rng);
+                (graph, replacement)
+            }
+        };
+        let maintainer = NetworkMaintainer::from_graph(graph, ell, replacement);
+        let router = Router::new()
+            .with_mode(config.greedy())
+            .with_strategy(config.strategy());
+        Self {
+            maintainer,
+            router,
+            key_space: KeySpace::new(geometry.len()),
+            directory: Directory::new(),
+            config: *config,
+        }
+    }
+
+    /// The configuration the network was built from.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The underlying overlay graph.
+    #[must_use]
+    pub fn graph(&self) -> &OverlayGraph {
+        self.maintainer.graph()
+    }
+
+    /// The router used for lookups (reflects the configured greedy mode and strategy).
+    #[must_use]
+    pub fn router(&self) -> Router {
+        self.router
+    }
+
+    /// The resource directory.
+    #[must_use]
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Number of grid points in the metric space.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.graph().len()
+    }
+
+    /// Returns `true` if the metric space has no points (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graph().is_empty()
+    }
+
+    /// Number of currently alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> u64 {
+        self.graph().alive_nodes().len() as u64
+    }
+
+    /// The alive node responsible for a metric-space point (the closest alive node).
+    #[must_use]
+    pub fn responsible_node(&self, point: Position) -> Option<NodeId> {
+        let graph = self.graph();
+        if graph.is_alive(point) {
+            return Some(point);
+        }
+        // Scan outward from the point among present nodes until an alive one is found on
+        // either side; the closest alive one wins.
+        let geometry = graph.geometry();
+        let alive = graph.alive_nodes();
+        alive
+            .iter()
+            .copied()
+            .min_by_key(|&p| (geometry.distance(p, point), p))
+    }
+
+    /// Routes a message between two node positions.
+    pub fn route<R: Rng>(&self, source: NodeId, target: NodeId, rng: &mut R) -> RouteResult {
+        self.router.route(self.graph(), source, target, rng)
+    }
+
+    /// Routes a message between two uniformly random alive nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoAliveNodes`] if fewer than two nodes are alive.
+    pub fn route_random<R: Rng>(&self, rng: &mut R) -> Result<RouteResult, CoreError> {
+        let alive = self.graph().alive_nodes();
+        if alive.len() < 2 {
+            return Err(CoreError::NoAliveNodes);
+        }
+        let source = alive[rng.gen_range(0..alive.len())];
+        let target = alive[rng.gen_range(0..alive.len())];
+        Ok(self.route(source, target, rng))
+    }
+
+    /// Routes `count` messages between random alive node pairs and aggregates the result —
+    /// one "simulation" in the sense of Section 6.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoAliveNodes`] if fewer than two nodes are alive.
+    pub fn route_random_batch<R: Rng>(
+        &self,
+        count: u64,
+        rng: &mut R,
+    ) -> Result<BatchStats, CoreError> {
+        let alive = self.graph().alive_nodes();
+        if alive.len() < 2 {
+            return Err(CoreError::NoAliveNodes);
+        }
+        let mut stats = BatchStats::new();
+        for _ in 0..count {
+            let source = alive[rng.gen_range(0..alive.len())];
+            let target = alive[rng.gen_range(0..alive.len())];
+            let result = self.route(source, target, rng);
+            stats.record(result.is_delivered(), result.hops, result.recoveries);
+        }
+        Ok(stats)
+    }
+
+    /// Routes `count` messages whose endpoints are drawn from a
+    /// [`Workload`](faultline_sim::Workload) over the currently alive nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoAliveNodes`] if fewer than two nodes are alive.
+    pub fn route_workload_batch<R: Rng>(
+        &self,
+        workload: &faultline_sim::Workload,
+        count: u64,
+        rng: &mut R,
+    ) -> Result<BatchStats, CoreError> {
+        let alive = self.graph().alive_nodes();
+        if alive.len() < 2 {
+            return Err(CoreError::NoAliveNodes);
+        }
+        let mut stats = BatchStats::new();
+        for _ in 0..count {
+            let (s, t) = workload.sample_pair(alive.len(), rng);
+            let result = self.route(alive[s], alive[t], rng);
+            stats.record(result.is_delivered(), result.hops, result.recoveries);
+        }
+        Ok(stats)
+    }
+
+    /// Stores a resource: the value is placed on the alive node closest to the key's
+    /// point. Returns the home node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoAliveNodes`] if the overlay has no alive node to store on.
+    pub fn insert(&mut self, key: Key, value: Vec<u8>) -> Result<NodeId, CoreError> {
+        let point = self.key_space.point_for(&key);
+        let home = self.responsible_node(point).ok_or(CoreError::NoAliveNodes)?;
+        self.directory.insert(key, StoredResource { point, home, value });
+        Ok(home)
+    }
+
+    /// Looks a key up starting from the node at `origin`: greedy-routes to the node
+    /// currently responsible for the key's point and returns the stored value (if that
+    /// node holds it) together with the route taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotAlive`] if the origin is not an alive node and
+    /// [`CoreError::NoAliveNodes`] if the overlay is completely dead.
+    pub fn lookup_from<R: Rng>(
+        &self,
+        origin: NodeId,
+        key: &Key,
+        rng: &mut R,
+    ) -> Result<(Option<Vec<u8>>, RouteResult), CoreError> {
+        let outcome = self.lookup_route(origin, key, rng)?;
+        let value = if outcome.is_delivered() {
+            self.directory
+                .get(key)
+                .filter(|r| r.home == outcome.responsible)
+                .map(|r| r.value.clone())
+        } else {
+            None
+        };
+        Ok((value, outcome.route))
+    }
+
+    /// Routes a lookup for `key` from `origin` and reports where it went, without
+    /// touching the directory (useful for pure routing experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeNotAlive`] if the origin is not alive,
+    /// [`CoreError::OutOfRange`] if it is not a grid point, and
+    /// [`CoreError::NoAliveNodes`] if nothing is alive.
+    pub fn lookup_route<R: Rng>(
+        &self,
+        origin: NodeId,
+        key: &Key,
+        rng: &mut R,
+    ) -> Result<LookupOutcome, CoreError> {
+        if origin >= self.len() {
+            return Err(CoreError::OutOfRange(origin));
+        }
+        if !self.graph().is_alive(origin) {
+            return Err(CoreError::NodeNotAlive(origin));
+        }
+        let point = self.key_space.point_for(key);
+        let responsible = self.responsible_node(point).ok_or(CoreError::NoAliveNodes)?;
+        let route = self.route(origin, responsible, rng);
+        Ok(LookupOutcome {
+            point,
+            responsible,
+            route,
+        })
+    }
+
+    /// Applies a failure plan to the overlay (node crashes, link failures, …).
+    pub fn apply_failure<R: Rng>(&mut self, plan: &dyn FailurePlan, rng: &mut R) -> FailureReport {
+        // The maintainer owns the graph; borrow it mutably through a temporary swap.
+        let geometry = self.graph().geometry();
+        let ell = self.maintainer.links_per_node();
+        let strategy = self.maintainer.strategy();
+        let placeholder = NetworkMaintainer::new(geometry, ell, strategy);
+        let maintainer = std::mem::replace(&mut self.maintainer, placeholder);
+        let mut graph = maintainer.into_graph();
+        let report = plan.apply(&mut graph, rng);
+        self.maintainer = NetworkMaintainer::from_graph(graph, ell, strategy);
+        report
+    }
+
+    /// Lets a new node join at `position`, running the Section 5 maintenance heuristic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Construction`] if the position is occupied or out of range.
+    pub fn join<R: Rng>(&mut self, position: NodeId, rng: &mut R) -> Result<(), CoreError> {
+        self.maintainer.join(position, rng)?;
+        Ok(())
+    }
+
+    /// Removes the node at `position` (graceful leave or crash with repair), regenerating
+    /// dangling links per the Section 5 heuristic. Resources homed on the departed node
+    /// are re-homed onto the node now responsible for their points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Construction`] if no node is present at the position.
+    pub fn leave<R: Rng>(&mut self, position: NodeId, rng: &mut R) -> Result<(), CoreError> {
+        self.maintainer.leave(position, rng)?;
+        let orphaned = self.directory.keys_homed_on(position);
+        for key in orphaned {
+            if let Some(resource) = self.directory.get(&key).cloned() {
+                if let Some(new_home) = self.responsible_node(resource.point) {
+                    self.directory.rehome(position, new_home);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Materialises a [`LinkSpecChoice`] into a concrete sampler for `geometry`.
+fn make_spec(choice: LinkSpecChoice, geometry: &Geometry) -> Box<dyn LinkSpec> {
+    match choice {
+        LinkSpecChoice::InversePowerLaw { exponent } => {
+            Box::new(InversePowerLaw::new(exponent, geometry))
+        }
+        LinkSpecChoice::Uniform => Box::new(UniformLinks::new(geometry)),
+        LinkSpecChoice::BaseB { base } => Box::new(BaseBLinks::new(base, geometry)),
+        LinkSpecChoice::PowerLadder { base } => Box::new(PowerLadderLinks::new(base, geometry)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_failure::NodeFailure;
+    use faultline_routing::FaultStrategy;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn network(n: u64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::build(&NetworkConfig::paper_default(n), &mut rng)
+    }
+
+    #[test]
+    fn build_and_route_on_paper_defaults() {
+        let net = network(1 << 10, 0);
+        assert_eq!(net.len(), 1 << 10);
+        assert_eq!(net.alive_count(), 1 << 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = net.route(0, 1023, &mut rng);
+        assert!(r.is_delivered());
+        assert!(r.hops < 100);
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrips() {
+        let mut net = network(1 << 9, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = Key::from_name("alice/readme.md");
+        let home = net.insert(key, b"hello".to_vec()).unwrap();
+        assert!(net.graph().is_alive(home));
+        let (value, route) = net.lookup_from(17, &key, &mut rng).unwrap();
+        assert_eq!(value.as_deref(), Some(&b"hello"[..]));
+        assert!(route.is_delivered());
+        assert_eq!(net.directory().len(), 1);
+    }
+
+    #[test]
+    fn lookups_from_dead_or_bogus_origins_error() {
+        let mut net = network(256, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = Key::from_name("x");
+        net.insert(key, vec![1]).unwrap();
+        assert!(matches!(
+            net.lookup_from(9999, &key, &mut rng),
+            Err(CoreError::OutOfRange(9999))
+        ));
+        net.apply_failure(&NodeFailure::count(0), &mut rng);
+        let mut graph_dead = net;
+        graph_dead.apply_failure(&NodeFailure::fraction(1.0), &mut rng);
+        assert!(matches!(
+            graph_dead.lookup_from(3, &key, &mut rng),
+            Err(CoreError::NodeNotAlive(3))
+        ));
+    }
+
+    #[test]
+    fn failures_reduce_alive_count_and_can_fail_routes() {
+        let mut net = network(1 << 11, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = net.apply_failure(&NodeFailure::fraction(0.5), &mut rng);
+        assert_eq!(report.failed_node_count(), 1 << 10);
+        assert_eq!(net.alive_count(), 1 << 10);
+        let stats = net.route_random_batch(200, &mut rng).unwrap();
+        assert_eq!(stats.messages, 200);
+        assert!(stats.failure_fraction() > 0.0, "50% failures should break something");
+        assert!(stats.failure_fraction() < 1.0, "but not everything");
+    }
+
+    #[test]
+    fn backtracking_network_fails_less_than_terminating_one() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = NetworkConfig::paper_default(1 << 11);
+        let mut terminate = Network::build(&base, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(8);
+        let mut backtrack = Network::build(
+            &base.fault_strategy(FaultStrategy::paper_backtrack()),
+            &mut rng2,
+        );
+        let mut failure_rng = StdRng::seed_from_u64(9);
+        terminate.apply_failure(&NodeFailure::fraction(0.5), &mut failure_rng);
+        let mut failure_rng = StdRng::seed_from_u64(9);
+        backtrack.apply_failure(&NodeFailure::fraction(0.5), &mut failure_rng);
+
+        let mut msg_rng = StdRng::seed_from_u64(10);
+        let term_stats = terminate.route_random_batch(400, &mut msg_rng).unwrap();
+        let mut msg_rng = StdRng::seed_from_u64(10);
+        let back_stats = backtrack.route_random_batch(400, &mut msg_rng).unwrap();
+        assert!(
+            back_stats.failure_fraction() <= term_stats.failure_fraction(),
+            "backtracking ({}) should not fail more than terminate ({})",
+            back_stats.failure_fraction(),
+            term_stats.failure_fraction()
+        );
+    }
+
+    #[test]
+    fn join_and_leave_keep_the_network_routable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = NetworkConfig::paper_default(512)
+            .construction(ConstructionMode::incremental_default())
+            .links_per_node(6);
+        let mut net = Network::build(&config, &mut rng);
+        assert_eq!(net.alive_count(), 512);
+        // A burst of departures followed by re-joins.
+        for p in (0..100u64).step_by(7) {
+            net.leave(p, &mut rng).unwrap();
+        }
+        for p in (0..100u64).step_by(7) {
+            net.join(p, &mut rng).unwrap();
+        }
+        assert_eq!(net.alive_count(), 512);
+        let stats = net.route_random_batch(100, &mut rng).unwrap();
+        assert_eq!(stats.failed, 0, "undamaged (healed) network must deliver everything");
+    }
+
+    #[test]
+    fn leave_rehomes_resources() {
+        let mut net = network(256, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let key = Key::from_name("precious");
+        let home = net.insert(key, b"data".to_vec()).unwrap();
+        net.leave(home, &mut rng).unwrap();
+        let resource = net.directory().get(&key).unwrap();
+        assert_ne!(resource.home, home);
+        assert!(net.graph().is_alive(resource.home));
+    }
+
+    #[test]
+    fn deterministic_ladder_config_builds_and_routes_fast() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let config = NetworkConfig::paper_default(1 << 12)
+            .link_spec(LinkSpecChoice::BaseB { base: 2 });
+        let net = Network::build(&config, &mut rng);
+        let r = net.route(0, (1 << 12) - 1, &mut rng);
+        assert!(r.is_delivered());
+        assert!(r.hops <= 14, "ladder routing took {} hops", r.hops);
+    }
+
+    #[test]
+    fn uniform_and_power_ladder_configs_build() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for spec in [
+            LinkSpecChoice::Uniform,
+            LinkSpecChoice::PowerLadder { base: 3 },
+            LinkSpecChoice::InversePowerLaw { exponent: 2.0 },
+        ] {
+            let config = NetworkConfig::paper_default(256).link_spec(spec).links_per_node(4);
+            let net = Network::build(&config, &mut rng);
+            assert!(net.route(0, 255, &mut rng).is_delivered());
+        }
+    }
+
+    #[test]
+    fn binomial_presence_builds_a_sparse_network() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let config = NetworkConfig::paper_default(2048).presence_probability(0.5);
+        let net = Network::build(&config, &mut rng);
+        let present = net.graph().present_count();
+        assert!(present > 800 && present < 1250, "present {present}");
+        // Routing between alive nodes still works.
+        let stats = net.route_random_batch(50, &mut rng).unwrap();
+        assert_eq!(stats.failed, 0);
+    }
+}

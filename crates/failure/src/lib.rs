@@ -1,0 +1,36 @@
+//! Failure models for `faultline` overlays.
+//!
+//! The paper analyses three kinds of damage to the overlay and this crate implements all
+//! of them (plus a correlated-region extension used by the ablation benches):
+//!
+//! * [`LinkFailure`] — every long-distance link survives independently with probability
+//!   `p` (Section 4.3.3, Theorems 15 and 16). Ring links to immediate neighbours are never
+//!   failed, matching the paper's assumption that "the links to the immediate neighbors
+//!   are always present so that a message is always delivered even if it takes very long."
+//! * [`NodeFailure`] — node crashes, either as an exact fraction of the population
+//!   (Section 6's experiments fail "a fraction p of the nodes") or independently with
+//!   probability `p` (Theorem 18's model).
+//! * [`RegionFailure`] — an adversarially chosen contiguous interval of nodes crashes
+//!   (correlated failures; not analysed by the paper but a natural robustness probe).
+//! * [`ChurnSchedule`] — a randomized sequence of join/leave events driving the dynamic
+//!   maintenance experiments.
+//!
+//! All models implement [`FailurePlan`] and mutate an
+//! [`OverlayGraph`](faultline_overlay::OverlayGraph) in place, returning a
+//! [`FailureReport`] describing what was damaged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod churn;
+mod link;
+mod node;
+mod plan;
+mod region;
+
+pub use churn::{ChurnEvent, ChurnSchedule};
+pub use link::LinkFailure;
+pub use node::{binomial_present_set, NodeFailure, NodeFailureMode};
+pub use plan::{FailurePlan, FailureReport, NoFailure};
+pub use region::RegionFailure;

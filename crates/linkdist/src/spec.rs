@@ -1,0 +1,84 @@
+//! The [`LinkSpec`] trait: how a node chooses its long-distance neighbours.
+
+use faultline_metric::Position;
+use rand::RngCore;
+
+/// Whether a link specification is randomized or deterministic.
+///
+/// The paper uses randomized specifications for `ℓ ∈ [1, lg n]` (Theorems 12, 13, 15, 17,
+/// 18) and a deterministic digit-ladder for `ℓ ∈ (lg n, n^c]` (Theorems 14 and 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SpecKind {
+    /// Targets are drawn from a probability distribution; repeated builds differ.
+    Randomized,
+    /// Targets are a fixed function of the node position; `ℓ` requested links are ignored.
+    Deterministic,
+}
+
+/// A strategy for generating the long-distance links of an overlay node.
+///
+/// Implementations own their geometry (and any precomputed sampling tables), so a spec is
+/// constructed once per overlay build and then queried once per node.
+///
+/// Immediate (±1) neighbours are *not* produced by a `LinkSpec`; the overlay builder adds
+/// them unconditionally, mirroring the paper's standing assumption that "each node is
+/// connected to its immediate neighbors".
+pub trait LinkSpec: std::fmt::Debug {
+    /// Human-readable name used in benchmark output (e.g. `"inverse-power-law(r=1)"`).
+    fn name(&self) -> String;
+
+    /// Whether this specification is randomized or deterministic.
+    fn kind(&self) -> SpecKind;
+
+    /// The long-distance targets of the node at `from`.
+    ///
+    /// For randomized specs, `ell` independent draws (with replacement, as in Theorem 13)
+    /// are made; for deterministic specs `ell` is ignored and the fixed target set is
+    /// returned. Targets never include `from` itself. Duplicates may appear for randomized
+    /// specs (the overlay layer deduplicates when materialising edges).
+    fn targets(&self, from: Position, ell: usize, rng: &mut dyn RngCore) -> Vec<Position>;
+
+    /// Probability that a *single* draw for node `from` selects `to`, if the spec is
+    /// randomized (`None` for deterministic specs).
+    ///
+    /// This is the quantity the paper calls `q` in Theorem 13 and is what Figure 5
+    /// compares the constructed network against.
+    fn link_probability(&self, from: Position, to: Position) -> Option<f64>;
+
+    /// Number of long-distance links a node will actually hold when `ell` are requested.
+    fn links_per_node(&self, ell: usize) -> usize {
+        match self.kind() {
+            SpecKind::Randomized => ell,
+            SpecKind::Deterministic => self.targets(0, ell, &mut rand::rngs::mock::StepRng::new(0, 1)).len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Fixed;
+
+    impl LinkSpec for Fixed {
+        fn name(&self) -> String {
+            "fixed".to_owned()
+        }
+        fn kind(&self) -> SpecKind {
+            SpecKind::Deterministic
+        }
+        fn targets(&self, from: Position, _ell: usize, _rng: &mut dyn RngCore) -> Vec<Position> {
+            vec![from + 2, from + 4]
+        }
+        fn link_probability(&self, _from: Position, _to: Position) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn deterministic_links_per_node_counts_targets() {
+        assert_eq!(Fixed.links_per_node(99), 2);
+        assert_eq!(Fixed.kind(), SpecKind::Deterministic);
+    }
+}

@@ -1,0 +1,182 @@
+//! Cumulative weight tables for sampling link distances in `O(log n)` per draw.
+
+use rand::Rng;
+
+/// A cumulative table of per-distance weights `w(d) = 1/d^r` for `d = 1..=max_distance`.
+///
+/// Building the table is `O(max_distance)` and is done once per overlay construction; each
+/// sample is then a binary search over the cumulative sums, so generating all `n · ℓ`
+/// long-distance links of a graph costs `O(n + n ℓ log n)`.
+///
+/// The table is shared by every node of a build: on the line, a node at position `x` simply
+/// restricts sampling to distances `1..=x` (left) or `1..=n-1-x` (right) by passing a
+/// bound to [`DistanceTable::sample_distance`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DistanceTable {
+    exponent: f64,
+    /// `cumulative[d-1] = Σ_{i=1..d} 1/i^exponent`.
+    cumulative: Vec<f64>,
+}
+
+impl DistanceTable {
+    /// Builds the cumulative table for distances `1..=max_distance` and weight `1/d^exponent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is negative or not finite.
+    #[must_use]
+    pub fn new(max_distance: u64, exponent: f64) -> Self {
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "link-distribution exponent must be a finite non-negative number"
+        );
+        let mut cumulative = Vec::with_capacity(max_distance as usize);
+        let mut acc = 0.0_f64;
+        for d in 1..=max_distance {
+            acc += (d as f64).powf(-exponent);
+            cumulative.push(acc);
+        }
+        Self {
+            exponent,
+            cumulative,
+        }
+    }
+
+    /// The exponent `r` of the `1/d^r` weights.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Largest distance covered by the table.
+    #[must_use]
+    pub fn max_distance(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+
+    /// Total weight of distances `1..=d` (0 when `d == 0`).
+    #[must_use]
+    pub fn weight_up_to(&self, d: u64) -> f64 {
+        if d == 0 {
+            0.0
+        } else {
+            let idx = (d.min(self.max_distance()) - 1) as usize;
+            self.cumulative[idx]
+        }
+    }
+
+    /// Weight of the single distance `d` (`1/d^r`), 0 outside the table.
+    #[must_use]
+    pub fn weight_of(&self, d: u64) -> f64 {
+        if d == 0 || d > self.max_distance() {
+            0.0
+        } else {
+            (d as f64).powf(-self.exponent)
+        }
+    }
+
+    /// Samples a distance in `1..=bound` with probability proportional to `1/d^r`.
+    ///
+    /// Returns `None` when `bound == 0` (no candidate distance exists, e.g. a node at the
+    /// very end of the line looking further outward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` exceeds the table's `max_distance`.
+    pub fn sample_distance<R: Rng + ?Sized>(&self, bound: u64, rng: &mut R) -> Option<u64> {
+        if bound == 0 {
+            return None;
+        }
+        assert!(
+            bound <= self.max_distance(),
+            "sample bound {bound} exceeds table size {}",
+            self.max_distance()
+        );
+        let total = self.weight_up_to(bound);
+        let u: f64 = rng.gen_range(0.0..total);
+        // First index whose cumulative weight exceeds u.
+        let idx = self.cumulative[..bound as usize].partition_point(|&c| c <= u);
+        Some((idx as u64 + 1).min(bound))
+    }
+
+    /// Probability that a single draw bounded by `bound` returns exactly `d`.
+    #[must_use]
+    pub fn probability(&self, d: u64, bound: u64) -> f64 {
+        if d == 0 || d > bound || bound == 0 {
+            return 0.0;
+        }
+        self.weight_of(d) / self.weight_up_to(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn cumulative_weights_match_direct_sums() {
+        let t = DistanceTable::new(100, 1.0);
+        let direct: f64 = (1..=40u64).map(|d| 1.0 / d as f64).sum();
+        assert!((t.weight_up_to(40) - direct).abs() < 1e-12);
+        assert_eq!(t.weight_up_to(0), 0.0);
+        assert!((t.weight_of(4) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let t = DistanceTable::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let d = t.sample_distance(37, &mut rng).unwrap();
+            assert!((1..=37).contains(&d));
+        }
+        assert_eq!(t.sample_distance(0, &mut rng), None);
+    }
+
+    #[test]
+    fn exponent_one_favours_short_distances() {
+        let t = DistanceTable::new(1 << 14, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let bound = (1 << 14) as u64;
+        let samples = 50_000;
+        let mut below_sqrt = 0u64;
+        let sqrt = 128u64; // sqrt(2^14)
+        for _ in 0..samples {
+            if t.sample_distance(bound, &mut rng).unwrap() <= sqrt {
+                below_sqrt += 1;
+            }
+        }
+        // With 1/d weights, P[d <= sqrt(n)] = H_sqrt(n) / H_n (≈ 0.53 here) — roughly half
+        // of all links are "short", the signature property of the exponent-1 law.
+        let expected = t.weight_up_to(sqrt) / t.weight_up_to(bound);
+        let frac = below_sqrt as f64 / samples as f64;
+        assert!((frac - expected).abs() < 0.02, "observed fraction {frac}, expected {expected}");
+        assert!((0.45..0.6).contains(&expected));
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let t = DistanceTable::new(64, 1.5);
+        let total: f64 = (1..=64u64).map(|d| t.probability(d, 64)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(t.probability(65, 64), 0.0);
+        assert_eq!(t.probability(3, 0), 0.0);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let t = DistanceTable::new(10, 0.0);
+        for d in 1..=10u64 {
+            assert!((t.probability(d, 10) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds table size")]
+    fn oversized_bound_panics() {
+        let t = DistanceTable::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = t.sample_distance(11, &mut rng);
+    }
+}

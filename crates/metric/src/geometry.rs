@@ -1,0 +1,142 @@
+//! A closed enumeration over the one-dimensional spaces used by the overlay.
+//!
+//! Most of the workspace (overlay builders, link distributions, greedy routers) operates
+//! on "some one-dimensional space" and does not care whether it is the open line of the
+//! paper's analysis or the Chord-style ring. [`Geometry`] packages the two behind a single
+//! concrete type so that graphs remain plain serialisable data (no trait objects inside).
+
+use crate::space::{Direction, MetricSpace, OneDimensional};
+use crate::{Distance, LineSpace, Position, RingSpace};
+
+/// The one-dimensional metric space an overlay is embedded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Geometry {
+    /// Grid points on an open line segment (the space of Section 4).
+    Line(LineSpace),
+    /// Grid points on a circle (Chord-style identifier space).
+    Ring(RingSpace),
+}
+
+impl Geometry {
+    /// A line with `n` grid points.
+    #[must_use]
+    pub fn line(n: u64) -> Self {
+        Geometry::Line(LineSpace::new(n))
+    }
+
+    /// A ring with `n` grid points.
+    #[must_use]
+    pub fn ring(n: u64) -> Self {
+        Geometry::Ring(RingSpace::new(n))
+    }
+
+    /// Returns `true` if this geometry wraps around (is a ring).
+    #[must_use]
+    pub fn is_ring(&self) -> bool {
+        matches!(self, Geometry::Ring(_))
+    }
+
+    /// Largest distance reachable from `from` when moving in direction `dir`.
+    ///
+    /// On the line this is bounded by the segment ends; on the ring both directions can
+    /// reach up to half of the circumference (shorter-arc distance is what greedy routing
+    /// optimises).
+    #[must_use]
+    pub fn max_reach(&self, from: Position, dir: Direction) -> Distance {
+        match self {
+            Geometry::Line(line) => match dir {
+                Direction::Down => from,
+                Direction::Up => line.len() - 1 - from,
+            },
+            Geometry::Ring(ring) => {
+                if ring.len() <= 1 {
+                    0
+                } else {
+                    // Every offset in 1..n is a distinct target; cap at n-1 so a link
+                    // never points back at its own source.
+                    ring.len() - 1
+                }
+            }
+        }
+    }
+}
+
+impl MetricSpace for Geometry {
+    fn len(&self) -> u64 {
+        match self {
+            Geometry::Line(s) => s.len(),
+            Geometry::Ring(s) => s.len(),
+        }
+    }
+
+    fn distance(&self, a: Position, b: Position) -> Distance {
+        match self {
+            Geometry::Line(s) => s.distance(a, b),
+            Geometry::Ring(s) => s.distance(a, b),
+        }
+    }
+
+    fn diameter(&self) -> Distance {
+        match self {
+            Geometry::Line(s) => s.diameter(),
+            Geometry::Ring(s) => s.diameter(),
+        }
+    }
+}
+
+impl OneDimensional for Geometry {
+    fn step(&self, from: Position, offset: Distance, dir: Direction) -> Option<Position> {
+        match self {
+            Geometry::Line(s) => s.step(from, offset, dir),
+            Geometry::Ring(s) => s.step(from, offset, dir),
+        }
+    }
+
+    fn offset_between(&self, from: Position, to: Position) -> (Distance, Direction) {
+        match self {
+            Geometry::Line(s) => s.offset_between(from, to),
+            Geometry::Ring(s) => s.offset_between(from, to),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_to_inner_space() {
+        let line = Geometry::line(100);
+        let ring = Geometry::ring(100);
+        assert_eq!(line.distance(5, 95), 90);
+        assert_eq!(ring.distance(5, 95), 10);
+        assert!(!line.is_ring());
+        assert!(ring.is_ring());
+    }
+
+    #[test]
+    fn max_reach_on_line_is_bounded_by_ends() {
+        let line = Geometry::line(100);
+        assert_eq!(line.max_reach(10, Direction::Down), 10);
+        assert_eq!(line.max_reach(10, Direction::Up), 89);
+        assert_eq!(line.max_reach(0, Direction::Down), 0);
+        assert_eq!(line.max_reach(99, Direction::Up), 0);
+    }
+
+    #[test]
+    fn max_reach_on_ring_covers_all_other_nodes() {
+        let ring = Geometry::ring(100);
+        assert_eq!(ring.max_reach(10, Direction::Down), 99);
+        assert_eq!(ring.max_reach(10, Direction::Up), 99);
+        let tiny = Geometry::ring(1);
+        assert_eq!(tiny.max_reach(0, Direction::Up), 0);
+    }
+
+    #[test]
+    fn step_dispatches() {
+        let line = Geometry::line(10);
+        let ring = Geometry::ring(10);
+        assert_eq!(line.step(0, 1, Direction::Down), None);
+        assert_eq!(ring.step(0, 1, Direction::Down), Some(9));
+    }
+}

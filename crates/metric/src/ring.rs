@@ -1,0 +1,149 @@
+//! The circular (ring) identifier space used by Chord-style overlays.
+
+use crate::space::{Direction, MetricSpace, OneDimensional};
+use crate::{Distance, Position};
+
+/// Grid points `0..n` placed around a circle, with distance measured along the shorter arc.
+///
+/// Section 3 of the paper observes that Chord's identifier circle is exactly this space:
+/// "the nodes can be thought of being embedded on grid points on a real circle, with
+/// distances measured along the circumference of the circle providing the required
+/// distance metric."
+///
+/// # Example
+///
+/// ```
+/// use faultline_metric::{RingSpace, MetricSpace};
+///
+/// let ring = RingSpace::new(100);
+/// assert_eq!(ring.distance(5, 95), 10); // wraps around
+/// assert_eq!(ring.distance(5, 45), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RingSpace {
+    n: u64,
+}
+
+impl RingSpace {
+    /// Creates a ring with `n` grid points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "a RingSpace must contain at least one point");
+        Self { n }
+    }
+
+    /// Clockwise (increasing-label, wrapping) distance from `a` to `b`.
+    ///
+    /// This is the distance that one-directional overlays such as Chord use: all links
+    /// point "forward" around the circle.
+    #[must_use]
+    pub fn clockwise_distance(&self, a: Position, b: Position) -> Distance {
+        debug_assert!(a < self.n && b < self.n);
+        if b >= a {
+            b - a
+        } else {
+            self.n - (a - b)
+        }
+    }
+
+    /// The point reached from `a` by moving `offset` steps clockwise.
+    #[must_use]
+    pub fn clockwise_step(&self, a: Position, offset: Distance) -> Position {
+        debug_assert!(a < self.n);
+        (a + (offset % self.n)) % self.n
+    }
+}
+
+impl MetricSpace for RingSpace {
+    fn len(&self) -> u64 {
+        self.n
+    }
+
+    fn distance(&self, a: Position, b: Position) -> Distance {
+        let cw = self.clockwise_distance(a, b);
+        cw.min(self.n - cw)
+    }
+
+    fn diameter(&self) -> Distance {
+        self.n / 2
+    }
+}
+
+impl OneDimensional for RingSpace {
+    fn step(&self, from: Position, offset: Distance, dir: Direction) -> Option<Position> {
+        let offset = offset % self.n;
+        Some(match dir {
+            Direction::Up => (from + offset) % self.n,
+            Direction::Down => (from + self.n - offset) % self.n,
+        })
+    }
+
+    fn offset_between(&self, from: Position, to: Position) -> (Distance, Direction) {
+        let down = self.clockwise_distance(to, from); // moving down decreases label mod n
+        let up = self.clockwise_distance(from, to);
+        if down <= up {
+            (down, Direction::Down)
+        } else {
+            (up, Direction::Up)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_distance_uses_shorter_arc() {
+        let ring = RingSpace::new(16);
+        assert_eq!(ring.distance(0, 15), 1);
+        assert_eq!(ring.distance(15, 0), 1);
+        assert_eq!(ring.distance(0, 8), 8);
+        assert_eq!(ring.distance(3, 3), 0);
+    }
+
+    #[test]
+    fn clockwise_distance_wraps() {
+        let ring = RingSpace::new(10);
+        assert_eq!(ring.clockwise_distance(7, 2), 5);
+        assert_eq!(ring.clockwise_distance(2, 7), 5);
+        assert_eq!(ring.clockwise_distance(9, 0), 1);
+    }
+
+    #[test]
+    fn clockwise_step_wraps() {
+        let ring = RingSpace::new(10);
+        assert_eq!(ring.clockwise_step(9, 1), 0);
+        assert_eq!(ring.clockwise_step(4, 23), 7);
+    }
+
+    #[test]
+    fn steps_wrap_in_both_directions() {
+        let ring = RingSpace::new(12);
+        assert_eq!(ring.step(0, 1, Direction::Down), Some(11));
+        assert_eq!(ring.step(11, 1, Direction::Up), Some(0));
+        assert_eq!(ring.step(5, 24, Direction::Up), Some(5));
+    }
+
+    #[test]
+    fn offset_between_picks_shorter_arc() {
+        let ring = RingSpace::new(10);
+        let (d, dir) = ring.offset_between(1, 9);
+        assert_eq!(d, 2);
+        assert_eq!(dir, Direction::Down);
+        let (d, dir) = ring.offset_between(9, 1);
+        assert_eq!(d, 2);
+        assert_eq!(dir, Direction::Up);
+    }
+
+    #[test]
+    fn diameter_is_half_circumference() {
+        let ring = RingSpace::new(100);
+        assert_eq!(ring.diameter(), 50);
+        assert_eq!(ring.distance(0, 50), 50);
+    }
+}

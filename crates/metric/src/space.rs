@@ -1,0 +1,86 @@
+//! The [`MetricSpace`] abstraction shared by every overlay in the workspace.
+
+use crate::{Distance, Position};
+
+/// Direction of travel along a one-dimensional space.
+///
+/// One-sided greedy routing (Section 4.2.1 of the paper) only ever moves in the
+/// [`Direction::Down`] direction — it never overshoots the target — while two-sided
+/// routing may move either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Direction {
+    /// Towards smaller labels (towards the target at 0 in the paper's formulation).
+    Down,
+    /// Towards larger labels.
+    Up,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[must_use]
+    pub fn opposite(self) -> Self {
+        match self {
+            Direction::Down => Direction::Up,
+            Direction::Up => Direction::Down,
+        }
+    }
+}
+
+/// A finite metric space whose points are labelled `0..len()`.
+///
+/// The trait is deliberately minimal: an overlay graph only needs to (a) enumerate its
+/// points and (b) compare distances, because greedy routing is defined purely in terms of
+/// "which neighbour is closest to the target".
+pub trait MetricSpace: std::fmt::Debug {
+    /// Number of grid points in the space.
+    fn len(&self) -> u64;
+
+    /// Returns `true` if the space has no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if either point is outside `0..len()`.
+    fn distance(&self, a: Position, b: Position) -> Distance;
+
+    /// Returns `true` if `p` is a valid point of this space.
+    fn contains(&self, p: Position) -> bool {
+        p < self.len()
+    }
+
+    /// The largest distance realised between any two points of the space.
+    fn diameter(&self) -> Distance;
+}
+
+/// Additional structure available in one-dimensional spaces (line and ring).
+///
+/// One-dimensional spaces support *directed* movement: from a point one can step towards
+/// larger or smaller labels, which the deterministic (base-`b`) link structure and
+/// one-sided greedy routing rely on.
+pub trait OneDimensional: MetricSpace {
+    /// The point reached by moving `offset` steps from `from` in direction `dir`,
+    /// or `None` if the move leaves the space (only possible on the line).
+    fn step(&self, from: Position, offset: Distance, dir: Direction) -> Option<Position>;
+
+    /// Signed offset `from - to` interpreted in this space.
+    ///
+    /// On the line this is the ordinary difference; on the ring it is the difference along
+    /// the shorter arc, with ties broken towards [`Direction::Down`].
+    fn offset_between(&self, from: Position, to: Position) -> (Distance, Direction);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_opposite_roundtrips() {
+        assert_eq!(Direction::Down.opposite(), Direction::Up);
+        assert_eq!(Direction::Up.opposite(), Direction::Down);
+        assert_eq!(Direction::Up.opposite().opposite(), Direction::Up);
+    }
+}

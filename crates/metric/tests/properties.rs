@@ -1,0 +1,123 @@
+//! Property-based tests for the metric-space substrate.
+
+use faultline_metric::{
+    Direction, Grid2d, Key, KeySpace, LineSpace, MetricSpace, OneDimensional, Point2, RingSpace,
+    Torus2d,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The line metric is a metric: symmetric, zero iff equal, triangle inequality.
+    #[test]
+    fn line_is_a_metric(n in 1u64..10_000, a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000) {
+        let line = LineSpace::new(n);
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(line.distance(a, b), line.distance(b, a));
+        prop_assert_eq!(line.distance(a, a), 0);
+        prop_assert!(line.distance(a, c) <= line.distance(a, b) + line.distance(b, c));
+        prop_assert!(line.distance(a, b) <= line.diameter());
+    }
+
+    /// The ring metric is a metric and never exceeds half the circumference.
+    #[test]
+    fn ring_is_a_metric(n in 1u64..10_000, a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000) {
+        let ring = RingSpace::new(n);
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(ring.distance(a, b), ring.distance(b, a));
+        prop_assert_eq!(ring.distance(a, a), 0);
+        prop_assert!(ring.distance(a, c) <= ring.distance(a, b) + ring.distance(b, c));
+        prop_assert!(ring.distance(a, b) <= n / 2);
+    }
+
+    /// Ring distance is the min of the two arc lengths.
+    #[test]
+    fn ring_distance_is_min_arc(n in 2u64..10_000, a in 0u64..10_000, b in 0u64..10_000) {
+        let ring = RingSpace::new(n);
+        let (a, b) = (a % n, b % n);
+        let cw = ring.clockwise_distance(a, b);
+        let ccw = ring.clockwise_distance(b, a);
+        prop_assert_eq!(cw + ccw == 0, a == b);
+        if a != b {
+            prop_assert_eq!(cw + ccw, n);
+        }
+        prop_assert_eq!(ring.distance(a, b), cw.min(ccw));
+    }
+
+    /// Stepping by the offset returned from `offset_between` always reaches the target.
+    #[test]
+    fn line_offset_step_roundtrip(n in 1u64..10_000, from in 0u64..10_000, to in 0u64..10_000) {
+        let line = LineSpace::new(n);
+        let (from, to) = (from % n, to % n);
+        let (offset, dir) = line.offset_between(from, to);
+        prop_assert_eq!(line.step(from, offset, dir), Some(to));
+    }
+
+    /// Same round-trip on the ring (always along the shorter arc).
+    #[test]
+    fn ring_offset_step_roundtrip(n in 1u64..10_000, from in 0u64..10_000, to in 0u64..10_000) {
+        let ring = RingSpace::new(n);
+        let (from, to) = (from % n, to % n);
+        let (offset, dir) = ring.offset_between(from, to);
+        prop_assert_eq!(ring.step(from, offset, dir), Some(to));
+        prop_assert_eq!(offset, ring.distance(from, to));
+    }
+
+    /// Moving one step down then one step up is the identity away from line boundaries.
+    #[test]
+    fn line_step_inverse(n in 3u64..10_000, p in 1u64..9_999) {
+        let line = LineSpace::new(n);
+        let p = 1 + (p % (n - 2));
+        let down = line.step(p, 1, Direction::Down).unwrap();
+        prop_assert_eq!(line.step(down, 1, Direction::Up), Some(p));
+    }
+
+    /// Grid/torus index <-> point conversions round-trip.
+    #[test]
+    fn grid_index_roundtrip(side in 1u64..200, idx in 0u64..40_000) {
+        let g = Grid2d::new(side);
+        let t = Torus2d::new(side);
+        let idx = idx % g.len();
+        prop_assert_eq!(g.index_of_point(g.point_of_index(idx)), idx);
+        prop_assert_eq!(t.index_of_point(t.point_of_index(idx)), idx);
+    }
+
+    /// Torus distance is bounded by grid distance (wrapping can only shorten paths).
+    #[test]
+    fn torus_never_longer_than_grid(side in 1u64..200, a in 0u64..40_000, b in 0u64..40_000) {
+        let g = Grid2d::new(side);
+        let t = Torus2d::new(side);
+        let a = g.point_of_index(a % g.len());
+        let b = g.point_of_index(b % g.len());
+        prop_assert!(t.distance(a, b) <= g.distance(a, b));
+    }
+
+    /// Grid lattice neighbours are exactly at distance 1.
+    #[test]
+    fn lattice_neighbors_at_distance_one(side in 2u64..100, idx in 0u64..10_000) {
+        let g = Grid2d::new(side);
+        let p = g.point_of_index(idx % g.len());
+        for q in g.lattice_neighbors(p) {
+            prop_assert_eq!(g.distance(p, q), 1);
+        }
+        let t = Torus2d::new(side);
+        for q in t.lattice_neighbors(p) {
+            prop_assert!(t.distance(p, q) <= 1); // side == 2 wraps onto itself at distance 0? no: distance 1 or 0 when side==1
+        }
+    }
+
+    /// Key placement is deterministic and in range for any space size.
+    #[test]
+    fn key_placement_in_range(n in 1u64..1_000_000, raw in any::<u64>()) {
+        let ks = KeySpace::new(n);
+        let k = Key::from_raw(raw);
+        let p = ks.point_for(&k);
+        prop_assert!(p < n);
+        prop_assert_eq!(p, ks.point_for(&k));
+    }
+}
+
+#[test]
+fn point2_equality() {
+    assert_eq!(Point2::new(3, 4), Point2::new(3, 4));
+    assert_ne!(Point2::new(3, 4), Point2::new(4, 3));
+}

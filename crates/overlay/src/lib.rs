@@ -1,0 +1,47 @@
+//! Overlay-graph substrate for `faultline`.
+//!
+//! An overlay graph is the "virtual overlay network of information" of Section 2: a
+//! directed random graph whose vertices are metric-space points and whose edges are the
+//! links each node knows about. This crate provides:
+//!
+//! * [`OverlayGraph`] — the graph itself: per-vertex presence/alive state and outgoing
+//!   links (ring links to immediate neighbours plus long-distance links), with `O(1)`
+//!   failure injection and link mutation.
+//! * [`GraphBuilder`] — the *ideal* static construction: every node draws its `ℓ`
+//!   long-distance links directly from a [`LinkSpec`](faultline_linkdist::LinkSpec)
+//!   (the dynamic, heuristic construction of Section 5 lives in `faultline-construction`).
+//! * [`stats`] — link-length histograms and degree statistics used by the Figure 5
+//!   reproduction and by the construction-quality tests.
+//!
+//! # Example
+//!
+//! ```
+//! use faultline_metric::Geometry;
+//! use faultline_linkdist::InversePowerLaw;
+//! use faultline_overlay::GraphBuilder;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let geometry = Geometry::line(1 << 10);
+//! let spec = InversePowerLaw::exponent_one(&geometry);
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let graph = GraphBuilder::new(geometry).links_per_node(8).build(&spec, &mut rng);
+//! assert_eq!(graph.len(), 1 << 10);
+//! assert!(graph.out_degree(512) >= 2); // ring links always present
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod graph;
+mod link;
+pub mod stats;
+
+pub use builder::{build_paper_overlay, GraphBuilder};
+pub use graph::{NodeRecord, OverlayGraph};
+pub use link::{Link, LinkKind};
+
+/// Node identifiers are metric-space positions (the paper identifies nodes with their
+/// integer labels).
+pub type NodeId = faultline_metric::Position;

@@ -1,0 +1,68 @@
+//! Directed links of the overlay graph.
+
+use crate::NodeId;
+
+/// Classification of an outgoing link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LinkKind {
+    /// Link to an immediate (±1) neighbour on the line/ring.
+    ///
+    /// The paper assumes these always exist and — in the failure analyses — always
+    /// survive: "We assume that the links to the immediate neighbors are always present so
+    /// that a message is always delivered even if it takes very long."
+    Ring,
+    /// Long-distance link drawn from the link distribution (or placed by the
+    /// deterministic ladder).
+    Long,
+}
+
+/// A directed link from one overlay node to another.
+///
+/// `birth` is a monotonically increasing sequence number assigned when the link is
+/// created; the "replace the oldest link" strategy of Section 5 uses it to identify the
+/// oldest long-distance link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Link {
+    /// The node this link points to.
+    pub target: NodeId,
+    /// Link classification (ring vs long-distance).
+    pub kind: LinkKind,
+    /// Whether the link itself is usable (false once a link failure is injected).
+    pub alive: bool,
+    /// Creation sequence number (used by the oldest-link replacement strategy).
+    pub birth: u64,
+}
+
+impl Link {
+    /// Creates a live link.
+    #[must_use]
+    pub fn new(target: NodeId, kind: LinkKind, birth: u64) -> Self {
+        Self {
+            target,
+            kind,
+            alive: true,
+            birth,
+        }
+    }
+
+    /// Returns `true` for long-distance links.
+    #[must_use]
+    pub fn is_long(&self) -> bool {
+        self.kind == LinkKind::Long
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_links_are_alive() {
+        let l = Link::new(7, LinkKind::Long, 3);
+        assert!(l.alive);
+        assert!(l.is_long());
+        assert_eq!(l.target, 7);
+        assert_eq!(l.birth, 3);
+        assert!(!Link::new(1, LinkKind::Ring, 0).is_long());
+    }
+}

@@ -1,0 +1,51 @@
+//! Greedy routing engines and fault-handling strategies for `faultline`.
+//!
+//! Routing in the paper is purely local and greedy: "Routing is done greedily by
+//! forwarding the message to the node mapped to a metric-space point as close to `v` as
+//! possible." This crate implements:
+//!
+//! * [`GreedyMode`] — the two greedy variants analysed in Section 4.2: **one-sided**
+//!   routing (never overshoots the target; the Chord-like model) and **two-sided** routing
+//!   (minimises absolute distance regardless of side).
+//! * [`FaultStrategy`] — the three recovery strategies compared in Section 6 when a node
+//!   has no live neighbour closer to the target: terminate, random re-route, and bounded
+//!   backtracking.
+//! * [`Router`] — the routing engine: given an overlay graph (possibly damaged by the
+//!   failure models) it walks a message from source to destination and reports the
+//!   outcome, the hop count and (optionally) the full path.
+//!
+//! # Example
+//!
+//! ```
+//! use faultline_metric::Geometry;
+//! use faultline_linkdist::InversePowerLaw;
+//! use faultline_overlay::GraphBuilder;
+//! use faultline_routing::{Router, RouteOutcome};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let geometry = Geometry::line(1 << 10);
+//! let spec = InversePowerLaw::exponent_one(&geometry);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let graph = GraphBuilder::new(geometry).links_per_node(10).build(&spec, &mut rng);
+//!
+//! let router = Router::new();
+//! let result = router.route(&graph, 7, 1000, &mut rng);
+//! assert_eq!(result.outcome, RouteOutcome::Delivered);
+//! assert!(result.hops <= 1 << 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod byzantine;
+mod greedy;
+mod result;
+mod router;
+mod strategy;
+
+pub use byzantine::{ByzantineSet, RedundantRouteResult, RedundantRouter};
+pub use greedy::{best_neighbor, direction_towards, GreedyMode};
+pub use result::{FailureReason, RouteOutcome, RouteResult};
+pub use router::Router;
+pub use strategy::FaultStrategy;

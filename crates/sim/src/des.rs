@@ -1,0 +1,261 @@
+//! Discrete-event core: a virtual clock and an ordered event queue.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Event<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number; events scheduled earlier fire earlier at equal times.
+    pub sequence: u64,
+    /// The payload delivered to the handler.
+    pub payload: T,
+}
+
+/// Internal heap entry ordered by (time, sequence) ascending.
+#[derive(Debug)]
+struct HeapEntry<T>(Event<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.sequence == other.0.sequence
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, sequence) pops first.
+        (other.0.time, other.0.sequence).cmp(&(self.0.time, self.0.sequence))
+    }
+}
+
+/// A priority queue of timed events with deterministic FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_sequence: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(HeapEntry(Event {
+            time,
+            sequence,
+            payload,
+        }));
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+}
+
+/// A discrete-event scheduler: an [`EventQueue`] plus a virtual clock.
+///
+/// The scheduler guarantees that the clock never moves backwards and that events at equal
+/// times are delivered in scheduling order.
+#[derive(Debug)]
+pub struct Scheduler<T> {
+    queue: EventQueue<T>,
+    now: SimTime,
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Scheduler<T> {
+    /// Creates a scheduler at virtual time 0 with no pending events.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: 0,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` to fire `delay` ticks from now.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: T) {
+        self.queue.push(self.now.saturating_add(delay), payload);
+    }
+
+    /// Schedules `payload` at an absolute virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before the current clock).
+    pub fn schedule_at(&mut self, time: SimTime, payload: T) {
+        assert!(time >= self.now, "cannot schedule an event in the past");
+        self.queue.push(time, payload);
+    }
+
+    /// Pops the next event, advancing the clock to its firing time.
+    pub fn step(&mut self) -> Option<Event<T>> {
+        let event = self.queue.pop()?;
+        debug_assert!(event.time >= self.now);
+        self.now = event.time;
+        Some(event)
+    }
+
+    /// Runs the simulation to completion, calling `handler` for every event. The handler
+    /// can schedule further events through the `&mut Scheduler` it receives.
+    pub fn run<F: FnMut(&mut Scheduler<T>, Event<T>)>(&mut self, mut handler: F) {
+        while let Some(event) = self.step() {
+            handler(self, event);
+        }
+    }
+
+    /// Runs until the clock passes `deadline` or the queue drains, whichever is first.
+    /// Events scheduled exactly at the deadline are still delivered.
+    pub fn run_until<F: FnMut(&mut Scheduler<T>, Event<T>)>(
+        &mut self,
+        deadline: SimTime,
+        mut handler: F,
+    ) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let event = self.step().expect("peeked event exists");
+            handler(self, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_preserve_fifo_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(5, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_advances_clock_monotonically() {
+        let mut s = Scheduler::new();
+        s.schedule_in(5, "x");
+        s.schedule_in(2, "y");
+        let e = s.step().unwrap();
+        assert_eq!(e.payload, "y");
+        assert_eq!(s.now(), 2);
+        let e = s.step().unwrap();
+        assert_eq!(e.payload, "x");
+        assert_eq!(s.now(), 5);
+        assert!(s.step().is_none());
+        assert_eq!(s.now(), 5, "clock holds after the queue drains");
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        // A "message" that hops 4 times, each hop scheduling the next one.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_in(1, 0);
+        let mut delivered = Vec::new();
+        s.run(|sched, event| {
+            delivered.push((sched.now(), event.payload));
+            if event.payload < 3 {
+                sched.schedule_in(2, event.payload + 1);
+            }
+        });
+        assert_eq!(delivered, vec![(1, 0), (3, 1), (5, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(i * 10, i as u32);
+        }
+        let mut seen = Vec::new();
+        s.run_until(35, |_, e| seen.push(e.payload));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(s.pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(10, "later");
+        s.step();
+        s.schedule_at(5, "earlier");
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-hop latency models and virtual-time message timing.
+//!
+//! The paper measures delivery time in *hops* ("the number of messages sent by the
+//! system"). Real deployments also care about wall-clock latency, which depends on how
+//! long each hop takes. This module assigns per-hop latencies and replays a hop sequence
+//! through the discrete-event [`Scheduler`](crate::Scheduler), producing the arrival time
+//! of the message at every intermediate node — useful for the latency-oriented examples
+//! and for exercising the event core under realistic workloads.
+
+use crate::des::Scheduler;
+use crate::SimTime;
+use rand::Rng;
+
+/// How long a single overlay hop takes, in virtual ticks.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LatencyModel {
+    /// Every hop takes exactly this many ticks.
+    Constant(SimTime),
+    /// Hop latency is drawn uniformly from `[min, max]` (inclusive).
+    Uniform {
+        /// Smallest possible hop latency.
+        min: SimTime,
+        /// Largest possible hop latency.
+        max: SimTime,
+    },
+}
+
+impl LatencyModel {
+    /// Samples the latency of one hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a uniform model has `min > max`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { min, max } => {
+                assert!(min <= max, "uniform latency needs min <= max");
+                rng.gen_range(min..=max)
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Constant(1)
+    }
+}
+
+/// Arrival of a message at one node along its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HopTiming {
+    /// Index of the hop (1-based: the first forwarding is hop 1).
+    pub hop: u64,
+    /// Virtual time at which the message arrived at this node.
+    pub arrival: SimTime,
+}
+
+/// The full timing trace of a routed message.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MessageTiming {
+    /// Per-hop arrivals, in order.
+    pub hops: Vec<HopTiming>,
+    /// Virtual time at which the message reached the end of its path.
+    pub completion: SimTime,
+}
+
+impl MessageTiming {
+    /// Number of hops the message took.
+    #[must_use]
+    pub fn hop_count(&self) -> u64 {
+        self.hops.len() as u64
+    }
+}
+
+/// Replays a path of `hop_count` hops through a discrete-event scheduler, drawing each
+/// hop's latency from `model`.
+///
+/// The returned trace lists the arrival time after every hop; `completion` equals the last
+/// arrival (or 0 for a zero-hop path, i.e. source == destination).
+pub fn simulate_message_timing<R: Rng + ?Sized>(
+    hop_count: u64,
+    model: LatencyModel,
+    rng: &mut R,
+) -> MessageTiming {
+    #[derive(Debug)]
+    struct Hop {
+        index: u64,
+    }
+
+    let mut scheduler: Scheduler<Hop> = Scheduler::new();
+    if hop_count > 0 {
+        let first = model.sample(rng);
+        scheduler.schedule_in(first, Hop { index: 1 });
+    }
+    let mut hops = Vec::with_capacity(hop_count as usize);
+    // Latencies for subsequent hops are sampled up front so the RNG is not borrowed
+    // inside the handler closure.
+    let later: Vec<SimTime> = (1..hop_count).map(|_| model.sample(rng)).collect();
+    scheduler.run(|sched, event| {
+        hops.push(HopTiming {
+            hop: event.payload.index,
+            arrival: sched.now(),
+        });
+        if event.payload.index < hop_count {
+            let latency = later[(event.payload.index - 1) as usize];
+            sched.schedule_in(
+                latency,
+                Hop {
+                    index: event.payload.index + 1,
+                },
+            );
+        }
+    });
+    let completion = hops.last().map(|h| h.arrival).unwrap_or(0);
+    MessageTiming { hops, completion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn constant_latency_is_additive() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let timing = simulate_message_timing(5, LatencyModel::Constant(3), &mut rng);
+        assert_eq!(timing.hop_count(), 5);
+        assert_eq!(timing.completion, 15);
+        let arrivals: Vec<_> = timing.hops.iter().map(|h| h.arrival).collect();
+        assert_eq!(arrivals, vec![3, 6, 9, 12, 15]);
+    }
+
+    #[test]
+    fn zero_hops_completes_immediately() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let timing = simulate_message_timing(0, LatencyModel::Constant(7), &mut rng);
+        assert_eq!(timing.hop_count(), 0);
+        assert_eq!(timing.completion, 0);
+    }
+
+    #[test]
+    fn uniform_latency_respects_bounds_and_ordering() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let timing =
+            simulate_message_timing(100, LatencyModel::Uniform { min: 2, max: 9 }, &mut rng);
+        assert_eq!(timing.hop_count(), 100);
+        assert!(timing.completion >= 200 && timing.completion <= 900);
+        for pair in timing.hops.windows(2) {
+            assert!(pair[1].arrival >= pair[0].arrival + 2);
+            assert!(pair[1].arrival <= pair[0].arrival + 9);
+            assert_eq!(pair[1].hop, pair[0].hop + 1);
+        }
+    }
+
+    #[test]
+    fn latency_model_sampling() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(LatencyModel::Constant(4).sample(&mut rng), 4);
+        for _ in 0..100 {
+            let v = LatencyModel::Uniform { min: 1, max: 3 }.sample(&mut rng);
+            assert!((1..=3).contains(&v));
+        }
+        assert_eq!(LatencyModel::default(), LatencyModel::Constant(1));
+    }
+}

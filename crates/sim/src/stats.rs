@@ -1,0 +1,200 @@
+//! Summary statistics for experiment outputs.
+
+/// Streaming accumulator of real-valued observations.
+///
+/// Uses Welford's algorithm for numerically stable mean/variance and retains the samples
+/// so quantiles can be reported (experiment sizes in this workspace are at most a few
+/// million observations, so retention is cheap and keeps the API simple).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Accumulator {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.samples.push(value);
+        let n = self.samples.len() as f64;
+        let delta = value - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no observations were added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Finalises into a [`Summary`]. Returns `None` if no observations were added.
+    #[must_use]
+    pub fn summarize(&self) -> Option<Summary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len();
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("observations must not be NaN"));
+        let variance = if n > 1 { self.m2 / (n as f64 - 1.0) } else { 0.0 };
+        let quantile = |q: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        Some(Summary {
+            count: n as u64,
+            mean: self.mean,
+            std_dev: variance.sqrt(),
+            std_error: (variance / n as f64).sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: quantile(0.5),
+            p90: quantile(0.9),
+            p99: quantile(0.99),
+        })
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Summary statistics of a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n-1` denominator).
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (`1.96 × standard error`).
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error
+    }
+
+    /// Summarises an iterator of observations directly. Returns `None` when empty.
+    #[must_use]
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Option<Summary> {
+        values.into_iter().collect::<Accumulator>().summarize()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} ±{:.3} (std {:.3}, median {:.3}, p90 {:.3}, max {:.3})",
+            self.count,
+            self.mean,
+            self.ci95_half_width(),
+            self.std_dev,
+            self.median,
+            self.p90,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of((0..10).map(|_| 4.0)).unwrap();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_known_values() {
+        let s = Summary::of([1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn empty_accumulator_has_no_summary() {
+        assert!(Accumulator::new().summarize().is_none());
+        assert!(Summary::of(std::iter::empty()).is_none());
+        assert!(Accumulator::new().is_empty());
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution_tail() {
+        let s = Summary::of((1..=1000).map(f64::from)).unwrap();
+        assert!((s.median - 500.0).abs() <= 1.0);
+        assert!((s.p90 - 900.0).abs() <= 2.0);
+        assert!((s.p99 - 990.0).abs() <= 2.0);
+        assert_eq!(s.count, 1000);
+    }
+
+    #[test]
+    fn welford_matches_naive_variance() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64 / 7.0).collect();
+        let s = Summary::of(data.iter().copied()).unwrap();
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0);
+        assert!((s.mean - mean).abs() < 1e-9);
+        assert!((s.std_dev - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::of([1.0, 2.0, 3.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.000"));
+    }
+}

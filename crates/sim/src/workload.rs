@@ -1,0 +1,175 @@
+//! Workload generators: which (source, target) pairs an experiment routes between.
+//!
+//! Section 6 of the paper routes between uniformly random pairs of surviving nodes. Real
+//! deployments rarely look like that: request popularity is skewed (a few keys are hot),
+//! some measurement campaigns probe from a fixed vantage point, and stress tests
+//! deliberately hammer one destination. The generators here cover those shapes so the
+//! examples and ablation benches can exercise the overlay under realistic traffic without
+//! each experiment re-implementing sampling logic.
+
+use rand::Rng;
+
+/// How (source, target) pairs are drawn from a population of alive nodes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Workload {
+    /// Source and target drawn independently and uniformly (the paper's workload).
+    UniformPairs,
+    /// All messages originate at one vantage node; targets are uniform.
+    FixedSource {
+        /// Index into the alive-node list used as the source.
+        source_index: usize,
+    },
+    /// All messages are destined for one hot node; sources are uniform.
+    FixedTarget {
+        /// Index into the alive-node list used as the target.
+        target_index: usize,
+    },
+    /// Target popularity follows a Zipf distribution over the alive-node list (rank 0 is
+    /// the most popular); sources are uniform. `exponent = 0` degenerates to uniform.
+    ZipfTargets {
+        /// Zipf exponent `s ≥ 0`.
+        exponent: f64,
+    },
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload::UniformPairs
+    }
+}
+
+impl Workload {
+    /// Short label for benchmark output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Workload::UniformPairs => "uniform-pairs".to_owned(),
+            Workload::FixedSource { source_index } => format!("fixed-source({source_index})"),
+            Workload::FixedTarget { target_index } => format!("fixed-target({target_index})"),
+            Workload::ZipfTargets { exponent } => format!("zipf-targets(s={exponent})"),
+        }
+    }
+
+    /// Draws one (source, target) pair of **indices into** `alive` (callers translate to
+    /// node ids). The two indices are always distinct when `alive.len() >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive` has fewer than 2 entries, if a fixed index is out of range, or if
+    /// a Zipf exponent is negative/non-finite.
+    pub fn sample_pair<R: Rng + ?Sized>(&self, alive_len: usize, rng: &mut R) -> (usize, usize) {
+        assert!(alive_len >= 2, "a workload needs at least two alive nodes");
+        let uniform = |rng: &mut R| rng.gen_range(0..alive_len);
+        let (source, target) = match self {
+            Workload::UniformPairs => (uniform(rng), uniform(rng)),
+            Workload::FixedSource { source_index } => {
+                assert!(*source_index < alive_len, "fixed source index out of range");
+                (*source_index, uniform(rng))
+            }
+            Workload::FixedTarget { target_index } => {
+                assert!(*target_index < alive_len, "fixed target index out of range");
+                (uniform(rng), *target_index)
+            }
+            Workload::ZipfTargets { exponent } => {
+                assert!(
+                    *exponent >= 0.0 && exponent.is_finite(),
+                    "Zipf exponent must be finite and non-negative"
+                );
+                (uniform(rng), zipf_rank(alive_len, *exponent, rng))
+            }
+        };
+        if source == target {
+            // Nudge the target to keep the pair distinct without biasing any single node.
+            (source, (target + 1) % alive_len)
+        } else {
+            (source, target)
+        }
+    }
+
+    /// Draws `count` pairs.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        alive_len: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<(usize, usize)> {
+        (0..count).map(|_| self.sample_pair(alive_len, rng)).collect()
+    }
+}
+
+/// Samples a rank in `0..n` with probability proportional to `(rank + 1)^-s` using
+/// inverse-CDF sampling over the normalised weights (rejection-free; `O(log n)` after an
+/// `O(n)` set-up amortised by the caller re-sampling many times would be nicer, but
+/// workload sizes here are small enough that the direct scan is not a bottleneck).
+fn zipf_rank<R: Rng + ?Sized>(n: usize, s: f64, rng: &mut R) -> usize {
+    let total: f64 = (1..=n).map(|r| (r as f64).powf(-s)).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for r in 0..n {
+        let w = ((r + 1) as f64).powf(-s);
+        if u < w {
+            return r;
+        }
+        u -= w;
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pairs_are_always_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for workload in [
+            Workload::UniformPairs,
+            Workload::FixedSource { source_index: 3 },
+            Workload::FixedTarget { target_index: 5 },
+            Workload::ZipfTargets { exponent: 1.2 },
+        ] {
+            for (s, t) in workload.sample_many(16, 500, &mut rng) {
+                assert!(s < 16 && t < 16);
+                assert_ne!(s, t, "{workload:?} produced a self-pair");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_source_always_uses_the_vantage_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let workload = Workload::FixedSource { source_index: 7 };
+        for (s, _) in workload.sample_many(32, 200, &mut rng) {
+            assert_eq!(s, 7);
+        }
+    }
+
+    #[test]
+    fn zipf_targets_concentrate_on_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let workload = Workload::ZipfTargets { exponent: 1.5 };
+        let pairs = workload.sample_many(100, 20_000, &mut rng);
+        let hot = pairs.iter().filter(|&&(_, t)| t < 5).count() as f64 / pairs.len() as f64;
+        // With s = 1.5 the top-5 ranks carry well over a third of the mass.
+        assert!(hot > 0.35, "top-5 fraction {hot}");
+        // Exponent 0 degenerates to uniform.
+        let uniform = Workload::ZipfTargets { exponent: 0.0 };
+        let pairs = uniform.sample_many(100, 20_000, &mut rng);
+        let hot = pairs.iter().filter(|&&(_, t)| t < 5).count() as f64 / pairs.len() as f64;
+        assert!((hot - 0.05).abs() < 0.02, "uniform top-5 fraction {hot}");
+    }
+
+    #[test]
+    fn labels_identify_the_workload() {
+        assert_eq!(Workload::default().label(), "uniform-pairs");
+        assert!(Workload::ZipfTargets { exponent: 0.8 }.label().contains("0.8"));
+        assert!(Workload::FixedTarget { target_index: 2 }.label().contains("2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two alive nodes")]
+    fn degenerate_population_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = Workload::UniformPairs.sample_pair(1, &mut rng);
+    }
+}

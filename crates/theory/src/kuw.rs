@@ -1,0 +1,136 @@
+//! The Karp–Upfal–Wigderson probabilistic recurrence bound (Lemma 1).
+//!
+//! Lemma 1 states that a non-increasing Markov chain with drift `µ_z ≥ E[X_t − X_{t+1} |
+//! X_t = z]` (non-decreasing in `z`) reaches 1 from `X_0` in expected time at most
+//! `∫_1^{X_0} dz / µ_z`. The paper uses it for every upper bound in Section 4.3; this
+//! module provides both a continuous numerical integrator and the discrete sum
+//! `Σ_{k=1}^{n} 1/µ_k` form the proofs actually evaluate.
+
+use faultline_linkdist::harmonic;
+
+/// Numerically evaluates the Lemma 1 integral `∫_lo^hi dz / µ(z)` with the trapezoid rule
+/// on a logarithmic grid (the drift functions of interest vary smoothly on a log scale).
+///
+/// # Panics
+///
+/// Panics if `lo <= 0`, `hi < lo`, or `steps == 0`.
+#[must_use]
+pub fn kuw_upper_bound<F: Fn(f64) -> f64>(lo: f64, hi: f64, steps: usize, mu: F) -> f64 {
+    assert!(lo > 0.0, "the lower integration limit must be positive");
+    assert!(hi >= lo, "the upper limit must not be below the lower limit");
+    assert!(steps > 0, "at least one integration step is required");
+    if hi == lo {
+        return 0.0;
+    }
+    let log_lo = lo.ln();
+    let log_hi = hi.ln();
+    let dz = (log_hi - log_lo) / steps as f64;
+    let integrand = |log_z: f64| {
+        let z = log_z.exp();
+        // d(z) = e^{log z} d(log z); the integrand in log-space is z / µ(z).
+        let drift = mu(z);
+        assert!(drift > 0.0, "the drift µ(z) must be positive (z = {z})");
+        z / drift
+    };
+    let mut total = 0.5 * (integrand(log_lo) + integrand(log_hi));
+    for i in 1..steps {
+        total += integrand(log_lo + dz * i as f64);
+    }
+    total * dz
+}
+
+/// The discrete form `Σ_{k=1}^{n} 1/µ_k` used directly in the proofs of Theorems 12, 16
+/// and 17 (`T(n) ≤ Σ_k 1/µ_k`).
+///
+/// # Panics
+///
+/// Panics if any `µ_k` is non-positive.
+#[must_use]
+pub fn kuw_upper_bound_discrete<F: Fn(u64) -> f64>(n: u64, mu: F) -> f64 {
+    (1..=n)
+        .map(|k| {
+            let drift = mu(k);
+            assert!(drift > 0.0, "the drift µ_k must be positive (k = {k})");
+            1.0 / drift
+        })
+        .sum()
+}
+
+/// The drift the paper derives for the single-link model (Theorem 12): a message at
+/// distance `k` from the target advances by at least `k / (2·H_n)` positions in
+/// expectation.
+#[must_use]
+pub fn drift_single_link(k: u64, n: u64) -> f64 {
+    k as f64 / (2.0 * harmonic(n))
+}
+
+/// The drift of Theorem 16's power-ladder model under link failures: at distance `k` the
+/// expected progress is at least `p·(k − 1) / (2(b − q))` (with `q = 1 − p`), except at
+/// distance 1 where the always-alive ring link advances by exactly 1.
+#[must_use]
+pub fn drift_ladder_link_failure(k: u64, base: u64, p: f64) -> f64 {
+    if k <= 1 {
+        return 1.0;
+    }
+    let q = 1.0 - p;
+    p * (k as f64 - 1.0) / (2.0 * (base as f64 - q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_bound_reproduces_theorem_12() {
+        // Σ_k 2H_n/k = 2H_n²; the bound evaluated with the paper's drift must match.
+        let n = 4096u64;
+        let bound = kuw_upper_bound_discrete(n, |k| drift_single_link(k, n));
+        let expected = 2.0 * harmonic(n) * harmonic(n);
+        assert!((bound - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn continuous_and_discrete_agree_for_smooth_drift() {
+        // µ(z) = z / c gives ∫_1^n c/z dz = c·ln n vs Σ c/k = c·H_n; the two differ by
+        // less than c·(1 + ln n − ln n) ≈ c.
+        let n = 10_000u64;
+        let c = 7.0;
+        let integral = kuw_upper_bound(1.0, n as f64, 20_000, |z| z / c);
+        let sum = kuw_upper_bound_discrete(n, |k| k as f64 / c);
+        assert!((integral - c * (n as f64).ln()).abs() < 0.01 * c);
+        assert!(sum > integral && sum < integral + c + 0.01);
+    }
+
+    #[test]
+    fn ladder_drift_bound_matches_theorem_16_scaling() {
+        // Theorem 16's bound is O((b - q)·H_n / p): halving p with b = 2 multiplies the
+        // (b - q)/p factor by (1.5/0.5)/(2/1) = 1.5.
+        let n = 1 << 12;
+        let t_full = kuw_upper_bound_discrete(n, |k| drift_ladder_link_failure(k, 2, 1.0));
+        let t_half = kuw_upper_bound_discrete(n, |k| drift_ladder_link_failure(k, 2, 0.5));
+        let ratio = t_half / t_full;
+        assert!((ratio - 1.5).abs() < 0.1, "ratio {ratio}, expected ≈ 1.5");
+        // And the bound itself matches the closed form 1 + 2(b - q)H_{n-1}/p.
+        let closed = 1.0 + 2.0 * (2.0 - 0.5) * harmonic(n - 1) / 0.5;
+        assert!((t_half - closed).abs() / closed < 1e-9);
+    }
+
+    #[test]
+    fn constant_drift_gives_linear_time() {
+        let bound = kuw_upper_bound_discrete(100, |_| 1.0);
+        assert!((bound - 100.0).abs() < 1e-12);
+        let integral = kuw_upper_bound(1.0, 100.0, 10_000, |_| 1.0);
+        assert!((integral - 99.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        assert_eq!(kuw_upper_bound(5.0, 5.0, 10, |z| z), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_drift_is_rejected() {
+        let _ = kuw_upper_bound_discrete(10, |_| 0.0);
+    }
+}

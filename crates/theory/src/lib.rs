@@ -1,0 +1,26 @@
+//! Analytic machinery from Section 4 of the paper, as executable Rust.
+//!
+//! Three pieces:
+//!
+//! * [`bounds`] — every upper and lower bound of Table 1 as a function of the model
+//!   parameters (`n`, `ℓ`, `p`, `b`), with both the clean asymptotic form and, where the
+//!   paper's proof exposes them, the explicit constants. The Table 1 benchmark compares
+//!   measured hop counts against these predictions.
+//! * [`kuw`] — the Karp–Upfal–Wigderson probabilistic-recurrence bound (Lemma 1): a
+//!   numerical evaluator for `∫ 1/µ_z dz` given any non-decreasing drift function, plus the
+//!   specific drift functions the paper plugs in for Theorems 12, 16 and 17.
+//! * [`chain`] — a Monte-Carlo simulator of the idealised greedy Markov chain analysed in
+//!   Section 4.2 (fresh `Δ` link sets at every step, target at 0), used to sanity-check the
+//!   lower-bound machinery against measured behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod chain;
+pub mod kuw;
+
+pub use bounds::{BoundKind, ModelBounds, Table1Row};
+pub use chain::{ChainEstimate, GreedyChain, OffsetDistribution};
+pub use kuw::{kuw_upper_bound, kuw_upper_bound_discrete};

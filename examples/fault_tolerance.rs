@@ -1,0 +1,55 @@
+//! Fault tolerance under node crashes: the Section 6 experiment at laptop scale.
+//!
+//! Builds one overlay per failure level, crashes a fraction of the nodes, then routes
+//! messages between random surviving nodes with each of the paper's three recovery
+//! strategies (terminate, random re-route, backtracking).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use faultline::failure::NodeFailure;
+use faultline::routing::FaultStrategy;
+use faultline::{Network, NetworkConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1u64 << 13;
+    let messages = 500u64;
+    let strategies = [
+        ("terminate", FaultStrategy::Terminate),
+        ("random re-route", FaultStrategy::single_reroute()),
+        ("backtracking(5)", FaultStrategy::paper_backtrack()),
+    ];
+
+    println!("nodes = {n}, messages per point = {messages}");
+    println!(
+        "{:<10} {:<18} {:>16} {:>12}",
+        "failed", "strategy", "failed searches", "mean hops"
+    );
+
+    for tenth in 0..=8u32 {
+        let fraction = f64::from(tenth) / 10.0;
+        for (label, strategy) in strategies {
+            let mut rng = StdRng::seed_from_u64(42 + u64::from(tenth));
+            let config = NetworkConfig::paper_default(n).fault_strategy(strategy);
+            let mut network = Network::build(&config, &mut rng);
+            network.apply_failure(&NodeFailure::fraction(fraction), &mut rng);
+            let stats = network.route_random_batch(messages, &mut rng)?;
+            println!(
+                "{:<10.1} {:<18} {:>16.3} {:>12.2}",
+                fraction,
+                label,
+                stats.failure_fraction(),
+                stats.mean_hops_delivered().unwrap_or(f64::NAN)
+            );
+        }
+    }
+    println!();
+    println!("Compare with Figure 6 of the paper: failed searches grow with the failure");
+    println!("fraction, and backtracking fails noticeably less often than terminating at");
+    println!("the cost of slightly longer routes.");
+    Ok(())
+}

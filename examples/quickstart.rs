@@ -1,0 +1,62 @@
+//! Quickstart: build the paper's overlay, store resources, and look them up.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use faultline::metric::Key;
+use faultline::{Network, NetworkConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2002);
+
+    // A 4096-point line with lg(n) = 12 inverse power-law links per node — the
+    // configuration the paper analyses, at a size that builds instantly.
+    let config = NetworkConfig::paper_default(1 << 12);
+    let mut network = Network::build(&config, &mut rng);
+    println!(
+        "built overlay: {} nodes, {} long links/node, {} total long links",
+        network.len(),
+        config.links(),
+        network.graph().total_long_links()
+    );
+
+    // Store a handful of resources. Each key is hashed onto the line and stored on the
+    // node closest to its point.
+    let files = [
+        "alice/thesis.pdf",
+        "bob/holiday-photos.tar",
+        "carol/build-logs.txt",
+        "dave/soundtrack.flac",
+    ];
+    for name in files {
+        let key = Key::from_name(name);
+        let home = network.insert(key, name.as_bytes().to_vec())?;
+        println!("stored {name:<24} -> node {home}");
+    }
+
+    // Look every resource up from a few random origins and report the greedy route cost.
+    for name in files {
+        let key = Key::from_name(name);
+        let origin = 17u64;
+        let (value, route) = network.lookup_from(origin, &key, &mut rng)?;
+        println!(
+            "lookup {name:<24} from node {origin:>5}: delivered={} hops={} value={}",
+            route.is_delivered(),
+            route.hops,
+            value.map(|v| String::from_utf8_lossy(&v).into_owned()).unwrap_or_default()
+        );
+    }
+
+    // Route a batch of random messages to see the O(log^2 n / l) behaviour.
+    let stats = network.route_random_batch(1000, &mut rng)?;
+    println!(
+        "1000 random searches: failure fraction {:.3}, mean hops {:.2}",
+        stats.failure_fraction(),
+        stats.mean_hops_delivered().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Workspace-level property tests: invariants that must hold across the whole stack
+//! (configuration → construction → failure injection → routing → measurement).
+
+use faultline::failure::{FailurePlan, NodeFailure};
+use faultline::metric::Key;
+use faultline::routing::FaultStrategy;
+use faultline::{ConstructionMode, Network, NetworkConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Building the same configuration from the same seed twice gives identical overlays
+    /// and identical routing results — full determinism end to end.
+    #[test]
+    fn networks_are_reproducible_from_seeds(
+        exp in 6u32..11,
+        ell in 1usize..8,
+        seed in any::<u64>(),
+        incremental in any::<bool>(),
+    ) {
+        let n = 1u64 << exp;
+        let mut config = NetworkConfig::paper_default(n).links_per_node(ell);
+        if incremental {
+            config = config.construction(ConstructionMode::incremental_default());
+        }
+        let build = |s: u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            Network::build(&config, &mut rng)
+        };
+        let a = build(seed);
+        let b = build(seed);
+        prop_assert_eq!(a.graph(), b.graph());
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 1);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 1);
+        let ra = a.route_random_batch(20, &mut rng_a).unwrap();
+        let rb = b.route_random_batch(20, &mut rng_b).unwrap();
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// On an undamaged overlay every lookup succeeds and returns the stored value, no
+    /// matter the key, origin or construction mode.
+    #[test]
+    fn undamaged_lookups_always_succeed(
+        exp in 6u32..11,
+        seed in any::<u64>(),
+        name in "[a-z]{1,16}/[a-z]{1,16}",
+        origin in any::<u64>(),
+    ) {
+        let n = 1u64 << exp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut network = Network::build(&NetworkConfig::paper_default(n), &mut rng);
+        let key = Key::from_name(&name);
+        network.insert(key, name.clone().into_bytes()).unwrap();
+        let origin = origin % n;
+        let (value, route) = network.lookup_from(origin, &key, &mut rng).unwrap();
+        prop_assert!(route.is_delivered());
+        prop_assert_eq!(value.unwrap(), name.into_bytes());
+    }
+
+    /// Failure injection only ever reduces the set of alive nodes, and routing between
+    /// alive nodes never reports a dead-endpoint failure.
+    #[test]
+    fn failure_injection_is_consistent(
+        exp in 6u32..11,
+        seed in any::<u64>(),
+        fraction in 0.0f64..0.9,
+    ) {
+        let n = 1u64 << exp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut network = Network::build(&NetworkConfig::paper_default(n), &mut rng);
+        let before = network.alive_count();
+        let report = network.apply_failure(&NodeFailure::fraction(fraction), &mut rng);
+        let after = network.alive_count();
+        prop_assert_eq!(after + report.failed_node_count(), before);
+        for &victim in &report.failed_nodes {
+            prop_assert!(!network.graph().is_alive(victim));
+        }
+        if after >= 2 {
+            let stats = network.route_random_batch(10, &mut rng).unwrap();
+            prop_assert_eq!(stats.messages, 10);
+            prop_assert_eq!(stats.delivered + stats.failed, 10);
+        }
+    }
+
+    /// Backtracking never delivers fewer messages than terminating on the exact same
+    /// damaged overlay with the exact same message sequence.
+    #[test]
+    fn backtracking_dominates_terminate_at_workspace_level(
+        exp in 7u32..11,
+        seed in any::<u64>(),
+        fraction in 0.0f64..0.7,
+    ) {
+        let n = 1u64 << exp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut terminate = Network::build(
+            &NetworkConfig::paper_default(n).fault_strategy(FaultStrategy::Terminate),
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut backtrack = Network::build(
+            &NetworkConfig::paper_default(n).fault_strategy(FaultStrategy::paper_backtrack()),
+            &mut rng,
+        );
+        // Identical damage.
+        let plan = NodeFailure::fraction(fraction);
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xf00d);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xf00d);
+        let report_a = terminate.apply_failure(&plan as &dyn FailurePlan, &mut rng_a);
+        let report_b = backtrack.apply_failure(&plan as &dyn FailurePlan, &mut rng_b);
+        prop_assert_eq!(report_a, report_b);
+
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let stats_t = terminate.route_random_batch(40, &mut rng_a).unwrap();
+        let stats_b = backtrack.route_random_batch(40, &mut rng_b).unwrap();
+        prop_assert!(stats_b.delivered >= stats_t.delivered,
+            "backtracking delivered {} < terminate {}", stats_b.delivered, stats_t.delivered);
+    }
+}
