@@ -73,8 +73,13 @@ impl ChordNetwork {
 
     /// Crashes a uniformly random `fraction` of the alive nodes, returning how many fell.
     pub fn fail_fraction<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) -> u64 {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-        let mut alive_ids: Vec<u64> = (0..self.len()).filter(|&i| self.alive[i as usize]).collect();
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut alive_ids: Vec<u64> = (0..self.len())
+            .filter(|&i| self.alive[i as usize])
+            .collect();
         alive_ids.shuffle(rng);
         let k = ((alive_ids.len() as f64) * fraction).round() as usize;
         for &v in alive_ids.iter().take(k) {
@@ -86,7 +91,9 @@ impl ChordNetwork {
     /// All currently alive node ids.
     #[must_use]
     pub fn alive_nodes(&self) -> Vec<u64> {
-        (0..self.len()).filter(|&i| self.alive[i as usize]).collect()
+        (0..self.len())
+            .filter(|&i| self.alive[i as usize])
+            .collect()
     }
 
     /// Routes a message from `source` to `target` using greedy clockwise finger routing.
@@ -158,7 +165,11 @@ mod tests {
             let t = rng.gen_range(0..n);
             let r = chord.route(s, t);
             assert!(r.is_delivered());
-            assert!(r.hops <= 12, "Chord must route in <= log2 n hops, took {}", r.hops);
+            assert!(
+                r.hops <= 12,
+                "Chord must route in <= log2 n hops, took {}",
+                r.hops
+            );
         }
     }
 
@@ -189,7 +200,10 @@ mod tests {
         }
         let rate = f64::from(delivered) / f64::from(total);
         assert!(rate > 0.2, "delivery rate {rate} collapsed entirely");
-        assert!(rate < 1.0, "with 30% failures some one-sided searches must fail");
+        assert!(
+            rate < 1.0,
+            "with 30% failures some one-sided searches must fail"
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl KleinbergGrid {
             let mut own = Vec::with_capacity(ell);
             for _ in 0..ell {
                 let u: f64 = rng.gen_range(0.0..acc);
-                let idx = cumulative.partition_point(|&c| c <= u).min(offsets.len() - 1);
+                let idx = cumulative
+                    .partition_point(|&c| c <= u)
+                    .min(offsets.len() - 1);
                 let (dx, dy) = offsets[idx];
                 let q = Point2::new((p.x + dx) % side, (p.y + dy) % side);
                 own.push(torus.index_of_point(q));
@@ -108,8 +110,13 @@ impl KleinbergGrid {
 
     /// Crashes a uniformly random `fraction` of the alive nodes.
     pub fn fail_fraction<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) -> u64 {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-        let mut alive_ids: Vec<u64> = (0..self.len()).filter(|&i| self.alive[i as usize]).collect();
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut alive_ids: Vec<u64> = (0..self.len())
+            .filter(|&i| self.alive[i as usize])
+            .collect();
         alive_ids.shuffle(rng);
         let k = ((alive_ids.len() as f64) * fraction).round() as usize;
         for &v in alive_ids.iter().take(k) {
@@ -121,7 +128,9 @@ impl KleinbergGrid {
     /// All currently alive node ids.
     #[must_use]
     pub fn alive_nodes(&self) -> Vec<u64> {
-        (0..self.len()).filter(|&i| self.alive[i as usize]).collect()
+        (0..self.len())
+            .filter(|&i| self.alive[i as usize])
+            .collect()
     }
 
     /// Greedy routing on lattice distance, terminating at the first dead end.
@@ -156,7 +165,13 @@ impl KleinbergGrid {
             let best = lattice
                 .chain(self.contacts[current as usize].iter().copied())
                 .filter(|&c| self.is_alive(c))
-                .map(|c| (self.torus.distance(self.torus.point_of_index(c), target_point), c))
+                .map(|c| {
+                    (
+                        self.torus
+                            .distance(self.torus.point_of_index(c), target_point),
+                        c,
+                    )
+                })
                 .filter(|&(d, _)| d < current_distance)
                 .min();
             match best {
@@ -243,7 +258,10 @@ mod tests {
                 failed += 1;
             }
         }
-        assert!(failed > 0, "40% node failures should break some greedy searches");
+        assert!(
+            failed > 0,
+            "40% node failures should break some greedy searches"
+        );
     }
 
     #[test]

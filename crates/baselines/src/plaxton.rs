@@ -29,7 +29,10 @@ impl PlaxtonNetwork {
         assert!(base >= 2, "digit routing needs base >= 2");
         assert!(digits > 0, "at least one digit is required");
         let size = (base as u128).pow(digits);
-        assert!(size <= 1 << 32, "identifier space too large for the baseline");
+        assert!(
+            size <= 1 << 32,
+            "identifier space too large for the baseline"
+        );
         Self {
             base,
             digits,
@@ -69,8 +72,13 @@ impl PlaxtonNetwork {
 
     /// Crashes a uniformly random `fraction` of the alive nodes.
     pub fn fail_fraction<R: Rng + ?Sized>(&mut self, fraction: f64, rng: &mut R) -> u64 {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
-        let mut alive_ids: Vec<u64> = (0..self.len()).filter(|&i| self.alive[i as usize]).collect();
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        let mut alive_ids: Vec<u64> = (0..self.len())
+            .filter(|&i| self.alive[i as usize])
+            .collect();
         alive_ids.shuffle(rng);
         let k = ((alive_ids.len() as f64) * fraction).round() as usize;
         for &v in alive_ids.iter().take(k) {
@@ -82,7 +90,9 @@ impl PlaxtonNetwork {
     /// All currently alive node ids.
     #[must_use]
     pub fn alive_nodes(&self) -> Vec<u64> {
-        (0..self.len()).filter(|&i| self.alive[i as usize]).collect()
+        (0..self.len())
+            .filter(|&i| self.alive[i as usize])
+            .collect()
     }
 
     /// Extracts digit `k` (0 = least significant) of identifier `id`.
@@ -197,7 +207,10 @@ mod tests {
             }
         }
         let rate = failed as f64 / total as f64;
-        assert!(rate > 0.3, "expected heavy breakage, saw failure rate {rate}");
+        assert!(
+            rate > 0.3,
+            "expected heavy breakage, saw failure rate {rate}"
+        );
     }
 
     #[test]

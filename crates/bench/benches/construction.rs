@@ -42,7 +42,10 @@ fn bench_replacement_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction/replacement");
     group.sample_size(10);
     let n = 1u64 << 10;
-    for strategy in [ReplacementStrategy::InverseDistance, ReplacementStrategy::Oldest] {
+    for strategy in [
+        ReplacementStrategy::InverseDistance,
+        ReplacementStrategy::Oldest,
+    ] {
         group.bench_function(strategy.label(), |b| {
             let builder =
                 IncrementalBuilder::new(Geometry::line(n), 10).replacement_strategy(strategy);
@@ -66,8 +69,12 @@ fn bench_single_join(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(5);
         let position = n - 7;
         b.iter(|| {
-            maintainer.join(position, &mut rng).expect("position is free");
-            maintainer.leave(position, &mut rng).expect("position is occupied");
+            maintainer
+                .join(position, &mut rng)
+                .expect("position is free");
+            maintainer
+                .leave(position, &mut rng)
+                .expect("position is occupied");
         });
     });
     group.finish();

@@ -17,7 +17,9 @@ fn bench_failure_injection(c: &mut Criterion) {
     let geometry = Geometry::line(n);
     let spec = InversePowerLaw::exponent_one(&geometry);
     let mut rng = StdRng::seed_from_u64(1);
-    let graph = GraphBuilder::new(geometry).links_per_node(14).build(&spec, &mut rng);
+    let graph = GraphBuilder::new(geometry)
+        .links_per_node(14)
+        .build(&spec, &mut rng);
     group.bench_function("node-fraction-0.5", |b| {
         let plan = NodeFailure::fraction(0.5);
         let mut rng = StdRng::seed_from_u64(2);
@@ -46,17 +48,21 @@ fn bench_simulation_per_strategy(c: &mut Criterion) {
         ("reroute", FaultStrategy::single_reroute()),
         ("backtrack", FaultStrategy::paper_backtrack()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
-            let config = NetworkConfig::paper_default(n).fault_strategy(strategy);
-            let mut rng = StdRng::seed_from_u64(4);
-            b.iter(|| {
-                let mut network = Network::build(&config, &mut rng);
-                network.apply_failure(&NodeFailure::fraction(0.4), &mut rng);
-                network
-                    .route_random_batch(100, &mut rng)
-                    .expect("alive nodes remain")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &strategy,
+            |b, &strategy| {
+                let config = NetworkConfig::paper_default(n).fault_strategy(strategy);
+                let mut rng = StdRng::seed_from_u64(4);
+                b.iter(|| {
+                    let mut network = Network::build(&config, &mut rng);
+                    network.apply_failure(&NodeFailure::fraction(0.4), &mut rng);
+                    network
+                        .route_random_batch(100, &mut rng)
+                        .expect("alive nodes remain")
+                });
+            },
+        );
     }
     group.finish();
 }

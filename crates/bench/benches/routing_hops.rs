@@ -15,7 +15,9 @@ fn build(n: u64, ell: usize, seed: u64) -> OverlayGraph {
     let geometry = Geometry::line(n);
     let spec = InversePowerLaw::exponent_one(&geometry);
     let mut rng = StdRng::seed_from_u64(seed);
-    GraphBuilder::new(geometry).links_per_node(ell).build(&spec, &mut rng)
+    GraphBuilder::new(geometry)
+        .links_per_node(ell)
+        .build(&spec, &mut rng)
 }
 
 fn bench_route_by_size(c: &mut Criterion) {

@@ -86,41 +86,44 @@ pub fn replacement_ablation(
     messages: u64,
     seed: u64,
 ) -> Vec<ReplacementRow> {
-    [ReplacementStrategy::InverseDistance, ReplacementStrategy::Oldest]
-        .into_iter()
-        .map(|strategy| {
-            let runner = ExperimentRunner::new(seed ^ strategy.label().len() as u64, networks);
-            let per_trial = runner.run_values(move |_, rng| {
-                let graph = IncrementalBuilder::new(Geometry::line(n), ell)
-                    .replacement_strategy(strategy)
-                    .build_full(rng);
-                let dist = LinkLengthDistribution::measure(&graph);
-                let router = Router::new();
-                let mut stats = BatchStats::new();
-                for _ in 0..messages {
-                    let s = rng.gen_range(0..n);
-                    let t = rng.gen_range(0..n);
-                    let r = router.route(&graph, s, t, rng);
-                    stats.record(r.is_delivered(), r.hops, r.recoveries);
-                }
-                let mean_long = (0..n).map(|p| graph.long_degree(p) as f64).sum::<f64>() / n as f64;
-                (dist, stats, mean_long)
-            });
-            let merged = LinkLengthDistribution::merge(per_trial.iter().map(|(d, _, _)| d));
+    [
+        ReplacementStrategy::InverseDistance,
+        ReplacementStrategy::Oldest,
+    ]
+    .into_iter()
+    .map(|strategy| {
+        let runner = ExperimentRunner::new(seed ^ strategy.label().len() as u64, networks);
+        let per_trial = runner.run_values(move |_, rng| {
+            let graph = IncrementalBuilder::new(Geometry::line(n), ell)
+                .replacement_strategy(strategy)
+                .build_full(rng);
+            let dist = LinkLengthDistribution::measure(&graph);
+            let router = Router::new();
             let mut stats = BatchStats::new();
-            let mut degree = 0.0;
-            for (_, s, d) in &per_trial {
-                stats.absorb(*s);
-                degree += d;
+            for _ in 0..messages {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                let r = router.route(&graph, s, t, rng);
+                stats.record(r.is_delivered(), r.hops, r.recoveries);
             }
-            ReplacementRow {
-                strategy,
-                max_distribution_error: merged.max_absolute_error(1.0),
-                mean_hops: stats.mean_hops_delivered().unwrap_or(f64::NAN),
-                mean_long_degree: degree / per_trial.len() as f64,
-            }
-        })
-        .collect()
+            let mean_long = (0..n).map(|p| graph.long_degree(p) as f64).sum::<f64>() / n as f64;
+            (dist, stats, mean_long)
+        });
+        let merged = LinkLengthDistribution::merge(per_trial.iter().map(|(d, _, _)| d));
+        let mut stats = BatchStats::new();
+        let mut degree = 0.0;
+        for (_, s, d) in &per_trial {
+            stats.absorb(*s);
+            degree += d;
+        }
+        ReplacementRow {
+            strategy,
+            max_distribution_error: merged.max_absolute_error(1.0),
+            mean_hops: stats.mean_hops_delivered().unwrap_or(f64::NAN),
+            mean_long_degree: degree / per_trial.len() as f64,
+        }
+    })
+    .collect()
 }
 
 /// One row of the region-failure probe.
@@ -157,7 +160,8 @@ pub fn region_failure_probe(
                 let per_trial = runner.run_values(move |_, rng| {
                     let mut network = Network::build(&config, rng);
                     if width > 0 {
-                        network.apply_failure(&RegionFailure::random(width) as &dyn FailurePlan, rng);
+                        network
+                            .apply_failure(&RegionFailure::random(width) as &dyn FailurePlan, rng);
                     }
                     network
                         .route_random_batch(messages, rng)

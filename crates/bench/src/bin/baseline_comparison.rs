@@ -13,7 +13,6 @@ fn main() {
     let trials = args.trials_or(3, 10);
     let messages = args.messages_or(300, 1000);
     let fractions = [0.0, 0.2, 0.4, 0.6];
-    let rows =
-        baseline_cmp::comparison_sweep(log2_nodes, &fractions, trials, messages, args.seed);
+    let rows = baseline_cmp::comparison_sweep(log2_nodes, &fractions, trials, messages, args.seed);
     baseline_cmp::print(log2_nodes, &rows);
 }

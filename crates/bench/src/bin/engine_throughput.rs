@@ -1,0 +1,29 @@
+//! Engine throughput benchmark binary.
+//!
+//! Runs batched parallel lookups (uncached, cold cache, warm cache) plus the
+//! churn-interleaved phase, prints a summary, and writes `BENCH_engine.json` (or the
+//! path in `ENGINE_BENCH_JSON`) for the cross-PR performance trajectory.
+
+use faultline_bench::{engine_run, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let mut config = engine_run::EngineBenchConfig::default_scale();
+    config.nodes = args.nodes_or(config.nodes, 1 << 17);
+    config.links = args.links_or(config.links, 17);
+    config.queries = args.messages_or(config.queries as u64, 1 << 20) as usize;
+    config.epochs = args.trials_or(config.epochs as u64, 10) as usize;
+    config.seed = args.seed;
+
+    let report = engine_run::run(&config);
+    engine_run::print(&report);
+
+    let path = std::env::var("ENGINE_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(error) => {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+}

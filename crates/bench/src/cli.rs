@@ -70,7 +70,8 @@ impl BenchArgs {
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut grab = |name: &str| -> Result<String, String> {
-                iter.next().ok_or_else(|| format!("missing value for {name}"))
+                iter.next()
+                    .ok_or_else(|| format!("missing value for {name}"))
             };
             match flag.as_str() {
                 "--nodes" => out.nodes = Some(parse_number(&grab("--nodes")?)?),
@@ -88,25 +89,29 @@ impl BenchArgs {
     /// Resolves the node count: explicit flag, else paper scale, else the given default.
     #[must_use]
     pub fn nodes_or(&self, default: u64, paper: u64) -> u64 {
-        self.nodes.unwrap_or(if self.paper_scale { paper } else { default })
+        self.nodes
+            .unwrap_or(if self.paper_scale { paper } else { default })
     }
 
     /// Resolves the link count the same way.
     #[must_use]
     pub fn links_or(&self, default: usize, paper: usize) -> usize {
-        self.links.unwrap_or(if self.paper_scale { paper } else { default })
+        self.links
+            .unwrap_or(if self.paper_scale { paper } else { default })
     }
 
     /// Resolves the trial count the same way.
     #[must_use]
     pub fn trials_or(&self, default: u64, paper: u64) -> u64 {
-        self.trials.unwrap_or(if self.paper_scale { paper } else { default })
+        self.trials
+            .unwrap_or(if self.paper_scale { paper } else { default })
     }
 
     /// Resolves the per-trial message count the same way.
     #[must_use]
     pub fn messages_or(&self, default: u64, paper: u64) -> u64 {
-        self.messages.unwrap_or(if self.paper_scale { paper } else { default })
+        self.messages
+            .unwrap_or(if self.paper_scale { paper } else { default })
     }
 }
 
@@ -137,7 +142,18 @@ mod tests {
 
     #[test]
     fn explicit_flags_win() {
-        let args = parse(&["--nodes", "2^12", "--links", "7", "--trials", "3", "--messages", "50", "--seed", "9"]);
+        let args = parse(&[
+            "--nodes",
+            "2^12",
+            "--links",
+            "7",
+            "--trials",
+            "3",
+            "--messages",
+            "50",
+            "--seed",
+            "9",
+        ]);
         assert_eq!(args.nodes, Some(4096));
         assert_eq!(args.links, Some(7));
         assert_eq!(args.trials, Some(3));

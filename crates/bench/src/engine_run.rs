@@ -1,0 +1,243 @@
+//! Engine throughput benchmark: batched parallel lookups, with and without route
+//! caching, with and without live churn.
+//!
+//! This is the workload the paper's evaluation implies but never times: tens of
+//! thousands of concurrent greedy lookups over one overlay, interleaved with node
+//! arrivals and departures handled by the Section 5 heuristic. The result feeds
+//! `BENCH_engine.json` so future PRs have a throughput/latency trajectory to compare
+//! against.
+
+use faultline_core::{ConstructionMode, Network, NetworkConfig};
+use faultline_engine::{
+    BatchReport, ChurnMix, EngineConfig, InterleavedReport, QueryBatch, QueryEngine,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the engine throughput experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineBenchConfig {
+    /// Grid points in the overlay.
+    pub nodes: u64,
+    /// Long-distance links per node.
+    pub links: usize,
+    /// Queries per batch (the paper-scale run uses several hundred thousand).
+    pub queries: usize,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Routing epochs in the churn-interleaved phase.
+    pub epochs: usize,
+    /// Fraction of the space churned per epoch (0.10 reproduces the headline number).
+    pub churn_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EngineBenchConfig {
+    /// The default benchmark scale: finishes in seconds in release builds while still
+    /// exercising ≥100k lookups across ≥4 worker threads.
+    #[must_use]
+    pub fn default_scale() -> Self {
+        Self {
+            nodes: 1 << 14,
+            links: 14,
+            queries: 200_000,
+            // At least 4 workers even on small CI machines: the determinism contract
+            // makes oversubscription harmless, and the batch must demonstrably run
+            // sharded across a real pool.
+            threads: 4,
+            epochs: 5,
+            churn_fraction: 0.10,
+            seed: 2002,
+        }
+    }
+}
+
+/// Everything the experiment measured.
+#[derive(Debug, Clone)]
+pub struct EngineBenchReport {
+    /// The configuration that produced it.
+    pub config: EngineBenchConfig,
+    /// One batch with route caching disabled (every query exact).
+    pub uncached: BatchReport,
+    /// The same batch against a cold cache (misses populate it).
+    pub cached_cold: BatchReport,
+    /// A fresh batch against the now-warm cache (steady-state hit rate).
+    pub cached_warm: BatchReport,
+    /// Routing epochs interleaved with churn of `churn_fraction` per epoch.
+    pub interleaved: InterleavedReport,
+}
+
+impl EngineBenchReport {
+    /// Headline: steady-state queries/sec (warm cache, no churn).
+    #[must_use]
+    pub fn queries_per_sec(&self) -> f64 {
+        self.cached_warm.queries_per_sec()
+    }
+
+    /// Headline: p99 hop count over exact (uncached) delivered lookups.
+    #[must_use]
+    pub fn p99_hops(&self) -> f64 {
+        self.uncached.hop_summary().map_or(0.0, |s| s.p99)
+    }
+
+    /// Headline: delivered fraction while the configured churn is live.
+    #[must_use]
+    pub fn success_rate_under_churn(&self) -> f64 {
+        self.interleaved.overall_success_rate()
+    }
+
+    /// Renders the full report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"config\":{{\"nodes\":{},\"links\":{},\"queries\":{},\"threads\":{},",
+                "\"epochs\":{},\"churn_fraction\":{:.3},\"seed\":{}}},",
+                "\"headline\":{{\"queries_per_sec\":{:.1},\"p99_hops\":{:.1},",
+                "\"success_rate_under_churn\":{:.6}}},",
+                "\"uncached\":{},\"cached_cold\":{},\"cached_warm\":{},",
+                "\"interleaved\":{}}}"
+            ),
+            self.config.nodes,
+            self.config.links,
+            self.config.queries,
+            self.cached_warm.threads(),
+            self.config.epochs,
+            self.config.churn_fraction,
+            self.config.seed,
+            self.queries_per_sec(),
+            self.p99_hops(),
+            self.success_rate_under_churn(),
+            self.uncached.to_json(),
+            self.cached_cold.to_json(),
+            self.cached_warm.to_json(),
+            self.interleaved.to_json(),
+        )
+    }
+}
+
+/// Runs the full experiment: uncached batch, cold/warm cached batches, then churn
+/// interleaving on an incrementally built overlay (so joins/leaves exercise the
+/// Section 5 maintainer).
+#[must_use]
+pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let network_config = NetworkConfig::paper_default(config.nodes)
+        .links_per_node(config.links)
+        .construction(ConstructionMode::incremental_default());
+    let mut network = Network::build(&network_config, &mut rng);
+
+    let batch = QueryBatch::uniform(&network, config.queries, config.seed ^ 0xBA7C);
+    let mut uncached_engine = QueryEngine::new(
+        EngineConfig::default()
+            .threads(config.threads)
+            .cache_capacity(0),
+    );
+    let uncached = uncached_engine.run_batch(&network, &batch);
+
+    let mut cached_engine = QueryEngine::new(EngineConfig::default().threads(config.threads));
+    let cached_cold = cached_engine.run_batch(&network, &batch);
+    let warm_batch = QueryBatch::uniform(&network, config.queries, config.seed ^ 0x3A9D);
+    let cached_warm = cached_engine.run_batch(&network, &warm_batch);
+
+    let churn = ChurnMix::fraction_of(config.nodes, config.churn_fraction);
+    let per_epoch = config.queries / config.epochs.max(1);
+    let interleaved = cached_engine.run_interleaved(
+        &mut network,
+        config.epochs,
+        per_epoch,
+        churn,
+        config.seed ^ 0xC09A,
+    );
+
+    EngineBenchReport {
+        config: *config,
+        uncached,
+        cached_cold,
+        cached_warm,
+        interleaved,
+    }
+}
+
+/// Prints the human-readable summary.
+pub fn print(report: &EngineBenchReport) {
+    let config = &report.config;
+    println!(
+        "# engine throughput: n = {}, l = {}, {} queries/batch, {} threads",
+        config.nodes,
+        config.links,
+        config.queries,
+        report.cached_warm.threads()
+    );
+    let line = |label: &str, batch: &BatchReport| {
+        let hops = batch.hop_summary();
+        println!(
+            "{:<22} {:>12.0} q/s   success {:>7.4}   hops p50/p95/p99 {:>5.1}/{:>5.1}/{:>5.1}   cache hits {:>7}",
+            label,
+            batch.queries_per_sec(),
+            batch.success_rate(),
+            hops.as_ref().map_or(0.0, |s| s.median),
+            hops.as_ref().map_or(0.0, |s| s.p95),
+            hops.as_ref().map_or(0.0, |s| s.p99),
+            batch.cache_hits(),
+        );
+    };
+    line("uncached", &report.uncached);
+    line("cached (cold)", &report.cached_cold);
+    line("cached (warm)", &report.cached_warm);
+    println!(
+        "interleaved ({} epochs, {:.0}% churn/epoch): {:.0} q/s, success {:.4}",
+        config.epochs,
+        config.churn_fraction * 100.0,
+        report.interleaved.routing_queries_per_sec(),
+        report.interleaved.overall_success_rate(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EngineBenchConfig {
+        EngineBenchConfig {
+            nodes: 1 << 9,
+            links: 9,
+            queries: 4_000,
+            threads: 2,
+            epochs: 2,
+            churn_fraction: 0.05,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn experiment_produces_consistent_shape() {
+        let report = run(&tiny());
+        assert_eq!(report.uncached.queries(), 4_000);
+        assert_eq!(report.cached_warm.queries(), 4_000);
+        assert_eq!(report.interleaved.total_queries(), 4_000);
+        // Healthy overlay: the exact phase delivers everything.
+        assert_eq!(report.uncached.delivered(), 4_000);
+        // Warm cache must actually hit.
+        assert!(report.cached_warm.cache_hits() > report.cached_cold.cache_hits() / 2);
+        assert!(report.success_rate_under_churn() > 0.85);
+        assert!(report.p99_hops() > 0.0);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_headlines() {
+        let report = run(&tiny());
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for field in [
+            "\"headline\"",
+            "\"queries_per_sec\"",
+            "\"p99_hops\"",
+            "\"success_rate_under_churn\"",
+            "\"interleaved\"",
+        ] {
+            assert!(json.contains(field), "missing {field}");
+        }
+    }
+}

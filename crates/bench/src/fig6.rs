@@ -78,7 +78,10 @@ pub fn paper_strategies() -> Vec<(String, FaultStrategy)> {
     vec![
         ("terminate".to_owned(), FaultStrategy::Terminate),
         ("random-reroute".to_owned(), FaultStrategy::single_reroute()),
-        ("backtracking(5)".to_owned(), FaultStrategy::paper_backtrack()),
+        (
+            "backtracking(5)".to_owned(),
+            FaultStrategy::paper_backtrack(),
+        ),
     ]
 }
 
@@ -86,7 +89,7 @@ pub fn paper_strategies() -> Vec<(String, FaultStrategy)> {
 #[must_use]
 pub fn run_cell(config: &Fig6Config, fraction: f64, strategy: FaultStrategy) -> BatchStats {
     let runner = ExperimentRunner::new(
-        config.seed ^ (fraction * 1000.0) as u64 ^ ((config.nodes as u64) << 1),
+        config.seed ^ (fraction * 1000.0) as u64 ^ (config.nodes << 1),
         config.trials,
     );
     let network_config = NetworkConfig::paper_default(config.nodes)

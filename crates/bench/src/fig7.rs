@@ -67,11 +67,12 @@ impl Fig7Config {
     }
 }
 
-fn run_variant(config: &Fig7Config, probability: f64, construction: ConstructionMode) -> BatchStats {
-    let runner = ExperimentRunner::new(
-        config.seed ^ (probability * 977.0) as u64,
-        config.trials,
-    );
+fn run_variant(
+    config: &Fig7Config,
+    probability: f64,
+    construction: ConstructionMode,
+) -> BatchStats {
+    let runner = ExperimentRunner::new(config.seed ^ (probability * 977.0) as u64, config.trials);
     let network_config = NetworkConfig::paper_default(config.nodes)
         .links_per_node(config.links)
         .construction(construction)

@@ -12,6 +12,7 @@
 //! | Table 1 — upper/lower bounds vs measured scaling | [`table1`] | `table1_bounds` |
 //! | Ablations (exponent sweep, replacement strategy, region failures) | [`ablation`] | `ablation_exponent`, `ablation_replacement` |
 //! | Baseline comparison (Chord / Kleinberg / Plaxton) | [`baseline_cmp`] | `baseline_comparison` |
+//! | Engine throughput (parallel batched lookups, caching, live churn) | [`engine_run`] | `engine_throughput` (writes `BENCH_engine.json`) |
 //!
 //! The experiment functions are ordinary library code so the integration tests run them at
 //! tiny scale to validate the *shape* of every result (monotonicity, orderings,
@@ -24,6 +25,7 @@
 pub mod ablation;
 pub mod baseline_cmp;
 pub mod cli;
+pub mod engine_run;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -115,10 +115,7 @@ impl Table1Config {
 pub fn measure(model: Table1Model, n: u64, config: &Table1Config) -> Table1Measurement {
     let lg_n = (64 - (n - 1).leading_zeros()) as usize;
     let (network_config, links_for_bound): (NetworkConfig, f64) = match model {
-        Table1Model::SingleLink => (
-            NetworkConfig::paper_default(n).links_per_node(1),
-            1.0,
-        ),
+        Table1Model::SingleLink => (NetworkConfig::paper_default(n).links_per_node(1), 1.0),
         Table1Model::MultiLink | Table1Model::NodeFailure | Table1Model::LinkFailureRandomized => (
             NetworkConfig::paper_default(n).links_per_node(lg_n),
             lg_n as f64,

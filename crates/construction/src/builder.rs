@@ -98,7 +98,10 @@ mod tests {
         // Ring connectivity: every interior node can reach both immediate neighbours.
         for p in 1..511u64 {
             let nbrs: Vec<_> = g.usable_neighbors(p).collect();
-            assert!(nbrs.contains(&(p - 1)) && nbrs.contains(&(p + 1)), "node {p}");
+            assert!(
+                nbrs.contains(&(p - 1)) && nbrs.contains(&(p + 1)),
+                "node {p}"
+            );
         }
     }
 

@@ -35,7 +35,7 @@ impl std::fmt::Display for ConstructionError {
 impl std::error::Error for ConstructionError {}
 
 /// What happened during one node arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct JoinReport {
     /// Position of the new node.
     pub position: NodeId,
@@ -46,10 +46,14 @@ pub struct JoinReport {
     /// How many of those requests resulted in a link being redirected (or newly created)
     /// towards the new node.
     pub incoming_granted: u64,
+    /// Every node whose link table this join mutated: the newcomer itself, the ring
+    /// neighbours spliced around it, and each earlier node that redirected a link to it.
+    /// Route caches key invalidation off this set.
+    pub touched_nodes: Vec<NodeId>,
 }
 
 /// What happened during one node departure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LeaveReport {
     /// Position of the departed node.
     pub position: NodeId,
@@ -57,6 +61,10 @@ pub struct LeaveReport {
     pub repaired_links: usize,
     /// Number of dangling long-distance links that were dropped (no valid target).
     pub dropped_links: usize,
+    /// Every node whose link table this departure mutated: the departed position, the
+    /// ring neighbours re-closed around the hole, and each source whose dangling long
+    /// link was repaired or dropped. Route caches key invalidation off this set.
+    pub touched_nodes: Vec<NodeId>,
 }
 
 /// Maintains a constructed overlay under joins and departures using the Section 5
@@ -137,7 +145,10 @@ impl NetworkMaintainer {
             return Err(ConstructionError::AlreadyPresent(position));
         }
         self.graph.insert_node(position);
-        self.splice_ring_links(position);
+        let mut touched_nodes = vec![position];
+        let (ring_pred, ring_succ) = self.neighbors_around(position);
+        touched_nodes.extend([ring_pred, ring_succ].into_iter().flatten());
+        self.splice_ring_links(position, ring_pred, ring_succ);
 
         // (1) Outgoing links: sample ideal sinks, land on the nearest present node.
         let mut outgoing = 0usize;
@@ -171,14 +182,18 @@ impl NetworkMaintainer {
             }
             if self.invite_redirect(source, position, rng) {
                 granted += 1;
+                touched_nodes.push(source);
             }
         }
+        touched_nodes.sort_unstable();
+        touched_nodes.dedup();
 
         Ok(JoinReport {
             position,
             outgoing_links: outgoing,
             incoming_requests,
             incoming_granted: granted,
+            touched_nodes,
         })
     }
 
@@ -219,12 +234,15 @@ impl NetworkMaintainer {
         }
 
         // (3) Regenerate dangling long links using the same distribution.
+        let mut touched_nodes = vec![position];
+        touched_nodes.extend([pred, succ].into_iter().flatten());
         let mut repaired = 0usize;
         let mut dropped = 0usize;
         for src in dangling {
             if !self.graph.is_present(src) {
                 continue;
             }
+            touched_nodes.push(src);
             let fresh = self.sampler.targets(src, 1, rng)[0];
             let new_target = self.graph.nearest_present(fresh).filter(|&t| t != src);
             match new_target {
@@ -242,10 +260,14 @@ impl NetworkMaintainer {
             }
         }
 
+        touched_nodes.sort_unstable();
+        touched_nodes.dedup();
+
         Ok(LeaveReport {
             position,
             repaired_links: repaired,
             dropped_links: dropped,
+            touched_nodes,
         })
     }
 
@@ -262,7 +284,13 @@ impl NetworkMaintainer {
             .links(source)
             .iter()
             .filter(|l| l.alive && l.is_long())
-            .map(|l| (l.target, geometry.distance(source, l.target).max(1), l.birth))
+            .map(|l| {
+                (
+                    l.target,
+                    geometry.distance(source, l.target).max(1),
+                    l.birth,
+                )
+            })
             .collect();
         match self.strategy.decide(&existing, new_distance, rng) {
             ReplacementDecision::Keep => false,
@@ -278,9 +306,9 @@ impl NetworkMaintainer {
     }
 
     /// Inserts ring links around a freshly added node, replacing the link that previously
-    /// spanned the gap.
-    fn splice_ring_links(&mut self, position: NodeId) {
-        let (pred, succ) = self.neighbors_around(position);
+    /// spanned the gap. `pred`/`succ` are the node's present neighbours (as returned by
+    /// `neighbors_around`), passed in so the caller's population scan is not repeated.
+    fn splice_ring_links(&mut self, position: NodeId, pred: Option<NodeId>, succ: Option<NodeId>) {
         match (pred, succ) {
             (Some(a), Some(b)) => {
                 if a != b {
@@ -358,8 +386,14 @@ mod tests {
             m.join(10, &mut rng),
             Err(ConstructionError::AlreadyPresent(10))
         );
-        assert_eq!(m.leave(11, &mut rng), Err(ConstructionError::NotPresent(11)));
-        assert_eq!(m.join(1000, &mut rng), Err(ConstructionError::OutOfRange(1000)));
+        assert_eq!(
+            m.leave(11, &mut rng),
+            Err(ConstructionError::NotPresent(11))
+        );
+        assert_eq!(
+            m.join(1000, &mut rng),
+            Err(ConstructionError::OutOfRange(1000))
+        );
         assert!(!ConstructionError::AlreadyPresent(10).to_string().is_empty());
     }
 
@@ -424,11 +458,7 @@ mod tests {
 
     #[test]
     fn ring_geometry_wraps_ring_links() {
-        let mut m = NetworkMaintainer::new(
-            Geometry::ring(64),
-            2,
-            ReplacementStrategy::Oldest,
-        );
+        let mut m = NetworkMaintainer::new(Geometry::ring(64), 2, ReplacementStrategy::Oldest);
         let mut rng = StdRng::seed_from_u64(5);
         for p in [0u64, 20, 40, 60] {
             m.join(p, &mut rng).unwrap();

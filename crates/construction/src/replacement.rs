@@ -16,7 +16,9 @@ pub enum ReplacementDecision {
 }
 
 /// How a node chooses which existing long-distance link to sacrifice for a new arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Default, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ReplacementStrategy {
     /// The paper's main strategy (extending Sarshar et al.): redirect with probability
     /// `p_{k+1} / Σ_{j=1}^{k+1} p_j`, and pick the victim `i` with probability
@@ -25,6 +27,7 @@ pub enum ReplacementStrategy {
     /// The product of the two probabilities is exactly the amount of probability mass the
     /// invariant says must move from "link to `i`" to "link to the new node `v`" when the
     /// population grows by one (the displayed equation at the end of Section 5).
+    #[default]
     InverseDistance,
     /// The alternative the paper also measured: same redirect probability, but the victim
     /// is always the **oldest** existing long-distance link ("a node chooses its oldest
@@ -59,7 +62,9 @@ impl ReplacementStrategy {
         assert!(new_distance > 0, "a node is never asked to link to itself");
         if existing.is_empty() {
             // Nothing to replace; treat as "redirect a phantom link", i.e. just accept.
-            return ReplacementDecision::Redirect { victim: NodeId::MAX };
+            return ReplacementDecision::Redirect {
+                victim: NodeId::MAX,
+            };
         }
         let p_new = 1.0 / new_distance as f64;
         let weights: Vec<f64> = existing
@@ -99,12 +104,6 @@ impl ReplacementStrategy {
     }
 }
 
-impl Default for ReplacementStrategy {
-    fn default() -> Self {
-        ReplacementStrategy::InverseDistance
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,7 +113,12 @@ mod tests {
     fn empty_link_set_always_accepts() {
         let mut rng = StdRng::seed_from_u64(0);
         let d = ReplacementStrategy::InverseDistance.decide(&[], 10, &mut rng);
-        assert_eq!(d, ReplacementDecision::Redirect { victim: NodeId::MAX });
+        assert_eq!(
+            d,
+            ReplacementDecision::Redirect {
+                victim: NodeId::MAX
+            }
+        );
     }
 
     #[test]
@@ -151,7 +155,10 @@ mod tests {
             }
         }
         let frac = accepted as f64 / trials as f64;
-        assert!((frac - 4.0 / 9.0).abs() < 0.01, "acceptance fraction {frac}");
+        assert!(
+            (frac - 4.0 / 9.0).abs() < 0.01,
+            "acceptance fraction {frac}"
+        );
     }
 
     #[test]
@@ -173,7 +180,10 @@ mod tests {
             }
         }
         let frac_near = near as f64 / (near + far) as f64;
-        assert!((frac_near - 0.8).abs() < 0.02, "near-victim fraction {frac_near}");
+        assert!(
+            (frac_near - 0.8).abs() < 0.02,
+            "near-victim fraction {frac_near}"
+        );
     }
 
     #[test]
@@ -199,8 +209,14 @@ mod tests {
 
     #[test]
     fn labels_and_default() {
-        assert_eq!(ReplacementStrategy::default(), ReplacementStrategy::InverseDistance);
-        assert_eq!(ReplacementStrategy::InverseDistance.label(), "inverse-distance");
+        assert_eq!(
+            ReplacementStrategy::default(),
+            ReplacementStrategy::InverseDistance
+        );
+        assert_eq!(
+            ReplacementStrategy::InverseDistance.label(),
+            "inverse-distance"
+        );
         assert_eq!(ReplacementStrategy::Oldest.label(), "oldest-link");
     }
 }

@@ -148,7 +148,10 @@ impl NetworkConfig {
     /// Panics if `p` is not in `(0, 1]`.
     #[must_use]
     pub fn presence_probability(mut self, p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "presence probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "presence probability must be in (0, 1]"
+        );
         self.presence_probability = Some(p);
         self
     }
@@ -240,7 +243,10 @@ mod tests {
         assert!(c.is_ring());
         assert_eq!(c.links(), 3);
         assert_eq!(c.link_spec_choice(), LinkSpecChoice::BaseB { base: 4 });
-        assert!(matches!(c.construction_mode(), ConstructionMode::Incremental { .. }));
+        assert!(matches!(
+            c.construction_mode(),
+            ConstructionMode::Incremental { .. }
+        ));
         assert_eq!(c.greedy(), GreedyMode::OneSided);
         assert_eq!(c.presence(), Some(0.5));
     }

@@ -79,17 +79,18 @@ impl Directory {
             .collect()
     }
 
-    /// Re-homes every resource currently homed on `from` to `to` (a minimal data-handoff
-    /// primitive for graceful departures).
-    pub fn rehome(&mut self, from: NodeId, to: NodeId) -> usize {
-        let mut moved = 0;
-        for resource in self.entries.values_mut() {
-            if resource.home == from {
+    /// Re-homes a single resource to `to`. Returns `false` if the key is not stored.
+    ///
+    /// This is the primitive departures use: each orphaned key moves to the node
+    /// responsible for *its* point, so keys that shared a home scatter independently.
+    pub fn rehome_key(&mut self, key: &Key, to: NodeId) -> bool {
+        match self.entries.get_mut(key) {
+            Some(resource) => {
                 resource.home = to;
-                moved += 1;
+                true
             }
+            None => false,
         }
-        moved
     }
 }
 
@@ -133,9 +134,13 @@ mod tests {
         let mut expected = vec![a, b];
         expected.sort();
         assert_eq!(homed, expected);
-        assert_eq!(dir.rehome(10, 30), 2);
+        // Keys that shared a home re-home independently.
+        assert!(dir.rehome_key(&a, 30));
+        assert!(dir.rehome_key(&b, 40));
+        assert!(!dir.rehome_key(&Key::from_name("missing"), 30));
         assert!(dir.keys_homed_on(10).is_empty());
-        assert_eq!(dir.keys_homed_on(30).len(), 2);
+        assert_eq!(dir.keys_homed_on(30), vec![a]);
+        assert_eq!(dir.keys_homed_on(40), vec![b]);
         assert_eq!(dir.iter().count(), 3);
     }
 }

@@ -54,12 +54,14 @@ mod directory;
 mod error;
 mod measurement;
 mod network;
+mod view;
 
 pub use config::{ConstructionMode, LinkSpecChoice, NetworkConfig};
 pub use directory::{Directory, StoredResource};
 pub use error::CoreError;
 pub use measurement::BatchStats;
 pub use network::{LookupOutcome, Network};
+pub use view::NetworkView;
 
 // Convenience re-exports so downstream users can depend on `faultline-core` alone.
 pub use faultline_construction as construction;

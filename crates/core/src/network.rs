@@ -225,8 +225,11 @@ impl Network {
     /// Returns [`CoreError::NoAliveNodes`] if the overlay has no alive node to store on.
     pub fn insert(&mut self, key: Key, value: Vec<u8>) -> Result<NodeId, CoreError> {
         let point = self.key_space.point_for(&key);
-        let home = self.responsible_node(point).ok_or(CoreError::NoAliveNodes)?;
-        self.directory.insert(key, StoredResource { point, home, value });
+        let home = self
+            .responsible_node(point)
+            .ok_or(CoreError::NoAliveNodes)?;
+        self.directory
+            .insert(key, StoredResource { point, home, value });
         Ok(home)
     }
 
@@ -277,7 +280,9 @@ impl Network {
             return Err(CoreError::NodeNotAlive(origin));
         }
         let point = self.key_space.point_for(key);
-        let responsible = self.responsible_node(point).ok_or(CoreError::NoAliveNodes)?;
+        let responsible = self
+            .responsible_node(point)
+            .ok_or(CoreError::NoAliveNodes)?;
         let route = self.route(origin, responsible, rng);
         Ok(LookupOutcome {
             point,
@@ -301,33 +306,47 @@ impl Network {
     }
 
     /// Lets a new node join at `position`, running the Section 5 maintenance heuristic.
+    /// The returned report lists every node whose link table changed (ring splicing and
+    /// link redirection mutate pre-existing nodes too) so route caches can invalidate
+    /// precisely.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Construction`] if the position is occupied or out of range.
-    pub fn join<R: Rng>(&mut self, position: NodeId, rng: &mut R) -> Result<(), CoreError> {
-        self.maintainer.join(position, rng)?;
-        Ok(())
+    pub fn join<R: Rng>(
+        &mut self,
+        position: NodeId,
+        rng: &mut R,
+    ) -> Result<faultline_construction::JoinReport, CoreError> {
+        Ok(self.maintainer.join(position, rng)?)
     }
 
     /// Removes the node at `position` (graceful leave or crash with repair), regenerating
     /// dangling links per the Section 5 heuristic. Resources homed on the departed node
-    /// are re-homed onto the node now responsible for their points.
+    /// are re-homed onto the node now responsible for their points. The returned report
+    /// lists every node whose link table changed (ring re-closing and dangling-link
+    /// repair mutate surviving nodes too) so route caches can invalidate precisely.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Construction`] if no node is present at the position.
-    pub fn leave<R: Rng>(&mut self, position: NodeId, rng: &mut R) -> Result<(), CoreError> {
-        self.maintainer.leave(position, rng)?;
+    pub fn leave<R: Rng>(
+        &mut self,
+        position: NodeId,
+        rng: &mut R,
+    ) -> Result<faultline_construction::LeaveReport, CoreError> {
+        let report = self.maintainer.leave(position, rng)?;
+        // Each orphaned key moves to the node responsible for *its own* point — keys
+        // homed together on the departed node generally scatter to different successors.
         let orphaned = self.directory.keys_homed_on(position);
         for key in orphaned {
-            if let Some(resource) = self.directory.get(&key).cloned() {
-                if let Some(new_home) = self.responsible_node(resource.point) {
-                    self.directory.rehome(position, new_home);
+            if let Some(point) = self.directory.get(&key).map(|r| r.point) {
+                if let Some(new_home) = self.responsible_node(point) {
+                    self.directory.rehome_key(&key, new_home);
                 }
             }
         }
-        Ok(())
+        Ok(report)
     }
 }
 
@@ -407,7 +426,10 @@ mod tests {
         assert_eq!(net.alive_count(), 1 << 10);
         let stats = net.route_random_batch(200, &mut rng).unwrap();
         assert_eq!(stats.messages, 200);
-        assert!(stats.failure_fraction() > 0.0, "50% failures should break something");
+        assert!(
+            stats.failure_fraction() > 0.0,
+            "50% failures should break something"
+        );
         assert!(stats.failure_fraction() < 1.0, "but not everything");
     }
 
@@ -455,7 +477,10 @@ mod tests {
         }
         assert_eq!(net.alive_count(), 512);
         let stats = net.route_random_batch(100, &mut rng).unwrap();
-        assert_eq!(stats.failed, 0, "undamaged (healed) network must deliver everything");
+        assert_eq!(
+            stats.failed, 0,
+            "undamaged (healed) network must deliver everything"
+        );
     }
 
     #[test]
@@ -471,10 +496,71 @@ mod tests {
     }
 
     #[test]
+    fn leave_rehomes_each_key_to_its_own_responsible_node() {
+        // Keys that shared a home must scatter to the successor responsible for each
+        // key's own point, not all follow the first key processed.
+        let mut net = network(64, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        for i in 0..200 {
+            let key = Key::from_name(&format!("resource-{i}"));
+            net.insert(key, vec![i as u8]).unwrap();
+        }
+        // Leave a few nodes that home multiple keys.
+        for _ in 0..5 {
+            let victim = net
+                .directory()
+                .iter()
+                .map(|(_, r)| r.home)
+                .find(|&home| net.directory().keys_homed_on(home).len() >= 2)
+                .expect("200 keys over 64 nodes must share homes");
+            net.leave(victim, &mut rng).unwrap();
+        }
+        for (key, resource) in net.directory().iter() {
+            assert_eq!(
+                resource.home,
+                net.responsible_node(resource.point).unwrap(),
+                "key {key:?} homed on {} but its point {} belongs to another node",
+                resource.home,
+                resource.point
+            );
+        }
+    }
+
+    #[test]
+    fn join_and_leave_report_their_blast_radius() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let config =
+            NetworkConfig::paper_default(256).construction(ConstructionMode::incremental_default());
+        let mut net = Network::build(&config, &mut rng);
+        let leave_report = net.leave(100, &mut rng).unwrap();
+        assert!(leave_report.touched_nodes.contains(&100));
+        assert!(
+            leave_report.touched_nodes.len() >= 3,
+            "a departure touches at least the hole and its ring neighbours: {:?}",
+            leave_report.touched_nodes
+        );
+        let join_report = net.join(100, &mut rng).unwrap();
+        assert!(join_report.touched_nodes.contains(&100));
+        assert!(
+            join_report.touched_nodes.len() >= 3,
+            "an arrival touches at least the newcomer and its ring neighbours: {:?}",
+            join_report.touched_nodes
+        );
+        // Everything listed is a real node of the space.
+        for &p in join_report
+            .touched_nodes
+            .iter()
+            .chain(&leave_report.touched_nodes)
+        {
+            assert!(p < net.len());
+        }
+    }
+
+    #[test]
     fn deterministic_ladder_config_builds_and_routes_fast() {
         let mut rng = StdRng::seed_from_u64(14);
-        let config = NetworkConfig::paper_default(1 << 12)
-            .link_spec(LinkSpecChoice::BaseB { base: 2 });
+        let config =
+            NetworkConfig::paper_default(1 << 12).link_spec(LinkSpecChoice::BaseB { base: 2 });
         let net = Network::build(&config, &mut rng);
         let r = net.route(0, (1 << 12) - 1, &mut rng);
         assert!(r.is_delivered());
@@ -489,7 +575,9 @@ mod tests {
             LinkSpecChoice::PowerLadder { base: 3 },
             LinkSpecChoice::InversePowerLaw { exponent: 2.0 },
         ] {
-            let config = NetworkConfig::paper_default(256).link_spec(spec).links_per_node(4);
+            let config = NetworkConfig::paper_default(256)
+                .link_spec(spec)
+                .links_per_node(4);
             let net = Network::build(&config, &mut rng);
             assert!(net.route(0, 255, &mut rng).is_delivered());
         }

@@ -1,0 +1,163 @@
+//! [`NetworkView`]: a cheap, thread-shareable read view of a [`Network`].
+//!
+//! The query engine routes tens of thousands of lookups per tick from many worker
+//! threads. [`Network`] itself exposes `&self` routing, but dragging the full type
+//! (directory, maintainer, config) across a thread boundary couples readers to
+//! mutator-only state. A `NetworkView` borrows exactly what routing needs — the overlay
+//! graph and the router configuration — and is `Copy`, so every worker can hold its own.
+
+use crate::network::Network;
+use faultline_overlay::{NodeId, OverlayGraph};
+use faultline_routing::{RouteResult, Router};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A read-only routing view over a network: the overlay graph plus the router.
+///
+/// Views are `Copy` and borrow the network immutably, so any number of threads can
+/// route over the same overlay concurrently; topology mutation (failures, churn) is
+/// excluded by the borrow checker for as long as any view is alive.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkView<'a> {
+    graph: &'a OverlayGraph,
+    router: Router,
+}
+
+impl<'a> NetworkView<'a> {
+    /// The overlay graph under this view.
+    #[must_use]
+    pub fn graph(&self) -> &'a OverlayGraph {
+        self.graph
+    }
+
+    /// The router configuration (greedy mode, fault strategy) this view routes with.
+    #[must_use]
+    pub fn router(&self) -> Router {
+        self.router
+    }
+
+    /// Number of grid points in the metric space.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.graph.len()
+    }
+
+    /// Returns `true` if the metric space has no points (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Positions of all currently alive nodes, in ascending order.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.graph.alive_nodes()
+    }
+
+    /// Routes one message, drawing randomness from the caller's generator.
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        rng: &mut R,
+    ) -> RouteResult {
+        self.router.route(self.graph, source, target, rng)
+    }
+
+    /// Routes one message with an explicit per-query seed.
+    ///
+    /// This is the entry point parallel query engines use: deriving the seed from
+    /// `(batch_seed, query_index)` makes every query's randomness independent of thread
+    /// scheduling, so results are identical at any worker count.
+    #[must_use]
+    pub fn route_seeded(&self, source: NodeId, target: NodeId, seed: u64) -> RouteResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.router.route(self.graph, source, target, &mut rng)
+    }
+
+    /// Same view, routing with path recording enabled (used by route caches that need
+    /// to know which nodes a cached route depends on).
+    #[must_use]
+    pub fn with_path_recording(mut self, record: bool) -> Self {
+        self.router = self.router.with_path_recording(record);
+        self
+    }
+
+    /// Same view with an overridden hop budget.
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: u64) -> Self {
+        self.router = self.router.with_max_hops(max_hops);
+        self
+    }
+}
+
+impl Network {
+    /// A cheap read-only routing view of this network; see [`NetworkView`].
+    #[must_use]
+    pub fn view(&self) -> NetworkView<'_> {
+        NetworkView {
+            graph: self.graph(),
+            router: self.router(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    fn network(n: u64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::build(&NetworkConfig::paper_default(n), &mut rng)
+    }
+
+    #[test]
+    fn view_routes_like_the_network() {
+        let net = network(512, 1);
+        let view = net.view();
+        let mut a = StdRng::seed_from_u64(2);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_eq!(view.route(3, 400, &mut a), net.route(3, 400, &mut b));
+        assert_eq!(view.len(), 512);
+        assert!(!view.is_empty());
+        assert_eq!(view.alive_nodes().len(), 512);
+    }
+
+    #[test]
+    fn seeded_routes_are_reproducible() {
+        let net = network(512, 3);
+        let view = net.view();
+        let a = view.route_seeded(0, 300, 99);
+        let b = view.route_seeded(0, 300, 99);
+        assert_eq!(a, b);
+        assert!(a.is_delivered());
+    }
+
+    #[test]
+    fn views_are_copy_and_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let net = network(256, 4);
+        let view = net.view();
+        assert_send_sync(&view);
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|i| scope.spawn(move || view.route_seeded(0, 200, i).is_delivered()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(results.into_iter().all(|d| d));
+    }
+
+    #[test]
+    fn path_recording_view_records() {
+        let net = network(128, 5);
+        let view = net.view().with_path_recording(true);
+        let r = view.route_seeded(0, 100, 1);
+        let path = r.path.as_ref().expect("path must be recorded");
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&100));
+    }
+}

@@ -1,0 +1,235 @@
+//! The invalidating route cache.
+//!
+//! Routing in the engine is read-mostly: the overlay only changes between epochs, when
+//! the failure/churn layer runs. A shard therefore caches the outcome of routing from a
+//! *source bucket* to a *target bucket* — the granularity at which a production router
+//! would memoise next-hop decisions — and replays it for subsequent queries in the same
+//! bucket pair. Every entry remembers, as a bitmask, which buckets its route traversed;
+//! when churn mutates nodes, only entries whose masks intersect the mutated buckets are
+//! flushed. Between flushes a cached route may go stale (its nodes failed) — exactly the
+//! staleness window a real route cache has, and the reason success rate under churn is
+//! an interesting measurement.
+
+use faultline_overlay::NodeId;
+use std::collections::HashMap;
+
+/// Number of buckets the metric space is divided into.
+///
+/// 64 buckets lets a route's bucket coverage be a single `u64` bitmask, making
+/// invalidation an AND per entry.
+pub const NUM_BUCKETS: u64 = 64;
+
+/// The bucket a metric-space position falls into (`0..NUM_BUCKETS`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `position >= n`.
+#[must_use]
+pub fn bucket_of(position: NodeId, n: u64) -> u64 {
+    assert!(n > 0, "bucketing an empty space");
+    assert!(
+        position < n,
+        "position {position} outside the {n}-point space"
+    );
+    // u128 arithmetic avoids overflow for spaces approaching 2^58 points.
+    ((u128::from(position) * u128::from(NUM_BUCKETS)) / u128::from(n)) as u64
+}
+
+/// The bitmask with the bucket bits of every listed position set.
+#[must_use]
+pub fn buckets_mask(positions: &[NodeId], n: u64) -> u64 {
+    positions
+        .iter()
+        .fold(0u64, |mask, &p| mask | (1u64 << bucket_of(p, n)))
+}
+
+/// A cached route digest: what routing from one bucket to another looked like when the
+/// cache entry was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedRoute {
+    /// Whether the route delivered.
+    pub delivered: bool,
+    /// Hop count of the route.
+    pub hops: u64,
+    /// Fault-strategy interventions along the route.
+    pub recoveries: u64,
+    /// Bitmask of buckets the route's path traversed (always includes the source and
+    /// target buckets).
+    pub touched: u64,
+}
+
+/// A per-shard LRU cache of [`CachedRoute`]s keyed by `(source bucket, target bucket)`.
+///
+/// Recency is tracked with a monotonic tick per entry; eviction scans for the stalest
+/// entry. The key space is at most `NUM_BUCKETS²` entries, so the scan is bounded and
+/// cheap next to a greedy route.
+#[derive(Debug, Clone, Default)]
+pub struct RouteCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<(u64, u64), (CachedRoute, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteCache {
+    /// Creates a cache holding up to `capacity` entries (0 disables caching).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Looks up the route digest for a bucket pair, refreshing its recency.
+    pub fn get(&mut self, source_bucket: u64, target_bucket: u64) -> Option<CachedRoute> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(&(source_bucket, target_bucket)) {
+            Some((route, last_used)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(*route)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a route digest, evicting the least-recently-used entry if full.
+    pub fn insert(&mut self, source_bucket: u64, target_bucket: u64, route: CachedRoute) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity
+            && !self.entries.contains_key(&(source_bucket, target_bucket))
+        {
+            if let Some(&stalest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| key)
+            {
+                self.entries.remove(&stalest);
+            }
+        }
+        self.entries
+            .insert((source_bucket, target_bucket), (route, self.tick));
+    }
+
+    /// Drops every entry whose route traversed a bucket in `dirty_mask`. Returns the
+    /// number of entries flushed.
+    pub fn invalidate(&mut self, dirty_mask: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, (route, _)| route.touched & dirty_mask == 0);
+        before - self.entries.len()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hit, miss) counters.
+    #[must_use]
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(touched: u64) -> CachedRoute {
+        CachedRoute {
+            delivered: true,
+            hops: 5,
+            recoveries: 0,
+            touched,
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_space() {
+        let n = 1000;
+        assert_eq!(bucket_of(0, n), 0);
+        assert_eq!(bucket_of(n - 1, n), NUM_BUCKETS - 1);
+        for p in 1..n {
+            assert!(
+                bucket_of(p, n) >= bucket_of(p - 1, n),
+                "buckets must be monotone"
+            );
+        }
+        // Tiny spaces still map into range.
+        assert!(bucket_of(1, 2) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn mask_covers_listed_positions() {
+        let mask = buckets_mask(&[0, 999], 1000);
+        assert_eq!(mask, 1 | (1 << (NUM_BUCKETS - 1)));
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let mut cache = RouteCache::new(8);
+        assert_eq!(cache.get(1, 2), None);
+        cache.insert(1, 2, route(0b110));
+        assert_eq!(cache.get(1, 2), Some(route(0b110)));
+        assert_eq!(cache.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = RouteCache::new(0);
+        cache.insert(1, 2, route(1));
+        assert_eq!(cache.get(1, 2), None);
+        assert_eq!(cache.hit_miss(), (0, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let mut cache = RouteCache::new(2);
+        cache.insert(0, 1, route(1));
+        cache.insert(0, 2, route(1));
+        assert!(cache.get(0, 1).is_some()); // refresh (0,1): (0,2) is now stalest
+        cache.insert(0, 3, route(1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(0, 2).is_none(), "stalest entry must be evicted");
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 3).is_some());
+    }
+
+    #[test]
+    fn invalidation_flushes_only_touched_routes() {
+        let mut cache = RouteCache::new(8);
+        cache.insert(0, 1, route(0b0011));
+        cache.insert(0, 2, route(0b1100));
+        assert_eq!(cache.invalidate(0b0001), 1);
+        assert!(cache.get(0, 1).is_none());
+        assert!(cache.get(0, 2).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

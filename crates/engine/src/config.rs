@@ -1,0 +1,109 @@
+//! Engine configuration.
+
+/// Configuration of a [`QueryEngine`](crate::QueryEngine).
+///
+/// Built in the same builder style as `NetworkConfig`: start from
+/// [`EngineConfig::default`], override what you need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    threads: usize,
+    shards: usize,
+    cache_capacity: usize,
+    max_hops: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0, // resolved to available parallelism by the pool
+            shards: 16,
+            cache_capacity: 1024,
+            max_hops: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the number of worker threads (0 = available parallelism).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the number of shards (each owns a private route cache and is processed as
+    /// one unit of parallel work). Clamped to `1..=NUM_BUCKETS`: queries are assigned
+    /// by source bucket, so shards beyond the bucket count could never receive work.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, crate::cache::NUM_BUCKETS as usize);
+        self
+    }
+
+    /// Sets the per-shard route-cache capacity in entries. `0` disables caching, which
+    /// makes every query an exact fresh measurement.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the router's hop budget for engine queries.
+    #[must_use]
+    pub fn max_hops(mut self, max_hops: u64) -> Self {
+        self.max_hops = Some(max_hops);
+        self
+    }
+
+    /// Configured worker threads (0 = available parallelism).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Configured per-shard cache capacity (0 = caching disabled).
+    #[must_use]
+    pub fn cache_capacity_entries(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Configured hop-budget override, if any.
+    #[must_use]
+    pub fn max_hops_override(&self) -> Option<u64> {
+        self.max_hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let config = EngineConfig::default()
+            .threads(8)
+            .shards(32)
+            .cache_capacity(64)
+            .max_hops(1000);
+        assert_eq!(config.thread_count(), 8);
+        assert_eq!(config.shard_count(), 32);
+        assert_eq!(config.cache_capacity_entries(), 64);
+        assert_eq!(config.max_hops_override(), Some(1000));
+    }
+
+    #[test]
+    fn shards_clamp_to_the_bucket_range() {
+        assert_eq!(EngineConfig::default().shards(0).shard_count(), 1);
+        // Queries shard by source bucket; shards beyond NUM_BUCKETS would sit idle.
+        assert_eq!(
+            EngineConfig::default().shards(500).shard_count(),
+            crate::cache::NUM_BUCKETS as usize
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Live-churn interleaving: routing epochs alternated with topology change and repair.
+//!
+//! The paper's Section 5 heuristic exists so the overlay stays routable *while* nodes
+//! arrive and depart. The interleaved runner reproduces that claim at traffic scale:
+//! each epoch routes a full query batch in parallel, then applies a burst of churn
+//! events through the maintenance heuristic (`Network::join` / `Network::leave`, which
+//! regenerate links per Section 5), then flushes exactly the cached routes the churn
+//! touched. Success rate and throughput are reported per epoch, so degradation and
+//! recovery are visible in the trajectory.
+
+use crate::batch::QueryBatch;
+use crate::run::QueryEngine;
+use crate::stats::BatchReport;
+use faultline_core::Network;
+use faultline_failure::{ChurnEvent, ChurnSchedule};
+use faultline_sim::{seed_for_trial, trial_rng};
+
+/// Churn intensity applied between routing epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnMix {
+    /// Churn events (joins + leaves) applied after each epoch's batch.
+    pub events_per_epoch: usize,
+    /// Probability that an event is a join (the rest are leaves).
+    pub join_probability: f64,
+}
+
+impl ChurnMix {
+    /// A balanced mix: as many arrivals as departures on average.
+    #[must_use]
+    pub fn balanced(events_per_epoch: usize) -> Self {
+        Self {
+            events_per_epoch,
+            join_probability: 0.5,
+        }
+    }
+
+    /// Churn touching roughly `fraction` of an `n`-point space per epoch, balanced.
+    #[must_use]
+    pub fn fraction_of(n: u64, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "churn fraction outside [0, 1]"
+        );
+        Self::balanced((n as f64 * fraction).round() as usize)
+    }
+}
+
+/// What one epoch of the interleaved run did.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// The routing batch executed at the start of the epoch.
+    pub batch: BatchReport,
+    /// Join events applied after the batch.
+    pub joins: usize,
+    /// Leave events applied after the batch.
+    pub leaves: usize,
+    /// Cached routes flushed by this epoch's churn.
+    pub flushed_routes: usize,
+    /// Alive nodes once the epoch's churn settled.
+    pub alive_after: u64,
+}
+
+/// The full interleaved trajectory.
+#[derive(Debug, Clone)]
+pub struct InterleavedReport {
+    epochs: Vec<EpochReport>,
+}
+
+impl InterleavedReport {
+    /// Per-epoch reports, in order.
+    #[must_use]
+    pub fn epochs(&self) -> &[EpochReport] {
+        &self.epochs
+    }
+
+    /// Total queries routed across all epochs.
+    #[must_use]
+    pub fn total_queries(&self) -> usize {
+        self.epochs.iter().map(|e| e.batch.queries()).sum()
+    }
+
+    /// Delivered fraction across all epochs (1.0 when no queries ran).
+    #[must_use]
+    pub fn overall_success_rate(&self) -> f64 {
+        let total = self.total_queries();
+        if total == 0 {
+            return 1.0;
+        }
+        let delivered: usize = self.epochs.iter().map(|e| e.batch.delivered()).sum();
+        delivered as f64 / total as f64
+    }
+
+    /// Aggregate queries/sec over the routing phases (churn time excluded). Returns
+    /// `0.0` when no measurable routing time elapsed, keeping the JSON export finite.
+    #[must_use]
+    pub fn routing_queries_per_sec(&self) -> f64 {
+        let secs: f64 = self
+            .epochs
+            .iter()
+            .map(|e| e.batch.wall_time().as_secs_f64())
+            .sum();
+        if secs > 0.0 {
+            self.total_queries() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the whole trajectory as a JSON object with one entry per epoch.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let epochs: Vec<String> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                format!(
+                    concat!(
+                        "{{\"epoch\":{},\"joins\":{},\"leaves\":{},",
+                        "\"flushed_routes\":{},\"alive_after\":{},\"batch\":{}}}"
+                    ),
+                    e.epoch,
+                    e.joins,
+                    e.leaves,
+                    e.flushed_routes,
+                    e.alive_after,
+                    e.batch.to_json()
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"total_queries\":{},\"overall_success_rate\":{:.6},",
+                "\"routing_queries_per_sec\":{:.1},\"epochs\":[{}]}}"
+            ),
+            self.total_queries(),
+            self.overall_success_rate(),
+            self.routing_queries_per_sec(),
+            epochs.join(",")
+        )
+    }
+}
+
+impl QueryEngine {
+    /// Alternates routing epochs with churn + Section 5 repair on `network`.
+    ///
+    /// Per epoch: route `queries_per_epoch` fresh uniform queries in parallel, then
+    /// apply `churn.events_per_epoch` join/leave events through the maintenance
+    /// heuristic, then flush the cached routes whose buckets the churn touched. All
+    /// randomness derives from `master_seed`, so the whole trajectory is reproducible
+    /// at any thread count.
+    pub fn run_interleaved(
+        &mut self,
+        network: &mut Network,
+        epochs: usize,
+        queries_per_epoch: usize,
+        churn: ChurnMix,
+        master_seed: u64,
+    ) -> InterleavedReport {
+        let n = network.len();
+        let mut reports = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            let batch_seed = seed_for_trial(master_seed, epoch as u64);
+            let batch = QueryBatch::uniform(network, queries_per_epoch, batch_seed);
+            let batch_report = self.run_batch(network, &batch);
+
+            // Churn phase: one consistent schedule over the current population, applied
+            // through the maintainer so links are regenerated as the paper prescribes.
+            let mut churn_rng = trial_rng(master_seed ^ 0xC48A_0C48_A0C4_8A0C, epoch as u64);
+            let present = network.graph().present_nodes().to_vec();
+            let schedule = ChurnSchedule::generate(
+                n,
+                &present,
+                churn.events_per_epoch,
+                churn.join_probability,
+                &mut churn_rng,
+            );
+            let mut touched = Vec::with_capacity(schedule.len());
+            let (mut joins, mut leaves) = (0usize, 0usize);
+            for event in schedule.events() {
+                // Joins and leaves mutate link tables beyond the churned position (ring
+                // splicing, link redirection, dangling-link repair); the reports list
+                // every affected node so invalidation covers the full blast radius.
+                match *event {
+                    ChurnEvent::Join(p) => {
+                        if let Ok(report) = network.join(p, &mut churn_rng) {
+                            joins += 1;
+                            touched.extend(report.touched_nodes);
+                        }
+                    }
+                    ChurnEvent::Leave(p) => {
+                        if let Ok(report) = network.leave(p, &mut churn_rng) {
+                            leaves += 1;
+                            touched.extend(report.touched_nodes);
+                        }
+                    }
+                }
+            }
+            let flushed_routes = self.invalidate_nodes(&touched, n);
+
+            reports.push(EpochReport {
+                epoch,
+                batch: batch_report,
+                joins,
+                leaves,
+                flushed_routes,
+                alive_after: network.alive_count(),
+            });
+        }
+        InterleavedReport { epochs: reports }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use faultline_core::NetworkConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn incremental_network(n: u64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = NetworkConfig::paper_default(n)
+            .construction(faultline_core::ConstructionMode::incremental_default());
+        Network::build(&config, &mut rng)
+    }
+
+    #[test]
+    fn interleaved_run_keeps_routing_under_churn() {
+        let mut net = incremental_network(512, 1);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(2));
+        let report = engine.run_interleaved(&mut net, 4, 1_000, ChurnMix::balanced(25), 42);
+        assert_eq!(report.epochs().len(), 4);
+        assert_eq!(report.total_queries(), 4_000);
+        for epoch in report.epochs() {
+            assert_eq!(epoch.joins + epoch.leaves, 25, "all events must apply");
+            assert!(epoch.alive_after > 0);
+        }
+        // The maintainer repairs as churn happens; the overwhelming majority of queries
+        // must still deliver (each batch is drawn over currently-alive nodes).
+        assert!(
+            report.overall_success_rate() > 0.9,
+            "success rate {} too low under mild churn",
+            report.overall_success_rate()
+        );
+    }
+
+    #[test]
+    fn churn_flushes_cached_routes() {
+        let mut net = incremental_network(512, 2);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(2).cache_capacity(1024));
+        let report = engine.run_interleaved(&mut net, 3, 2_000, ChurnMix::balanced(60), 7);
+        let flushed: usize = report.epochs().iter().map(|e| e.flushed_routes).sum();
+        assert!(
+            flushed > 0,
+            "60 churn events per epoch must hit cached buckets"
+        );
+    }
+
+    #[test]
+    fn json_trajectory_is_well_formed_at_the_surface() {
+        let mut net = incremental_network(256, 3);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(1));
+        let report = engine.run_interleaved(&mut net, 2, 200, ChurnMix::balanced(10), 1);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"epoch\":").count(), 2);
+        assert!(json.contains("\"overall_success_rate\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn churn_mix_constructors() {
+        let mix = ChurnMix::fraction_of(1000, 0.1);
+        assert_eq!(mix.events_per_epoch, 100);
+        assert_eq!(mix.join_probability, 0.5);
+    }
+}

@@ -1,0 +1,58 @@
+//! # faultline-engine
+//!
+//! A sharded, parallel query engine over `faultline` overlays — the traffic layer the
+//! paper's "millions of users" framing implies but a one-query-at-a-time reproduction
+//! cannot express.
+//!
+//! The engine executes **batches** of greedy lookups across a pool of worker threads
+//! (rayon-style fork–join), over a read-mostly [`NetworkView`](faultline_core::NetworkView)
+//! of the overlay:
+//!
+//! * **Sharding** — the metric space is divided into [`NUM_BUCKETS`] buckets; each query
+//!   is assigned to a shard by its source bucket, and each shard owns a private route
+//!   cache and processes its queries in a fixed order. No locks are taken on the hot
+//!   path, and results are bit-for-bit identical at any thread count.
+//! * **Route caching** — a per-shard LRU keyed by `(source bucket, target bucket)`
+//!   ([`RouteCache`]). Entries remember the buckets their route traversed, so when the
+//!   failure/churn layer mutates nodes, exactly the entries whose routes touched the
+//!   mutated buckets are flushed ([`QueryEngine::invalidate_nodes`]).
+//! * **Live-churn interleaving** — [`QueryEngine::run_interleaved`] alternates routing
+//!   epochs with `faultline_failure` churn events and the Section 5 maintenance
+//!   heuristic (`Network::join`/`leave`), measuring throughput and success rate *while*
+//!   the network repairs itself — the paper's fault-tolerance claim at traffic scale.
+//! * **Percentile stats** — every batch reports p50/p95/p99 hop and per-query wall-time
+//!   ladders plus queries/sec, exportable as JSON for the benchmark trajectory.
+//!
+//! # Example
+//!
+//! ```
+//! use faultline_core::{Network, NetworkConfig};
+//! use faultline_engine::{EngineConfig, QueryBatch, QueryEngine};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let network = Network::build(&NetworkConfig::paper_default(1 << 10), &mut rng);
+//! let mut engine = QueryEngine::new(EngineConfig::default().threads(4));
+//! let batch = QueryBatch::uniform(&network, 10_000, 42);
+//! let report = engine.run_batch(&network, &batch);
+//! assert_eq!(report.queries(), 10_000);
+//! assert!(report.success_rate() > 0.999);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod cache;
+mod config;
+mod interleave;
+mod run;
+mod stats;
+
+pub use batch::QueryBatch;
+pub use cache::{bucket_of, buckets_mask, CachedRoute, RouteCache, NUM_BUCKETS};
+pub use config::EngineConfig;
+pub use interleave::{ChurnMix, EpochReport, InterleavedReport};
+pub use run::QueryEngine;
+pub use stats::{BatchReport, QueryOutcome};

@@ -1,0 +1,299 @@
+//! The [`QueryEngine`]: sharded, parallel batch execution.
+
+use crate::batch::QueryBatch;
+use crate::cache::{bucket_of, buckets_mask, CachedRoute, RouteCache};
+use crate::config::EngineConfig;
+use crate::stats::{BatchReport, QueryOutcome};
+use faultline_core::{Network, NetworkView};
+use faultline_overlay::NodeId;
+use faultline_sim::seed_for_trial;
+use std::time::Instant;
+
+/// A reusable parallel query engine.
+///
+/// The engine owns a worker pool and one [`RouteCache`] per shard. Queries are assigned
+/// to shards by the bucket of their *source* node; each shard's queries are processed
+/// sequentially (in batch order) by whichever worker picks the shard up. Because shards
+/// share nothing, the hot path takes no locks, and per-query results are bit-for-bit
+/// reproducible at any thread count: randomness comes from `(batch seed, query index)`
+/// and cache state evolves per shard in a fixed order.
+///
+/// Caches persist across batches so steady-state traffic sees realistic hit rates; the
+/// churn layer invalidates them via [`QueryEngine::invalidate_nodes`] (done
+/// automatically by [`QueryEngine::run_interleaved`](crate::QueryEngine::run_interleaved)).
+#[derive(Debug)]
+pub struct QueryEngine {
+    config: EngineConfig,
+    pool: rayon::ThreadPool,
+    caches: Vec<RouteCache>,
+}
+
+impl QueryEngine {
+    /// Builds an engine from a configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(config.thread_count())
+            .build()
+            .expect("thread pool construction cannot fail");
+        let caches = (0..config.shard_count())
+            .map(|_| RouteCache::new(config.cache_capacity_entries()))
+            .collect();
+        Self {
+            config,
+            pool,
+            caches,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The number of worker threads the pool resolved to.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Lifetime `(hits, misses)` summed over every shard cache.
+    #[must_use]
+    pub fn cache_hit_miss(&self) -> (u64, u64) {
+        self.caches.iter().fold((0, 0), |(h, m), cache| {
+            let (ch, cm) = cache.hit_miss();
+            (h + ch, m + cm)
+        })
+    }
+
+    /// Total live cache entries across shards.
+    #[must_use]
+    pub fn cached_routes(&self) -> usize {
+        self.caches.iter().map(RouteCache::len).sum()
+    }
+
+    /// Flushes cache entries whose routes traversed the buckets of any listed node.
+    /// Returns the number of entries dropped.
+    ///
+    /// Call this whenever the topology changes out-of-band (failure plans, manual
+    /// `fail_node` calls); the interleaved runner calls it after every churn step.
+    pub fn invalidate_nodes(&mut self, nodes: &[NodeId], n: u64) -> usize {
+        if nodes.is_empty() {
+            return 0;
+        }
+        let mask = buckets_mask(nodes, n);
+        self.caches
+            .iter_mut()
+            .map(|cache| cache.invalidate(mask))
+            .sum()
+    }
+
+    /// Drops every cached route.
+    pub fn flush_caches(&mut self) {
+        for cache in &mut self.caches {
+            cache.clear();
+        }
+    }
+
+    /// Executes a batch of lookups in parallel and reports per-query outcomes plus
+    /// aggregate statistics. See the crate docs for the execution model.
+    pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
+        let n = network.len();
+        let caching = self.config.cache_capacity_entries() > 0;
+        let mut view = network.view().with_path_recording(caching);
+        if let Some(max_hops) = self.config.max_hops_override() {
+            view = view.with_max_hops(max_hops);
+        }
+
+        // Assign queries to shards by source bucket; shard order is part of the
+        // deterministic contract (same batch ⇒ same per-shard sequences). Queries whose
+        // endpoints are not even grid points fail up front — the router would report
+        // them as dead endpoints anyway, and bucketing must not panic on them.
+        let shard_count = self.caches.len();
+        let mut shard_queries: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; batch.len()];
+        for (index, &(source, target)) in batch.pairs().iter().enumerate() {
+            if source >= n || target >= n {
+                outcomes[index] = Some(QueryOutcome {
+                    source,
+                    target,
+                    delivered: false,
+                    hops: 0,
+                    recoveries: 0,
+                    cached: false,
+                    nanos: 0,
+                });
+            } else {
+                shard_queries[(bucket_of(source, n) as usize) % shard_count].push(index);
+            }
+        }
+
+        let mut shard_outputs: Vec<Vec<(usize, QueryOutcome)>> = vec![Vec::new(); shard_count];
+        let started = Instant::now();
+        self.pool.scope(|scope| {
+            let jobs = self
+                .caches
+                .iter_mut()
+                .zip(&shard_queries)
+                .zip(shard_outputs.iter_mut());
+            for ((cache, indices), output) in jobs {
+                if indices.is_empty() {
+                    continue;
+                }
+                scope.spawn(move |_| {
+                    output.reserve_exact(indices.len());
+                    for &index in indices {
+                        let (source, target) = batch.pairs()[index];
+                        let outcome =
+                            route_one(view, cache, n, batch.seed(), index, source, target);
+                        output.push((index, outcome));
+                    }
+                });
+            }
+        });
+        let wall = started.elapsed();
+
+        // Scatter shard outputs back into batch order.
+        for (index, outcome) in shard_outputs.into_iter().flatten() {
+            outcomes[index] = Some(outcome);
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("every query is either pre-failed or routed by one shard"))
+            .collect();
+        BatchReport::new(outcomes, wall, self.threads())
+    }
+}
+
+/// Routes (or cache-serves) one query on a shard worker.
+fn route_one(
+    view: NetworkView<'_>,
+    cache: &mut RouteCache,
+    n: u64,
+    batch_seed: u64,
+    index: usize,
+    source: NodeId,
+    target: NodeId,
+) -> QueryOutcome {
+    let started = Instant::now();
+    let source_bucket = bucket_of(source, n);
+    let target_bucket = bucket_of(target, n);
+    if let Some(hit) = cache.get(source_bucket, target_bucket) {
+        return QueryOutcome {
+            source,
+            target,
+            delivered: hit.delivered,
+            hops: hit.hops,
+            recoveries: hit.recoveries,
+            cached: true,
+            nanos: started.elapsed().as_nanos() as u64,
+        };
+    }
+    let result = view.route_seeded(source, target, seed_for_trial(batch_seed, index as u64));
+    let touched = match &result.path {
+        Some(path) => buckets_mask(path, n) | (1 << source_bucket) | (1 << target_bucket),
+        None => (1 << source_bucket) | (1 << target_bucket),
+    };
+    cache.insert(
+        source_bucket,
+        target_bucket,
+        CachedRoute {
+            delivered: result.is_delivered(),
+            hops: result.hops,
+            recoveries: result.recoveries,
+            touched,
+        },
+    );
+    QueryOutcome {
+        source,
+        target,
+        delivered: result.is_delivered(),
+        hops: result.hops,
+        recoveries: result.recoveries,
+        cached: false,
+        nanos: started.elapsed().as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_core::NetworkConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network(n: u64, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::build(&NetworkConfig::paper_default(n), &mut rng)
+    }
+
+    #[test]
+    fn healthy_network_delivers_everything() {
+        let net = network(1 << 9, 1);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(2).cache_capacity(0));
+        let batch = QueryBatch::uniform(&net, 2_000, 7);
+        let report = engine.run_batch(&net, &batch);
+        assert_eq!(report.queries(), 2_000);
+        assert_eq!(report.delivered(), 2_000);
+        assert_eq!(report.cache_hits(), 0, "caching disabled");
+        assert!(report.hop_summary().unwrap().mean > 0.0);
+    }
+
+    #[test]
+    fn cache_hits_accumulate_and_match_fresh_routes() {
+        let net = network(1 << 9, 2);
+        let mut cached = QueryEngine::new(EngineConfig::default().threads(2).cache_capacity(512));
+        let mut fresh = QueryEngine::new(EngineConfig::default().threads(2).cache_capacity(0));
+        let batch = QueryBatch::uniform(&net, 5_000, 3);
+        let cached_report = cached.run_batch(&net, &batch);
+        let fresh_report = fresh.run_batch(&net, &batch);
+        assert!(
+            cached_report.cache_hits() > 0,
+            "5k uniform queries must repeat bucket pairs"
+        );
+        // On an undamaged overlay a cached digest is as deliverable as a fresh route.
+        assert_eq!(cached_report.delivered(), fresh_report.delivered());
+        let (hits, misses) = cached.cache_hit_miss();
+        assert_eq!(hits as usize, cached_report.cache_hits());
+        assert!(misses > 0);
+        assert!(cached.cached_routes() > 0);
+        cached.flush_caches();
+        assert_eq!(cached.cached_routes(), 0);
+    }
+
+    #[test]
+    fn invalidation_targets_touched_buckets_only() {
+        let net = network(1 << 9, 4);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(1));
+        let batch = QueryBatch::uniform(&net, 3_000, 5);
+        engine.run_batch(&net, &batch);
+        let populated = engine.cached_routes();
+        assert!(populated > 0);
+        assert_eq!(engine.invalidate_nodes(&[], net.len()), 0);
+        // Node 0's bucket is on many leftward routes; flushing it drops some but not
+        // (in general) all entries.
+        let flushed = engine.invalidate_nodes(&[0], net.len());
+        assert!(flushed > 0, "bucket 0 must appear in some cached route");
+        assert_eq!(engine.cached_routes(), populated - flushed);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_fail_cleanly_instead_of_panicking() {
+        let net = network(256, 6);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(2));
+        let batch = QueryBatch::from_pairs(0, vec![(1 << 20, 5), (5, 1 << 20), (3, 200)]);
+        let report = engine.run_batch(&net, &batch);
+        assert_eq!(report.queries(), 3);
+        assert!(!report.outcomes()[0].delivered);
+        assert!(!report.outcomes()[1].delivered);
+        assert!(report.outcomes()[2].delivered);
+    }
+
+    #[test]
+    fn reports_resolved_thread_count() {
+        let engine = QueryEngine::new(EngineConfig::default().threads(3));
+        assert_eq!(engine.threads(), 3);
+        assert!(QueryEngine::new(EngineConfig::default()).threads() >= 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Batch-level results and statistics.
+
+use faultline_overlay::NodeId;
+use faultline_sim::Summary;
+use std::time::Duration;
+
+/// The outcome of one query in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Source node of the lookup.
+    pub source: NodeId,
+    /// Target node of the lookup.
+    pub target: NodeId,
+    /// Whether the lookup reached its target (possibly as reported by a cached route).
+    pub delivered: bool,
+    /// Hop count (delivery time in messages).
+    pub hops: u64,
+    /// Fault-strategy interventions.
+    pub recoveries: u64,
+    /// Whether the result came from the route cache.
+    pub cached: bool,
+    /// Wall-clock nanoseconds this query took on its worker (0 for cache hits measured
+    /// below timer resolution).
+    pub nanos: u64,
+}
+
+/// Aggregate report for one executed batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    outcomes: Vec<QueryOutcome>,
+    wall: Duration,
+    threads: usize,
+}
+
+impl BatchReport {
+    pub(crate) fn new(outcomes: Vec<QueryOutcome>, wall: Duration, threads: usize) -> Self {
+        Self {
+            outcomes,
+            wall,
+            threads,
+        }
+    }
+
+    /// Per-query outcomes, in batch order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[QueryOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of queries executed.
+    #[must_use]
+    pub fn queries(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of delivered lookups.
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.delivered).count()
+    }
+
+    /// Fraction of lookups that delivered (1.0 for an empty batch).
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            1.0
+        } else {
+            self.delivered() as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Number of results served from the route cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
+    /// Wall-clock time the whole batch took.
+    #[must_use]
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Worker threads the batch ran on.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Queries per second of wall-clock time. Returns `0.0` when no measurable time
+    /// elapsed (empty batch, or a clock too coarse to observe it), so the JSON export
+    /// never contains a non-finite number.
+    #[must_use]
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Hop-count summary over **delivered** lookups (the paper's delivery-time metric).
+    /// `None` if nothing delivered.
+    #[must_use]
+    pub fn hop_summary(&self) -> Option<Summary> {
+        Summary::of(
+            self.outcomes
+                .iter()
+                .filter(|o| o.delivered)
+                .map(|o| o.hops as f64),
+        )
+    }
+
+    /// Per-query wall-time summary in nanoseconds, over all lookups.
+    #[must_use]
+    pub fn latency_summary(&self) -> Option<Summary> {
+        Summary::of(self.outcomes.iter().map(|o| o.nanos as f64))
+    }
+
+    /// Renders the report as a JSON object (hand-rolled: the workspace builds offline
+    /// and carries no JSON dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let hops = self.hop_summary();
+        let latency = self.latency_summary();
+        let quantiles =
+            |s: &Option<Summary>, f: fn(&Summary) -> f64| -> f64 { s.as_ref().map_or(0.0, f) };
+        format!(
+            concat!(
+                "{{\"queries\":{},\"delivered\":{},\"success_rate\":{:.6},",
+                "\"cache_hits\":{},\"threads\":{},\"wall_ms\":{:.3},",
+                "\"queries_per_sec\":{:.1},",
+                "\"hops\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\"mean\":{:.3}}},",
+                "\"latency_ns\":{{\"p50\":{:.0},\"p95\":{:.0},\"p99\":{:.0}}}}}"
+            ),
+            self.queries(),
+            self.delivered(),
+            self.success_rate(),
+            self.cache_hits(),
+            self.threads,
+            self.wall.as_secs_f64() * 1e3,
+            self.queries_per_sec(),
+            quantiles(&hops, |s| s.median),
+            quantiles(&hops, |s| s.p95),
+            quantiles(&hops, |s| s.p99),
+            quantiles(&hops, |s| s.mean),
+            quantiles(&latency, |s| s.median),
+            quantiles(&latency, |s| s.p95),
+            quantiles(&latency, |s| s.p99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(delivered: bool, hops: u64, cached: bool) -> QueryOutcome {
+        QueryOutcome {
+            source: 0,
+            target: 1,
+            delivered,
+            hops,
+            recoveries: 0,
+            cached,
+            nanos: 100,
+        }
+    }
+
+    #[test]
+    fn aggregates_count_correctly() {
+        let report = BatchReport::new(
+            vec![
+                outcome(true, 4, false),
+                outcome(true, 8, true),
+                outcome(false, 2, false),
+            ],
+            Duration::from_millis(10),
+            4,
+        );
+        assert_eq!(report.queries(), 3);
+        assert_eq!(report.delivered(), 2);
+        assert!((report.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.cache_hits(), 1);
+        assert_eq!(report.threads(), 4);
+        let hops = report.hop_summary().unwrap();
+        assert_eq!(hops.count, 2);
+        assert_eq!(hops.mean, 6.0);
+        assert!(report.queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_vacuously_successful() {
+        let report = BatchReport::new(vec![], Duration::from_millis(1), 1);
+        assert_eq!(report.success_rate(), 1.0);
+        assert!(report.hop_summary().is_none());
+    }
+
+    #[test]
+    fn json_has_the_headline_fields() {
+        let report = BatchReport::new(vec![outcome(true, 4, false)], Duration::from_millis(2), 2);
+        let json = report.to_json();
+        for field in [
+            "\"queries\":1",
+            "\"success_rate\":1.000000",
+            "\"queries_per_sec\"",
+            "\"p95\"",
+            "\"latency_ns\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn schedule_iterates_in_order() {
-        let schedule =
-            ChurnSchedule::from_events(vec![ChurnEvent::Join(3), ChurnEvent::Leave(3)]);
+        let schedule = ChurnSchedule::from_events(vec![ChurnEvent::Join(3), ChurnEvent::Leave(3)]);
         let collected: Vec<_> = schedule.clone().into_iter().collect();
         assert_eq!(collected, vec![ChurnEvent::Join(3), ChurnEvent::Leave(3)]);
         assert!(!schedule.is_empty());

@@ -52,7 +52,10 @@ impl NodeFailure {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn independent(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "failure probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "failure probability must be in [0, 1]"
+        );
         Self {
             mode: NodeFailureMode::Independent(p),
         }
@@ -119,7 +122,10 @@ impl FailurePlan for NodeFailure {
 /// always retained so that an overlay exists).
 #[must_use]
 pub fn binomial_present_set<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> Vec<NodeId> {
-    assert!((0.0..=1.0).contains(&p), "presence probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "presence probability must be in [0, 1]"
+    );
     let mut present: Vec<NodeId> = (0..n).filter(|_| rng.gen_bool(p)).collect();
     if present.is_empty() {
         present.push(rng.gen_range(0..n));

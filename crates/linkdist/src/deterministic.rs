@@ -262,7 +262,7 @@ mod tests {
         let spec = BaseBLinks::new(2, &geometry);
         // (b-1) * ceil(log_b n) = 10 rungs, both directions <= 20 links.
         let ell = spec.links_per_node(0);
-        assert!(ell >= 10 && ell <= 20, "got {ell}");
+        assert!((10..=20).contains(&ell), "got {ell}");
         assert!(spec.link_probability(0, 1).is_none());
     }
 

@@ -227,7 +227,8 @@ mod tests {
                 count_d32 += 1;
             }
         }
-        let p_d1 = dist.link_probability(from, 65).unwrap() + dist.link_probability(from, 63).unwrap();
+        let p_d1 =
+            dist.link_probability(from, 65).unwrap() + dist.link_probability(from, 63).unwrap();
         let p_d32 =
             dist.link_probability(from, 96).unwrap() + dist.link_probability(from, 32).unwrap();
         let f_d1 = count_d1 as f64 / draws as f64;

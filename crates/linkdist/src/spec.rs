@@ -49,7 +49,9 @@ pub trait LinkSpec: std::fmt::Debug {
     fn links_per_node(&self, ell: usize) -> usize {
         match self.kind() {
             SpecKind::Randomized => ell,
-            SpecKind::Deterministic => self.targets(0, ell, &mut rand::rngs::mock::StepRng::new(0, 1)).len(),
+            SpecKind::Deterministic => self
+                .targets(0, ell, &mut rand::rngs::mock::StepRng::new(0, 1))
+                .len(),
         }
     }
 }

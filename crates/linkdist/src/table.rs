@@ -151,7 +151,10 @@ mod tests {
         // of all links are "short", the signature property of the exponent-1 law.
         let expected = t.weight_up_to(sqrt) / t.weight_up_to(bound);
         let frac = below_sqrt as f64 / samples as f64;
-        assert!((frac - expected).abs() < 0.02, "observed fraction {frac}, expected {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "observed fraction {frac}, expected {expected}"
+        );
         assert!((0.45..0.6).contains(&expected));
     }
 

@@ -43,8 +43,8 @@ mod space;
 
 pub use geometry::Geometry;
 pub use grid::{Grid2d, Point2, Torus2d};
-pub use key::{Key, KeySpace};
 pub use key::splitmix64;
+pub use key::{Key, KeySpace};
 pub use line::LineSpace;
 pub use ring::RingSpace;
 pub use space::{Direction, MetricSpace, OneDimensional};

@@ -69,7 +69,10 @@ impl GraphBuilder {
     /// restricts the overlay to them. At least one node is always retained.
     #[must_use]
     pub fn binomial_presence<R: Rng + ?Sized>(self, p: f64, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&p), "presence probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "presence probability must be in [0,1]"
+        );
         let n = self.geometry.len();
         let mut present: Vec<NodeId> = (0..n).filter(|_| rng.gen_bool(p)).collect();
         if present.is_empty() {
@@ -139,7 +142,9 @@ impl GraphBuilder {
 pub fn build_paper_overlay<R: Rng>(n: u64, ell: usize, rng: &mut R) -> OverlayGraph {
     let geometry = Geometry::line(n);
     let spec = faultline_linkdist::InversePowerLaw::exponent_one(&geometry);
-    GraphBuilder::new(geometry).links_per_node(ell).build(&spec, rng)
+    GraphBuilder::new(geometry)
+        .links_per_node(ell)
+        .build(&spec, rng)
 }
 
 #[cfg(test)]
@@ -153,7 +158,9 @@ mod tests {
         let geometry = Geometry::line(64);
         let spec = InversePowerLaw::exponent_one(&geometry);
         let mut rng = StdRng::seed_from_u64(0);
-        let g = GraphBuilder::new(geometry).links_per_node(3).build(&spec, &mut rng);
+        let g = GraphBuilder::new(geometry)
+            .links_per_node(3)
+            .build(&spec, &mut rng);
         for p in 0..64u64 {
             let nbrs: Vec<_> = g.usable_neighbors(p).collect();
             if p > 0 {
@@ -170,7 +177,9 @@ mod tests {
         let geometry = Geometry::ring(32);
         let spec = UniformLinks::new(&geometry);
         let mut rng = StdRng::seed_from_u64(1);
-        let g = GraphBuilder::new(geometry).links_per_node(1).build(&spec, &mut rng);
+        let g = GraphBuilder::new(geometry)
+            .links_per_node(1)
+            .build(&spec, &mut rng);
         assert!(g.usable_neighbors(0).any(|t| t == 31));
         assert!(g.usable_neighbors(31).any(|t| t == 0));
     }
@@ -181,7 +190,9 @@ mod tests {
         let spec = InversePowerLaw::exponent_one(&geometry);
         let mut rng = StdRng::seed_from_u64(7);
         let ell = 8;
-        let g = GraphBuilder::new(geometry).links_per_node(ell).build(&spec, &mut rng);
+        let g = GraphBuilder::new(geometry)
+            .links_per_node(ell)
+            .build(&spec, &mut rng);
         let total: usize = (0..g.len()).map(|p| g.long_degree(p)).sum();
         let mean = total as f64 / g.len() as f64;
         assert!(mean > ell as f64 * 0.8, "mean long degree {mean} too low");
@@ -224,7 +235,9 @@ mod tests {
         let geometry = Geometry::line(256);
         let spec = BaseBLinks::new(2, &geometry);
         let mut rng = StdRng::seed_from_u64(11);
-        let g = GraphBuilder::new(geometry).links_per_node(1).build(&spec, &mut rng);
+        let g = GraphBuilder::new(geometry)
+            .links_per_node(1)
+            .build(&spec, &mut rng);
         // Node in the middle should have roughly 2*log2(256) = 16 long links.
         let deg = g.long_degree(128);
         assert!(deg >= 8, "expected a full ladder, got {deg}");

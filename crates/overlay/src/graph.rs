@@ -154,10 +154,7 @@ impl OverlayGraph {
     /// Returns `true` if the node at `p` exists and has not crashed.
     #[must_use]
     pub fn is_alive(&self, p: NodeId) -> bool {
-        self.nodes
-            .get(p as usize)
-            .map(|n| n.alive)
-            .unwrap_or(false)
+        self.nodes.get(p as usize).map(|n| n.alive).unwrap_or(false)
     }
 
     /// Read-only access to a node record.
@@ -220,7 +217,9 @@ impl OverlayGraph {
         }
         let birth = self.next_birth;
         self.next_birth += 1;
-        self.nodes[from as usize].links.push(Link::new(to, kind, birth));
+        self.nodes[from as usize]
+            .links
+            .push(Link::new(to, kind, birth));
         birth
     }
 
@@ -248,7 +247,12 @@ impl OverlayGraph {
     /// This is the primitive used by the Section 5 replacement heuristic ("each chosen
     /// point `u` responds to `v`'s request by choosing one of its existing links to be
     /// replaced by a link to `v`").
-    pub fn redirect_long_link(&mut self, from: NodeId, old_target: NodeId, new_target: NodeId) -> bool {
+    pub fn redirect_long_link(
+        &mut self,
+        from: NodeId,
+        old_target: NodeId,
+        new_target: NodeId,
+    ) -> bool {
         if !self.is_present(new_target) || from == new_target {
             return false;
         }
@@ -294,11 +298,7 @@ impl OverlayGraph {
         let Some(node) = self.nodes.get_mut(from as usize) else {
             return false;
         };
-        if let Some(link) = node
-            .links
-            .iter_mut()
-            .find(|l| l.alive && l.target == to)
-        {
+        if let Some(link) = node.links.iter_mut().find(|l| l.alive && l.target == to) {
             link.alive = false;
             true
         } else {

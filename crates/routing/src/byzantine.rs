@@ -237,7 +237,9 @@ mod tests {
         let geometry = Geometry::line(n);
         let spec = InversePowerLaw::exponent_one(&geometry);
         let mut rng = StdRng::seed_from_u64(seed);
-        GraphBuilder::new(geometry).links_per_node(ell).build(&spec, &mut rng)
+        GraphBuilder::new(geometry)
+            .links_per_node(ell)
+            .build(&spec, &mut rng)
     }
 
     #[test]

@@ -4,7 +4,9 @@ use faultline_metric::{Direction, MetricSpace, OneDimensional};
 use faultline_overlay::{NodeId, OverlayGraph};
 
 /// Which greedy variant to use (Section 4.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum GreedyMode {
     /// "In one-sided greedy routing, the algorithm never traverses a link that would take
     /// it past its target." The message only ever moves towards the target from one side,
@@ -13,13 +15,8 @@ pub enum GreedyMode {
     /// "In two-sided greedy routing, the algorithm chooses a link that minimizes the
     /// distance to the target, without regard to which side of the target the other end
     /// of the link is."
+    #[default]
     TwoSided,
-}
-
-impl Default for GreedyMode {
-    fn default() -> Self {
-        GreedyMode::TwoSided
-    }
 }
 
 /// Returns the best usable next hop from `current` towards `target`, if any.

@@ -49,3 +49,16 @@ pub use greedy::{best_neighbor, direction_towards, GreedyMode};
 pub use result::{FailureReason, RouteOutcome, RouteResult};
 pub use router::Router;
 pub use strategy::FaultStrategy;
+
+// Compile-time contract for the parallel query engine: routing configuration carries no
+// interior mutability, no `Rc`, and no captive RNG, so a single `Router` (and the
+// strategy/mode enums inside it) can be shared or copied freely across worker threads.
+// All per-route randomness is passed in by the caller, which threads explicit per-query
+// seeds through instead. Breaking this (e.g. by caching an RNG inside `Router`) fails
+// this assertion rather than surfacing as a distant engine compile error.
+const _: () = {
+    const fn assert_thread_shareable<T: Send + Sync + Copy>() {}
+    assert_thread_shareable::<Router>();
+    assert_thread_shareable::<FaultStrategy>();
+    assert_thread_shareable::<GreedyMode>();
+};

@@ -263,7 +263,9 @@ mod tests {
         let geometry = Geometry::line(n);
         let spec = InversePowerLaw::exponent_one(&geometry);
         let mut rng = StdRng::seed_from_u64(seed);
-        GraphBuilder::new(geometry).links_per_node(ell).build(&spec, &mut rng)
+        GraphBuilder::new(geometry)
+            .links_per_node(ell)
+            .build(&spec, &mut rng)
     }
 
     #[test]
@@ -391,7 +393,10 @@ mod tests {
                 assert_eq!(r.recoveries, 2);
             }
         }
-        assert!(delivered > 0, "some re-routes should land past the dead zone");
+        assert!(
+            delivered > 0,
+            "some re-routes should land past the dead zone"
+        );
         assert!(exhausted > 0, "some re-routes should exhaust their budget");
     }
 

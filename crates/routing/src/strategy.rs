@@ -4,9 +4,12 @@
 ///
 /// Section 6 compares exactly these three strategies; Figure 6 plots their failed-search
 /// fraction and delivery time as the node-failure fraction grows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum FaultStrategy {
     /// "Terminate the search." The baseline strategy: any dead end is a failed search.
+    #[default]
     Terminate,
     /// "Randomly choose another node, deliver the message to this new node and then try
     /// to deliver the message from this node to the original destination node (similar to
@@ -52,12 +55,6 @@ impl FaultStrategy {
             }
             FaultStrategy::Backtrack { history } => format!("backtrack(history={history})"),
         }
-    }
-}
-
-impl Default for FaultStrategy {
-    fn default() -> Self {
-        FaultStrategy::Terminate
     }
 }
 

@@ -8,10 +8,16 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn build(n: u64, ell: usize, seed: u64, ring: bool) -> OverlayGraph {
-    let geometry = if ring { Geometry::ring(n) } else { Geometry::line(n) };
+    let geometry = if ring {
+        Geometry::ring(n)
+    } else {
+        Geometry::line(n)
+    };
     let spec = InversePowerLaw::exponent_one(&geometry);
     let mut rng = StdRng::seed_from_u64(seed);
-    GraphBuilder::new(geometry).links_per_node(ell).build(&spec, &mut rng)
+    GraphBuilder::new(geometry)
+        .links_per_node(ell)
+        .build(&spec, &mut rng)
 }
 
 proptest! {

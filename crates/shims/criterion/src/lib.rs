@@ -1,0 +1,256 @@
+//! Offline stand-in for the subset of `criterion` the workspace's benches use.
+//!
+//! Implements [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros with real wall-clock measurement:
+//! each benchmark is warmed up once, then timed over an adaptively chosen iteration
+//! count, and the mean time per iteration is printed as a single line. There is no
+//! statistical analysis, HTML report or regression detection — the point is that
+//! `cargo bench` runs the existing bench files unchanged and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Kept short: these benches exist to give a
+/// relative trajectory across PRs, not publication-grade confidence intervals.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// Entry point handle passed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (scales how long each benchmark measures).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter.
+    #[must_use]
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An identifier consisting of a parameter only.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into(), &mut body);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Closes the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, body: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            measure: TARGET_MEASURE * (self.sample_size as u32).clamp(1, 50) / 10,
+            report: None,
+        };
+        body(&mut bencher);
+        match bencher.report {
+            Some((iters, total)) => {
+                let per_iter = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "bench {}/{}: {} ({} iters in {:.1?})",
+                    self.name,
+                    id,
+                    format_nanos(per_iter),
+                    iters,
+                    total
+                );
+            }
+            None => println!(
+                "bench {}/{}: no measurement (Bencher::iter never called)",
+                self.name, id
+            ),
+        }
+    }
+}
+
+/// Formats a nanosecond duration with a sensible unit.
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times a closure over an adaptively chosen iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing iterations and elapsed time for the group report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: double the batch until it is long enough to time.
+        let mut batch: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: repeat calibrated batches until the target time is spent.
+        let mut iters = batch;
+        let mut total = elapsed;
+        while total < self.measure {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.report = Some((iters, total));
+    }
+}
+
+/// Prevents the optimiser from discarding a value (re-export of `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut criterion = Criterion::default().sample_size(1);
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(1)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+        assert_eq!(BenchmarkId::new("route", 7).to_string(), "route/7");
+    }
+}

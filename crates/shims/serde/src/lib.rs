@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Exposes `Serialize`/`Deserialize` both as derive macros (no-op expansions from the
+//! vendored `serde_derive`) and as marker traits with blanket implementations, so both
+//! `#[derive(serde::Serialize)]` attributes and `T: serde::Serialize` bounds compile.
+//! No serialisation machinery exists behind them; the workspace never serialises values.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace builds offline, so the real `serde` cannot be fetched. Nothing in the
+//! workspace actually serialises values — the derives only mark types as
+//! serialisation-ready for downstream users — so expanding to nothing is sufficient and
+//! keeps every `#[derive(serde::Serialize, serde::Deserialize)]` attribute compiling
+//! unchanged. Swapping the real serde back in later requires only a manifest change.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -56,7 +56,11 @@ impl Accumulator {
         let n = self.samples.len();
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("observations must not be NaN"));
-        let variance = if n > 1 { self.m2 / (n as f64 - 1.0) } else { 0.0 };
+        let variance = if n > 1 {
+            self.m2 / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
         let quantile = |q: f64| -> f64 {
             let idx = ((n as f64 - 1.0) * q).round() as usize;
             sorted[idx.min(n - 1)]
@@ -70,6 +74,7 @@ impl Accumulator {
             max: sorted[n - 1],
             median: quantile(0.5),
             p90: quantile(0.9),
+            p95: quantile(0.95),
             p99: quantile(0.99),
         })
     }
@@ -102,6 +107,8 @@ pub struct Summary {
     pub median: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 95th percentile (the query engine reports p50/p95/p99 latency ladders).
+    pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
 }
@@ -175,6 +182,7 @@ mod tests {
         let s = Summary::of((1..=1000).map(f64::from)).unwrap();
         assert!((s.median - 500.0).abs() <= 1.0);
         assert!((s.p90 - 900.0).abs() <= 2.0);
+        assert!((s.p95 - 950.0).abs() <= 2.0);
         assert!((s.p99 - 990.0).abs() <= 2.0);
         assert_eq!(s.count, 1000);
     }

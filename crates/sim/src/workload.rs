@@ -10,9 +10,10 @@
 use rand::Rng;
 
 /// How (source, target) pairs are drawn from a population of alive nodes.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Workload {
     /// Source and target drawn independently and uniformly (the paper's workload).
+    #[default]
     UniformPairs,
     /// All messages originate at one vantage node; targets are uniform.
     FixedSource {
@@ -30,12 +31,6 @@ pub enum Workload {
         /// Zipf exponent `s ≥ 0`.
         exponent: f64,
     },
-}
-
-impl Default for Workload {
-    fn default() -> Self {
-        Workload::UniformPairs
-    }
 }
 
 impl Workload {
@@ -93,7 +88,9 @@ impl Workload {
         count: usize,
         rng: &mut R,
     ) -> Vec<(usize, usize)> {
-        (0..count).map(|_| self.sample_pair(alive_len, rng)).collect()
+        (0..count)
+            .map(|_| self.sample_pair(alive_len, rng))
+            .collect()
     }
 }
 
@@ -162,8 +159,12 @@ mod tests {
     #[test]
     fn labels_identify_the_workload() {
         assert_eq!(Workload::default().label(), "uniform-pairs");
-        assert!(Workload::ZipfTargets { exponent: 0.8 }.label().contains("0.8"));
-        assert!(Workload::FixedTarget { target_index: 2 }.label().contains("2"));
+        assert!(Workload::ZipfTargets { exponent: 0.8 }
+            .label()
+            .contains("0.8"));
+        assert!(Workload::FixedTarget { target_index: 2 }
+            .label()
+            .contains("2"));
     }
 
     #[test]

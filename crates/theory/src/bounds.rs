@@ -29,7 +29,9 @@ pub struct Table1Row {
 /// All functions take natural logarithms where the paper writes `log` without a base; the
 /// Table 1 benchmark only compares *shapes* (ratios across `n`), so constant factors and
 /// log bases cancel out of the comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct ModelBounds;
 
 impl ModelBounds {
@@ -59,7 +61,10 @@ impl ModelBounds {
     /// `O(log²n / (pℓ))`, explicit form `(1 + lg n) · 8H_n / (pℓ)`.
     #[must_use]
     pub fn upper_link_failure(n: u64, ell: f64, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "link presence probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "link presence probability must be in (0, 1]"
+        );
         Self::upper_multi_link(n, ell) / p
     }
 
@@ -67,7 +72,10 @@ impl ModelBounds {
     /// `1 + 2(b − q)·H_{n−1}/p` with `q = 1 − p`.
     #[must_use]
     pub fn upper_ladder_link_failure(n: u64, base: u64, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "link presence probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "link presence probability must be in (0, 1]"
+        );
         assert!(base >= 2, "the power ladder needs base ≥ 2");
         let q = 1.0 - p;
         1.0 + 2.0 * (base as f64 - q) * harmonic(n.saturating_sub(1)) / p
@@ -84,7 +92,10 @@ impl ModelBounds {
     /// `O(log²n / ((1 − p)·ℓ))`.
     #[must_use]
     pub fn upper_node_failure(n: u64, ell: f64, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "node failure probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "node failure probability must be in [0, 1)"
+        );
         Self::upper_multi_link(n, ell) / (1.0 - p)
     }
 
@@ -115,7 +126,13 @@ impl ModelBounds {
 
     /// Evaluates every row of Table 1 at the given parameters, in the paper's order.
     #[must_use]
-    pub fn table1(n: u64, ell: f64, base: u64, link_presence: f64, node_failure: f64) -> Vec<Table1Row> {
+    pub fn table1(
+        n: u64,
+        ell: f64,
+        base: u64,
+        link_presence: f64,
+        node_failure: f64,
+    ) -> Vec<Table1Row> {
         vec![
             Table1Row {
                 model: "no failures, ℓ = 1".to_owned(),
@@ -190,7 +207,10 @@ mod tests {
 
     #[test]
     fn deterministic_bound_is_logarithmic_in_base() {
-        assert!(ModelBounds::upper_deterministic(1 << 20, 2) > ModelBounds::upper_deterministic(1 << 20, 16));
+        assert!(
+            ModelBounds::upper_deterministic(1 << 20, 2)
+                > ModelBounds::upper_deterministic(1 << 20, 16)
+        );
         assert!(ModelBounds::upper_deterministic(1 << 20, 2) <= 21.0);
     }
 
@@ -203,7 +223,9 @@ mod tests {
                     ModelBounds::lower_one_sided(n, ell) <= ModelBounds::upper_multi_link(n, ell),
                     "lower bound exceeds upper bound at n=2^{exp}, ell={ell}"
                 );
-                assert!(ModelBounds::lower_two_sided(n, ell) <= ModelBounds::lower_one_sided(n, ell));
+                assert!(
+                    ModelBounds::lower_two_sided(n, ell) <= ModelBounds::lower_one_sided(n, ell)
+                );
             }
         }
     }
@@ -224,7 +246,10 @@ mod tests {
             assert!(row.upper.is_finite() && row.upper > 0.0, "{row:?}");
             if let Some(lower) = row.lower {
                 assert!(lower.is_finite() && lower > 0.0);
-                assert!(lower <= row.upper * 10.0, "lower bound suspiciously above upper: {row:?}");
+                assert!(
+                    lower <= row.upper * 10.0,
+                    "lower bound suspiciously above upper: {row:?}"
+                );
             }
         }
     }

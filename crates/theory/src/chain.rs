@@ -124,7 +124,8 @@ impl GreedyChain {
                     let d = self
                         .table
                         .sample_distance(self.n - 1, rng)
-                        .expect("n >= 2 guarantees a candidate distance") as i64;
+                        .expect("n >= 2 guarantees a candidate distance")
+                        as i64;
                     offsets.push(if rng.gen_bool(0.5) { d } else { -d });
                 }
             }
@@ -175,7 +176,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for start in [1u64, 17, 100, 255] {
             let steps = chain.run_from(start, &mut rng);
-            assert!(steps <= 256, "chain should absorb within n steps, took {steps}");
+            assert!(
+                steps <= 256,
+                "chain should absorb within n steps, took {steps}"
+            );
         }
     }
 
@@ -214,7 +218,12 @@ mod tests {
             .estimate(400, &mut rng);
         let two = GreedyChain::new(n, OffsetDistribution::InversePowerLaw { ell: 4 }, false)
             .estimate(400, &mut rng);
-        assert!(one.mean_steps + 1.0 >= two.mean_steps, "one-sided {} vs two-sided {}", one.mean_steps, two.mean_steps);
+        assert!(
+            one.mean_steps + 1.0 >= two.mean_steps,
+            "one-sided {} vs two-sided {}",
+            one.mean_steps,
+            two.mean_steps
+        );
     }
 
     #[test]

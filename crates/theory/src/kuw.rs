@@ -17,7 +17,10 @@ use faultline_linkdist::harmonic;
 #[must_use]
 pub fn kuw_upper_bound<F: Fn(f64) -> f64>(lo: f64, hi: f64, steps: usize, mu: F) -> f64 {
     assert!(lo > 0.0, "the lower integration limit must be positive");
-    assert!(hi >= lo, "the upper limit must not be below the lower limit");
+    assert!(
+        hi >= lo,
+        "the upper limit must not be below the lower limit"
+    );
     assert!(steps > 0, "at least one integration step is required");
     if hi == lo {
         return 0.0;

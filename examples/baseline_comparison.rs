@@ -25,7 +25,11 @@ struct Row {
 
 fn summarize(outcomes: &[(bool, u64)]) -> (f64, f64) {
     let failed = outcomes.iter().filter(|(ok, _)| !ok).count() as f64 / outcomes.len() as f64;
-    let delivered: Vec<u64> = outcomes.iter().filter(|(ok, _)| *ok).map(|&(_, h)| h).collect();
+    let delivered: Vec<u64> = outcomes
+        .iter()
+        .filter(|(ok, _)| *ok)
+        .map(|&(_, h)| h)
+        .collect();
     let mean = if delivered.is_empty() {
         f64::NAN
     } else {
@@ -44,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = StdRng::seed_from_u64(1000 + u64::from(tenth));
 
         // faultline (this paper), with backtracking.
-        let config = NetworkConfig::paper_default(n).fault_strategy(FaultStrategy::paper_backtrack());
+        let config =
+            NetworkConfig::paper_default(n).fault_strategy(FaultStrategy::paper_backtrack());
         let mut faultline_net = Network::build(&config, &mut rng);
         faultline_net.apply_failure(&NodeFailure::fraction(fraction), &mut rng);
         let stats = faultline_net.route_random_batch(messages as u64, &mut rng)?;
@@ -68,7 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         let (failure_rate, mean_hops) = summarize(&outcomes);
-        rows.push(Row { system: "Chord fingers", failed_fraction: fraction, failure_rate, mean_hops });
+        rows.push(Row {
+            system: "Chord fingers",
+            failed_fraction: fraction,
+            failure_rate,
+            mean_hops,
+        });
 
         // Kleinberg 2-D grid (64 x 64 = 4096 nodes, 2 long contacts).
         let mut grid = KleinbergGrid::kleinberg_optimal(64, 2, &mut rng);
@@ -83,7 +93,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         let (failure_rate, mean_hops) = summarize(&outcomes);
-        rows.push(Row { system: "Kleinberg 2-D grid", failed_fraction: fraction, failure_rate, mean_hops });
+        rows.push(Row {
+            system: "Kleinberg 2-D grid",
+            failed_fraction: fraction,
+            failure_rate,
+            mean_hops,
+        });
 
         // Plaxton-style digit routing (2^12 ids).
         let mut plaxton = PlaxtonNetwork::new(2, 12);
@@ -98,7 +113,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         let (failure_rate, mean_hops) = summarize(&outcomes);
-        rows.push(Row { system: "Plaxton digits", failed_fraction: fraction, failure_rate, mean_hops });
+        rows.push(Row {
+            system: "Plaxton digits",
+            failed_fraction: fraction,
+            failure_rate,
+            mean_hops,
+        });
     }
 
     println!(

@@ -57,7 +57,11 @@ fn main() {
                 byz_fraction,
                 redundancy,
                 delivered as f64 / lookups as f64,
-                if delivered > 0 { winning_hops as f64 / delivered as f64 } else { f64::NAN },
+                if delivered > 0 {
+                    winning_hops as f64 / delivered as f64
+                } else {
+                    f64::NAN
+                },
                 total_hops as f64 / lookups as f64,
             );
         }

@@ -51,8 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for event in schedule {
         match event {
-            ChurnEvent::Join(p) => network.join(p, &mut rng)?,
-            ChurnEvent::Leave(p) => network.leave(p, &mut rng)?,
+            ChurnEvent::Join(p) => {
+                network.join(p, &mut rng)?;
+            }
+            ChurnEvent::Leave(p) => {
+                network.leave(p, &mut rng)?;
+            }
         }
     }
 

@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "lookup {name:<24} from node {origin:>5}: delivered={} hops={} value={}",
             route.is_delivered(),
             route.hops,
-            value.map(|v| String::from_utf8_lossy(&v).into_owned()).unwrap_or_default()
+            value
+                .map(|v| String::from_utf8_lossy(&v).into_owned())
+                .unwrap_or_default()
         );
     }
 

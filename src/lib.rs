@@ -38,6 +38,8 @@ pub use faultline_core::{
 pub use faultline_baselines as baselines;
 /// Dynamic construction and maintenance heuristics (Section 5).
 pub use faultline_construction as construction;
+/// Sharded, parallel query engine: batched lookups, route caching, churn interleaving.
+pub use faultline_engine as engine;
 /// Failure models (link failures, node failures, churn, region failures).
 pub use faultline_failure as failure;
 /// Long-distance link distributions.
@@ -66,6 +68,7 @@ mod tests {
         let _ = crate::sim::seed_for_trial(1, 2);
         let _ = crate::failure::NodeFailure::fraction(0.1);
         let _ = crate::baselines::PlaxtonNetwork::new(2, 3);
+        let _ = crate::engine::EngineConfig::default();
         let _ = crate::NetworkConfig::paper_default(16);
     }
 }

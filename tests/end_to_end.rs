@@ -15,9 +15,13 @@ fn resource_location_end_to_end() {
     let mut network = Network::build(&config, &mut rng);
 
     // Insert 200 resources and look every one of them up from random origins.
-    let keys: Vec<Key> = (0..200).map(|i| Key::from_name(&format!("resource-{i}"))).collect();
+    let keys: Vec<Key> = (0..200)
+        .map(|i| Key::from_name(&format!("resource-{i}")))
+        .collect();
     for (i, key) in keys.iter().enumerate() {
-        network.insert(*key, format!("value-{i}").into_bytes()).unwrap();
+        network
+            .insert(*key, format!("value-{i}").into_bytes())
+            .unwrap();
     }
     assert_eq!(network.directory().len(), 200);
 
@@ -37,8 +41,8 @@ fn resource_location_end_to_end() {
 #[test]
 fn lookups_survive_heavy_node_failures() {
     let mut rng = StdRng::seed_from_u64(2);
-    let config = NetworkConfig::paper_default(1 << 12)
-        .fault_strategy(FaultStrategy::paper_backtrack());
+    let config =
+        NetworkConfig::paper_default(1 << 12).fault_strategy(FaultStrategy::paper_backtrack());
     let mut network = Network::build(&config, &mut rng);
     let key = Key::from_name("important-dataset");
     network.insert(key, b"bits".to_vec()).unwrap();
@@ -76,13 +80,17 @@ fn link_failures_slow_routing_but_never_break_it() {
 #[test]
 fn region_failure_is_survivable_with_backtracking() {
     let mut rng = StdRng::seed_from_u64(4);
-    let config = NetworkConfig::paper_default(1 << 11)
-        .fault_strategy(FaultStrategy::paper_backtrack());
+    let config =
+        NetworkConfig::paper_default(1 << 11).fault_strategy(FaultStrategy::paper_backtrack());
     let mut network = Network::build(&config, &mut rng);
     network.apply_failure(&RegionFailure::at(500, 100), &mut rng);
     let stats = network.route_random_batch(200, &mut rng).unwrap();
     // Long links hop over the crater; most searches between surviving nodes succeed.
-    assert!(stats.failure_fraction() < 0.5, "failure fraction {}", stats.failure_fraction());
+    assert!(
+        stats.failure_fraction() < 0.5,
+        "failure fraction {}",
+        stats.failure_fraction()
+    );
 }
 
 #[test]
@@ -102,8 +110,12 @@ fn incremental_network_supports_churn_and_keeps_its_invariants() {
     let schedule = ChurnSchedule::generate(n, &initially, 600, 0.5, &mut rng);
     for event in schedule {
         match event {
-            ChurnEvent::Join(p) => network.join(p, &mut rng).unwrap(),
-            ChurnEvent::Leave(p) => network.leave(p, &mut rng).unwrap(),
+            ChurnEvent::Join(p) => {
+                network.join(p, &mut rng).unwrap();
+            }
+            ChurnEvent::Leave(p) => {
+                network.leave(p, &mut rng).unwrap();
+            }
         }
     }
 
@@ -111,7 +123,10 @@ fn incremental_network_supports_churn_and_keeps_its_invariants() {
     let graph = network.graph();
     let stats = DegreeStats::measure(graph);
     assert!(stats.nodes > 0);
-    assert!(stats.mean_long_degree > 1.0, "maintenance should preserve long links");
+    assert!(
+        stats.mean_long_degree > 1.0,
+        "maintenance should preserve long links"
+    );
     for &p in graph.present_nodes() {
         for link in graph.links(p) {
             if link.alive {
@@ -157,7 +172,8 @@ fn one_sided_and_ring_configurations_work_end_to_end() {
 fn deterministic_ladder_network_is_fast_but_brittle() {
     let mut rng = StdRng::seed_from_u64(7);
     let n = 1u64 << 12;
-    let ladder_config = NetworkConfig::paper_default(n).link_spec(LinkSpecChoice::BaseB { base: 2 });
+    let ladder_config =
+        NetworkConfig::paper_default(n).link_spec(LinkSpecChoice::BaseB { base: 2 });
     let random_config = NetworkConfig::paper_default(n);
 
     let ladder = Network::build(&ladder_config, &mut rng);
@@ -187,7 +203,10 @@ fn deterministic_ladder_network_is_fast_but_brittle() {
         let mut failure_rng = StdRng::seed_from_u64(8);
         network.apply_failure(&NodeFailure::fraction(0.4), &mut failure_rng);
     }
-    let ladder_fail = ladder.route_random_batch(300, &mut rng).unwrap().failure_fraction();
+    let ladder_fail = ladder
+        .route_random_batch(300, &mut rng)
+        .unwrap()
+        .failure_fraction();
     let terminate_fail = random_terminate
         .route_random_batch(300, &mut rng)
         .unwrap()
@@ -196,7 +215,10 @@ fn deterministic_ladder_network_is_fast_but_brittle() {
         .route_random_batch(300, &mut rng)
         .unwrap()
         .failure_fraction();
-    assert!(ladder_fail < 0.5, "ladder collapsed under random failures: {ladder_fail}");
+    assert!(
+        ladder_fail < 0.5,
+        "ladder collapsed under random failures: {ladder_fail}"
+    );
     assert!(
         backtrack_fail < terminate_fail,
         "backtracking ({backtrack_fail}) should recover searches that terminate loses ({terminate_fail})"

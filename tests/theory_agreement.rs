@@ -43,7 +43,10 @@ fn single_link_scaling_is_polylogarithmic_not_linear() {
     let large = measured_mean_hops(1 << 13, 1, 7, 400);
     let ratio = large / small;
     let h_ratio = (harmonic(1 << 13) / harmonic(1 << 9)).powi(2);
-    assert!(ratio < 6.0, "hop growth {ratio} looks super-polylogarithmic");
+    assert!(
+        ratio < 6.0,
+        "hop growth {ratio} looks super-polylogarithmic"
+    );
     assert!(
         ratio < h_ratio * 3.0,
         "hop growth {ratio} far exceeds the H_n^2 shape {h_ratio}"
