@@ -9,6 +9,14 @@ use faultline_bench::{engine_run, BenchArgs};
 fn main() {
     let args = BenchArgs::from_env();
     let mut config = engine_run::EngineBenchConfig::default_scale();
+    if args.quick {
+        // CI smoke scale: finishes in a few seconds in release builds while still
+        // exercising snapshot rebuilds, every cache phase and the churn interleave.
+        config.nodes = 1 << 12;
+        config.links = 12;
+        config.queries = 50_000;
+        config.epochs = 3;
+    }
     config.nodes = args.nodes_or(config.nodes, 1 << 17);
     config.links = args.links_or(config.links, 17);
     config.queries = args.messages_or(config.queries as u64, 1 << 20) as usize;

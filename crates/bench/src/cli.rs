@@ -11,6 +11,8 @@
 /// * `--seed S` — master seed.
 /// * `--paper-scale` — use the paper's full-size configuration (overrides the defaults
 ///   baked into each binary, not explicit flags).
+/// * `--quick` — a CI-sized smoke configuration: small enough to finish in seconds in
+///   release builds, large enough to catch throughput-path regressions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of grid points, if given on the command line.
@@ -25,6 +27,8 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Run at the paper's full scale.
     pub paper_scale: bool,
+    /// Run the CI smoke configuration.
+    pub quick: bool,
 }
 
 impl Default for BenchArgs {
@@ -36,6 +40,7 @@ impl Default for BenchArgs {
             messages: None,
             seed: 2002,
             paper_scale: false,
+            quick: false,
         }
     }
 }
@@ -51,7 +56,7 @@ impl BenchArgs {
             Err(message) => {
                 eprintln!("{message}");
                 eprintln!(
-                    "usage: [--nodes N] [--links L] [--trials T] [--messages M] [--seed S] [--paper-scale]"
+                    "usage: [--nodes N] [--links L] [--trials T] [--messages M] [--seed S] [--paper-scale] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -80,6 +85,7 @@ impl BenchArgs {
                 "--messages" => out.messages = Some(parse_number(&grab("--messages")?)?),
                 "--seed" => out.seed = parse_number(&grab("--seed")?)?,
                 "--paper-scale" => out.paper_scale = true,
+                "--quick" => out.quick = true,
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
@@ -169,6 +175,13 @@ mod tests {
         assert_eq!(args.trials_or(30, 1000), 1000);
         assert_eq!(args.links_or(13, 17), 17);
         assert_eq!(args.messages_or(50, 100), 100);
+    }
+
+    #[test]
+    fn quick_flag_parses() {
+        let args = parse(&["--quick"]);
+        assert!(args.quick);
+        assert!(!parse(&[]).quick);
     }
 
     #[test]

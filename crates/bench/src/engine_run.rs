@@ -58,8 +58,12 @@ impl EngineBenchConfig {
 pub struct EngineBenchReport {
     /// The configuration that produced it.
     pub config: EngineBenchConfig,
-    /// One batch with route caching disabled (every query exact).
+    /// One batch with route caching disabled (every query exact), routed over the live
+    /// graph — the pre-snapshot baseline.
     pub uncached: BatchReport,
+    /// The same batch, still uncached, through the compiled-snapshot (CSR) kernel; the
+    /// speedup over `uncached` is the cross-PR number this report tracks.
+    pub uncached_frozen: BatchReport,
     /// The same batch against a cold cache (misses populate it).
     pub cached_cold: BatchReport,
     /// A fresh batch against the now-warm cache (steady-state hit rate).
@@ -87,6 +91,18 @@ impl EngineBenchReport {
         self.interleaved.overall_success_rate()
     }
 
+    /// Headline: uncached speedup of the frozen CSR kernel over the live-graph walk
+    /// (`0.0` when the baseline measured no throughput).
+    #[must_use]
+    pub fn frozen_speedup(&self) -> f64 {
+        let baseline = self.uncached.queries_per_sec();
+        if baseline > 0.0 {
+            self.uncached_frozen.queries_per_sec() / baseline
+        } else {
+            0.0
+        }
+    }
+
     /// Renders the full report as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -95,8 +111,8 @@ impl EngineBenchReport {
                 "{{\"config\":{{\"nodes\":{},\"links\":{},\"queries\":{},\"threads\":{},",
                 "\"epochs\":{},\"churn_fraction\":{:.3},\"seed\":{}}},",
                 "\"headline\":{{\"queries_per_sec\":{:.1},\"p99_hops\":{:.1},",
-                "\"success_rate_under_churn\":{:.6}}},",
-                "\"uncached\":{},\"cached_cold\":{},\"cached_warm\":{},",
+                "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2}}},",
+                "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
                 "\"interleaved\":{}}}"
             ),
             self.config.nodes,
@@ -109,7 +125,9 @@ impl EngineBenchReport {
             self.queries_per_sec(),
             self.p99_hops(),
             self.success_rate_under_churn(),
+            self.frozen_speedup(),
             self.uncached.to_json(),
+            self.uncached_frozen.to_json(),
             self.cached_cold.to_json(),
             self.cached_warm.to_json(),
             self.interleaved.to_json(),
@@ -132,9 +150,17 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
     let mut uncached_engine = QueryEngine::new(
         EngineConfig::default()
             .threads(config.threads)
-            .cache_capacity(0),
+            .cache_capacity(0)
+            .frozen(false),
     );
     let uncached = uncached_engine.run_batch(&network, &batch);
+
+    let mut frozen_engine = QueryEngine::new(
+        EngineConfig::default()
+            .threads(config.threads)
+            .cache_capacity(0),
+    );
+    let uncached_frozen = frozen_engine.run_batch(&network, &batch);
 
     let mut cached_engine = QueryEngine::new(EngineConfig::default().threads(config.threads));
     let cached_cold = cached_engine.run_batch(&network, &batch);
@@ -154,6 +180,7 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
     EngineBenchReport {
         config: *config,
         uncached,
+        uncached_frozen,
         cached_cold,
         cached_warm,
         interleaved,
@@ -172,20 +199,28 @@ pub fn print(report: &EngineBenchReport) {
     );
     let line = |label: &str, batch: &BatchReport| {
         let hops = batch.hop_summary();
+        let latency = batch.latency_summary();
         println!(
-            "{:<22} {:>12.0} q/s   success {:>7.4}   hops p50/p95/p99 {:>5.1}/{:>5.1}/{:>5.1}   cache hits {:>7}",
+            "{:<22} {:>12.0} q/s   success {:>7.4}   hops p50/p95/p99 {:>5.1}/{:>5.1}/{:>5.1}   latency p50/p99 {:>6.0}/{:>6.0} ns   cache hits {:>7}",
             label,
             batch.queries_per_sec(),
             batch.success_rate(),
             hops.as_ref().map_or(0.0, |s| s.median),
             hops.as_ref().map_or(0.0, |s| s.p95),
             hops.as_ref().map_or(0.0, |s| s.p99),
+            latency.as_ref().map_or(0.0, |s| s.median),
+            latency.as_ref().map_or(0.0, |s| s.p99),
             batch.cache_hits(),
         );
     };
-    line("uncached", &report.uncached);
+    line("uncached (live graph)", &report.uncached);
+    line("uncached (frozen)", &report.uncached_frozen);
     line("cached (cold)", &report.cached_cold);
     line("cached (warm)", &report.cached_warm);
+    println!(
+        "frozen snapshot speedup on the uncached path: {:.2}x",
+        report.frozen_speedup()
+    );
     println!(
         "interleaved ({} epochs, {:.0}% churn/epoch): {:.0} q/s, success {:.4}",
         config.epochs,
@@ -226,6 +261,25 @@ mod tests {
     }
 
     #[test]
+    fn frozen_section_routes_the_same_queries_identically() {
+        let report = run(&tiny());
+        assert_eq!(report.uncached_frozen.queries(), 4_000);
+        assert_eq!(
+            report.uncached_frozen.delivered(),
+            report.uncached.delivered(),
+            "snapshot kernel must not change delivery"
+        );
+        // Same batch, same deterministic strategy: hop distributions are identical.
+        let live = report.uncached.hop_summary().unwrap();
+        let fast = report.uncached_frozen.hop_summary().unwrap();
+        assert_eq!(live.median, fast.median);
+        assert_eq!(live.p95, fast.p95);
+        assert_eq!(live.p99, fast.p99);
+        assert_eq!(live.mean, fast.mean);
+        assert!(report.frozen_speedup() > 0.0);
+    }
+
+    #[test]
     fn json_is_balanced_and_carries_headlines() {
         let report = run(&tiny());
         let json = report.to_json();
@@ -235,6 +289,8 @@ mod tests {
             "\"queries_per_sec\"",
             "\"p99_hops\"",
             "\"success_rate_under_churn\"",
+            "\"frozen_speedup\"",
+            "\"uncached_frozen\"",
             "\"interleaved\"",
         ] {
             assert!(json.contains(field), "missing {field}");

@@ -61,7 +61,7 @@ pub use directory::{Directory, StoredResource};
 pub use error::CoreError;
 pub use measurement::BatchStats;
 pub use network::{LookupOutcome, Network};
-pub use view::NetworkView;
+pub use view::{FrozenView, NetworkView};
 
 // Convenience re-exports so downstream users can depend on `faultline-core` alone.
 pub use faultline_construction as construction;

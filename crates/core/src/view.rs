@@ -7,9 +7,9 @@
 //! graph and the router configuration — and is `Copy`, so every worker can hold its own.
 
 use crate::network::Network;
-use faultline_overlay::{NodeId, OverlayGraph};
-use faultline_routing::{RouteResult, Router};
-use rand::rngs::StdRng;
+use faultline_overlay::{FrozenRoutes, NodeId, OverlayGraph};
+use faultline_routing::{RouteResult, RouteScratch, Router};
+use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
 
 /// A read-only routing view over a network: the overlay graph plus the router.
@@ -89,6 +89,78 @@ impl<'a> NetworkView<'a> {
         self.router = self.router.with_max_hops(max_hops);
         self
     }
+
+    /// Compiles the view into an owned [`FrozenView`] routing snapshot.
+    ///
+    /// Freezing is `O(nodes + links)` and amortises over a whole batch of queries;
+    /// rebuild after each churn epoch to publish the new topology.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenView {
+        FrozenView {
+            routes: self.graph.freeze(),
+            router: self.router,
+        }
+    }
+}
+
+/// An owned, compiled routing snapshot: [`FrozenRoutes`] CSR adjacency plus the router
+/// configuration it was frozen with.
+///
+/// Unlike [`NetworkView`], a `FrozenView` does not borrow the network — it is plain
+/// owned data (`Send + Sync`), so the topology can keep mutating while workers route
+/// over the snapshot of the previous epoch. Routing through it is the engine's
+/// zero-allocation hot path: per-query randomness comes from a counter-based
+/// [`SmallRng`] (one 64-bit store to construct, versus the four-word mixed
+/// initialisation of `StdRng`), and all working memory lives in the caller's
+/// [`RouteScratch`].
+#[derive(Debug, Clone)]
+pub struct FrozenView {
+    routes: FrozenRoutes,
+    router: Router,
+}
+
+impl FrozenView {
+    /// The compiled CSR snapshot.
+    #[must_use]
+    pub fn routes(&self) -> &FrozenRoutes {
+        &self.routes
+    }
+
+    /// The router configuration the snapshot routes with.
+    #[must_use]
+    pub fn router(&self) -> Router {
+        self.router
+    }
+
+    /// Number of grid points in the frozen space.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.routes.len()
+    }
+
+    /// Returns `true` if the frozen space has no points (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Routes one message over the snapshot with an explicit per-query seed.
+    ///
+    /// The frozen counterpart of [`NetworkView::route_seeded`]: deterministic per
+    /// `(seed)` independent of thread scheduling, zero heap allocations per call (the
+    /// visited path is available from `scratch` afterwards).
+    #[must_use]
+    pub fn route_seeded(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        seed: u64,
+        scratch: &mut RouteScratch,
+    ) -> RouteResult {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        self.router
+            .route_frozen(&self.routes, source, target, &mut rng, scratch)
+    }
 }
 
 impl Network {
@@ -149,6 +221,42 @@ mod tests {
                 .collect()
         });
         assert!(results.into_iter().all(|d| d));
+    }
+
+    #[test]
+    fn frozen_view_routes_like_the_live_view_on_the_default_strategy() {
+        let net = network(512, 6);
+        let view = net.view();
+        let frozen = view.freeze();
+        assert_eq!(frozen.len(), 512);
+        assert!(!frozen.is_empty());
+        let mut scratch = faultline_routing::RouteScratch::new();
+        // Terminate (the default) draws no randomness, so the RNG flavour is irrelevant
+        // and frozen results must equal live results query for query.
+        for (s, t, seed) in [(3u64, 400u64, 1u64), (400, 3, 2), (0, 511, 3), (7, 7, 4)] {
+            let live = view.route_seeded(s, t, seed);
+            let fast = frozen.route_seeded(s, t, seed, &mut scratch);
+            assert_eq!(live, fast, "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn frozen_view_is_owned_send_sync_and_outlives_mutation() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let mut net = network(256, 7);
+        let frozen = net.view().freeze();
+        assert_send_sync(&frozen);
+        // Snapshot semantics: the live network can mutate while the frozen epoch routes.
+        let mut failure_rng = StdRng::seed_from_u64(8);
+        net.apply_failure(
+            &faultline_failure::NodeFailure::fraction(1.0),
+            &mut failure_rng,
+        );
+        assert_eq!(net.alive_count(), 0);
+        let mut scratch = faultline_routing::RouteScratch::new();
+        let r = frozen.route_seeded(0, 200, 9, &mut scratch);
+        assert!(r.is_delivered(), "snapshot still routes the frozen epoch");
+        assert!(!net.view().freeze().routes().is_alive(200));
     }
 
     #[test]

@@ -35,12 +35,22 @@ pub fn bucket_of(position: NodeId, n: u64) -> u64 {
     ((u128::from(position) * u128::from(NUM_BUCKETS)) / u128::from(n)) as u64
 }
 
+/// Folds positions into a bucket bitmask (single definition both widths share).
+fn mask_over(positions: impl Iterator<Item = NodeId>, n: u64) -> u64 {
+    positions.fold(0u64, |mask, p| mask | (1u64 << bucket_of(p, n)))
+}
+
 /// The bitmask with the bucket bits of every listed position set.
 #[must_use]
 pub fn buckets_mask(positions: &[NodeId], n: u64) -> u64 {
-    positions
-        .iter()
-        .fold(0u64, |mask, &p| mask | (1u64 << bucket_of(p, n)))
+    mask_over(positions.iter().copied(), n)
+}
+
+/// [`buckets_mask`] over `u32` positions — the width the frozen routing kernel records
+/// visited paths in.
+#[must_use]
+pub fn buckets_mask_u32(positions: &[u32], n: u64) -> u64 {
+    mask_over(positions.iter().map(|&p| u64::from(p)), n)
 }
 
 /// A cached route digest: what routing from one bucket to another looked like when the
@@ -80,6 +90,12 @@ impl RouteCache {
             capacity,
             ..Self::default()
         }
+    }
+
+    /// Returns `true` if this cache can hold entries (capacity above zero).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
     }
 
     /// Looks up the route digest for a bucket pair, refreshing its recency.

@@ -10,6 +10,7 @@ pub struct EngineConfig {
     shards: usize,
     cache_capacity: usize,
     max_hops: Option<u64>,
+    frozen: bool,
 }
 
 impl Default for EngineConfig {
@@ -19,6 +20,7 @@ impl Default for EngineConfig {
             shards: 16,
             cache_capacity: 1024,
             max_hops: None,
+            frozen: true,
         }
     }
 }
@@ -55,6 +57,18 @@ impl EngineConfig {
         self
     }
 
+    /// Enables or disables the compiled-snapshot fast path (default: enabled).
+    ///
+    /// When enabled, each batch compiles the overlay into a
+    /// [`FrozenView`](faultline_core::FrozenView) once and routes cache misses through
+    /// the zero-allocation CSR kernel. Disabling it routes every miss over the live
+    /// graph — the pre-snapshot behaviour, kept as the benchmark baseline.
+    #[must_use]
+    pub fn frozen(mut self, frozen: bool) -> Self {
+        self.frozen = frozen;
+        self
+    }
+
     /// Configured worker threads (0 = available parallelism).
     #[must_use]
     pub fn thread_count(&self) -> usize {
@@ -78,6 +92,12 @@ impl EngineConfig {
     pub fn max_hops_override(&self) -> Option<u64> {
         self.max_hops
     }
+
+    /// Whether the compiled-snapshot fast path is enabled.
+    #[must_use]
+    pub fn frozen_enabled(&self) -> bool {
+        self.frozen
+    }
 }
 
 #[cfg(test)]
@@ -90,11 +110,17 @@ mod tests {
             .threads(8)
             .shards(32)
             .cache_capacity(64)
-            .max_hops(1000);
+            .max_hops(1000)
+            .frozen(false);
         assert_eq!(config.thread_count(), 8);
         assert_eq!(config.shard_count(), 32);
         assert_eq!(config.cache_capacity_entries(), 64);
         assert_eq!(config.max_hops_override(), Some(1000));
+        assert!(!config.frozen_enabled());
+        assert!(
+            EngineConfig::default().frozen_enabled(),
+            "the fast path is the default"
+        );
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   is assigned to a shard by its source bucket, and each shard owns a private route
 //!   cache and processes its queries in a fixed order. No locks are taken on the hot
 //!   path, and results are bit-for-bit identical at any thread count.
+//! * **Compiled snapshots** — each batch freezes the overlay into a CSR
+//!   [`FrozenView`](faultline_core::FrozenView) once and routes every cache miss
+//!   through the zero-allocation frozen kernel (contiguous `u32` neighbour scans,
+//!   inlined distance, per-worker scratch buffers, counter-based per-query RNG); the
+//!   live-graph walk remains available via [`EngineConfig::frozen`] as the baseline.
 //! * **Route caching** — a per-shard LRU keyed by `(source bucket, target bucket)`
 //!   ([`RouteCache`]). Entries remember the buckets their route traversed, so when the
 //!   failure/churn layer mutates nodes, exactly the entries whose routes touched the
@@ -51,7 +56,7 @@ mod run;
 mod stats;
 
 pub use batch::QueryBatch;
-pub use cache::{bucket_of, buckets_mask, CachedRoute, RouteCache, NUM_BUCKETS};
+pub use cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, NUM_BUCKETS};
 pub use config::EngineConfig;
 pub use interleave::{ChurnMix, EpochReport, InterleavedReport};
 pub use run::QueryEngine;

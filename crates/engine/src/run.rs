@@ -1,11 +1,12 @@
 //! The [`QueryEngine`]: sharded, parallel batch execution.
 
 use crate::batch::QueryBatch;
-use crate::cache::{bucket_of, buckets_mask, CachedRoute, RouteCache};
+use crate::cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache};
 use crate::config::EngineConfig;
 use crate::stats::{BatchReport, QueryOutcome};
-use faultline_core::{Network, NetworkView};
+use faultline_core::{FrozenView, Network, NetworkView};
 use faultline_overlay::NodeId;
+use faultline_routing::RouteScratch;
 use faultline_sim::seed_for_trial;
 use std::time::Instant;
 
@@ -101,10 +102,17 @@ impl QueryEngine {
     pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
         let n = network.len();
         let caching = self.config.cache_capacity_entries() > 0;
-        let mut view = network.view().with_path_recording(caching);
+        let mut view = network.view();
         if let Some(max_hops) = self.config.max_hops_override() {
             view = view.with_max_hops(max_hops);
         }
+        // Compile the routing snapshot once per batch: O(nodes + links), amortised over
+        // every cache miss in the batch. The live-graph fallback only records result
+        // paths when caching needs the touched-bucket masks (the frozen kernel records
+        // its path in scratch for free).
+        let frozen = self.config.frozen_enabled().then(|| view.freeze());
+        let frozen = frozen.as_ref();
+        let view = view.with_path_recording(caching && frozen.is_none());
 
         // Assign queries to shards by source bucket; shard order is part of the
         // deterministic contract (same batch ⇒ same per-shard sequences). Queries whose
@@ -142,11 +150,25 @@ impl QueryEngine {
                     continue;
                 }
                 scope.spawn(move |_| {
+                    // One scratch per shard worker: buffers are reused across every
+                    // query the shard routes, so the frozen kernel never allocates.
+                    // Path recording only matters to cache invalidation masks; without
+                    // a cache the kernel skips the per-hop stores entirely.
+                    let mut scratch = RouteScratch::new().with_path_recording(cache.enabled());
                     output.reserve_exact(indices.len());
                     for &index in indices {
                         let (source, target) = batch.pairs()[index];
-                        let outcome =
-                            route_one(view, cache, n, batch.seed(), index, source, target);
+                        let outcome = route_one(
+                            view,
+                            frozen,
+                            cache,
+                            &mut scratch,
+                            n,
+                            batch.seed(),
+                            index,
+                            source,
+                            target,
+                        );
                         output.push((index, outcome));
                     }
                 });
@@ -167,9 +189,16 @@ impl QueryEngine {
 }
 
 /// Routes (or cache-serves) one query on a shard worker.
+///
+/// Cache misses go through the frozen CSR kernel when a snapshot was compiled for the
+/// batch (the default), falling back to the live-graph walk otherwise; both produce
+/// identical outcomes for the deterministic strategies.
+#[allow(clippy::too_many_arguments)]
 fn route_one(
     view: NetworkView<'_>,
+    frozen: Option<&FrozenView>,
     cache: &mut RouteCache,
+    scratch: &mut RouteScratch,
     n: u64,
     batch_seed: u64,
     index: usize,
@@ -190,27 +219,55 @@ fn route_one(
             nanos: started.elapsed().as_nanos() as u64,
         };
     }
-    let result = view.route_seeded(source, target, seed_for_trial(batch_seed, index as u64));
-    let touched = match &result.path {
-        Some(path) => buckets_mask(path, n) | (1 << source_bucket) | (1 << target_bucket),
-        None => (1 << source_bucket) | (1 << target_bucket),
+    let seed = seed_for_trial(batch_seed, index as u64);
+    let endpoint_bits = (1 << source_bucket) | (1 << target_bucket);
+    let (delivered, hops, recoveries, touched) = match frozen {
+        Some(snapshot) => {
+            let result = snapshot.route_seeded(source, target, seed, scratch);
+            // The touched mask only matters to a cache entry; skip the fold on the
+            // uncached hot path.
+            let touched = if cache.enabled() {
+                buckets_mask_u32(scratch.path(), n) | endpoint_bits
+            } else {
+                endpoint_bits
+            };
+            (
+                result.is_delivered(),
+                result.hops,
+                result.recoveries,
+                touched,
+            )
+        }
+        None => {
+            let result = view.route_seeded(source, target, seed);
+            let touched = match &result.path {
+                Some(path) => buckets_mask(path, n) | endpoint_bits,
+                None => endpoint_bits,
+            };
+            (
+                result.is_delivered(),
+                result.hops,
+                result.recoveries,
+                touched,
+            )
+        }
     };
     cache.insert(
         source_bucket,
         target_bucket,
         CachedRoute {
-            delivered: result.is_delivered(),
-            hops: result.hops,
-            recoveries: result.recoveries,
+            delivered,
+            hops,
+            recoveries,
             touched,
         },
     );
     QueryOutcome {
         source,
         target,
-        delivered: result.is_delivered(),
-        hops: result.hops,
-        recoveries: result.recoveries,
+        delivered,
+        hops,
+        recoveries,
         cached: false,
         nanos: started.elapsed().as_nanos() as u64,
     }
@@ -276,6 +333,69 @@ mod tests {
         let flushed = engine.invalidate_nodes(&[0], net.len());
         assert!(flushed > 0, "bucket 0 must appear in some cached route");
         assert_eq!(engine.cached_routes(), populated - flushed);
+    }
+
+    #[test]
+    fn frozen_and_classic_engines_agree_bit_for_bit() {
+        let net = network(1 << 9, 8);
+        let batch = QueryBatch::uniform(&net, 3_000, 21);
+        for cache_capacity in [0usize, 512] {
+            let mut fast = QueryEngine::new(
+                EngineConfig::default()
+                    .threads(2)
+                    .cache_capacity(cache_capacity),
+            );
+            let mut classic = QueryEngine::new(
+                EngineConfig::default()
+                    .threads(2)
+                    .cache_capacity(cache_capacity)
+                    .frozen(false),
+            );
+            let a = fast.run_batch(&net, &batch);
+            let b = classic.run_batch(&net, &batch);
+            let digest = |r: &BatchReport| {
+                r.outcomes()
+                    .iter()
+                    .map(|o| (o.source, o.target, o.delivered, o.hops, o.cached))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                digest(&a),
+                digest(&b),
+                "frozen path diverged at cache capacity {cache_capacity}"
+            );
+            assert_eq!(fast.cached_routes(), classic.cached_routes());
+        }
+    }
+
+    #[test]
+    fn frozen_and_classic_engines_agree_on_a_damaged_overlay() {
+        use faultline_failure::NodeFailure;
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Network::build(&NetworkConfig::paper_default(1 << 9), &mut rng);
+        let mut failure_rng = StdRng::seed_from_u64(14);
+        net.apply_failure(&NodeFailure::fraction(0.35), &mut failure_rng);
+        let batch = QueryBatch::uniform(&net, 5_000, 31);
+        let run = |frozen: bool| {
+            let mut engine = QueryEngine::new(
+                EngineConfig::default()
+                    .threads(2)
+                    .cache_capacity(0)
+                    .frozen(frozen),
+            );
+            let report = engine.run_batch(&net, &batch);
+            report
+                .outcomes()
+                .iter()
+                .map(|o| (o.delivered, o.hops, o.recoveries))
+                .collect::<Vec<_>>()
+        };
+        let fast = run(true);
+        assert_eq!(fast, run(false));
+        assert!(
+            fast.iter().any(|&(delivered, _, _)| !delivered),
+            "35% damage should break some searches"
+        );
     }
 
     #[test]

@@ -52,12 +52,22 @@ fn hundred_thousand_queries_identical_across_thread_counts() {
 fn determinism_holds_with_caching_disabled_too() {
     let net = network(1 << 9, 3);
     let batch = QueryBatch::uniform(&net, 20_000, 77);
-    let run = |threads: usize| {
-        let mut engine =
-            QueryEngine::new(EngineConfig::default().threads(threads).cache_capacity(0));
+    let run = |threads: usize, frozen: bool| {
+        let mut engine = QueryEngine::new(
+            EngineConfig::default()
+                .threads(threads)
+                .cache_capacity(0)
+                .frozen(frozen),
+        );
         fingerprint(&engine.run_batch(&net, &batch))
     };
-    assert_eq!(run(1), run(6));
+    let frozen_serial = run(1, true);
+    assert_eq!(frozen_serial, run(6, true));
+    // The classic live-graph path obeys the same contract, and (with the default
+    // deterministic strategy) agrees with the frozen kernel query for query.
+    let classic_serial = run(1, false);
+    assert_eq!(classic_serial, run(6, false));
+    assert_eq!(frozen_serial, classic_serial);
 }
 
 #[test]

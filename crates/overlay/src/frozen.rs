@@ -1,0 +1,266 @@
+//! [`FrozenRoutes`]: a compiled, immutable routing snapshot of an [`OverlayGraph`].
+//!
+//! The mutable overlay is optimised for churn: per-node `Vec<Link>` adjacency, in-place
+//! link/node failure, birth stamps. That layout is exactly wrong for the routing hot
+//! path, where every hop scans all of a node's links and dereferences each target's
+//! `NodeRecord` just to check liveness — one cache miss per link. `FrozenRoutes` is the
+//! classic slow-maintenance / fast-traversal split: topology maintenance stays on the
+//! rich graph, and once per routing epoch the graph is *compiled* into a compressed
+//! sparse row (CSR) snapshot holding only what the greedy walk reads:
+//!
+//! * `offsets`/`neighbors` — flat `u32` CSR adjacency over **usable** neighbours only
+//!   (link alive ∧ target alive), so the inner loop is a contiguous scan with no
+//!   per-link liveness checks and a quarter of the memory traffic;
+//! * an alive bitset — endpoint liveness in one word-indexed load;
+//! * the sorted alive list — so fault strategies that sample random alive nodes need no
+//!   per-query allocation;
+//! * the geometry reduced to `(ring, n)` — distance becomes two or three integer ops,
+//!   no enum dispatch.
+//!
+//! A snapshot is plain owned data (`Send + Sync`), shared freely across worker threads,
+//! and simply rebuilt after each churn epoch; it never mutates.
+
+use crate::graph::OverlayGraph;
+use crate::NodeId;
+
+/// A compiled routing snapshot: CSR adjacency over usable neighbours plus an alive
+/// bitset, frozen from an [`OverlayGraph`] at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenRoutes {
+    ring: bool,
+    n: u64,
+    /// CSR row offsets: node `p`'s usable neighbours are
+    /// `neighbors[offsets[p] .. offsets[p + 1]]`.
+    offsets: Vec<u32>,
+    /// Flat adjacency, in per-node link order.
+    neighbors: Vec<u32>,
+    /// Bit `p` set ⇔ node `p` was present and alive at freeze time.
+    alive_words: Vec<u64>,
+    /// Alive nodes in ascending order (same order as `OverlayGraph::alive_nodes`).
+    alive_sorted: Vec<u32>,
+}
+
+impl FrozenRoutes {
+    /// Compiles a snapshot from the graph's current topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space or the total usable-link count exceeds `u32::MAX` (far
+    /// beyond any configuration this workspace runs; CSR stays 32-bit on purpose).
+    #[must_use]
+    pub fn build(graph: &OverlayGraph) -> Self {
+        let n = graph.len();
+        assert!(n <= u64::from(u32::MAX), "space too large for u32 CSR");
+        let ring = graph.geometry().is_ring();
+
+        let mut alive_words = vec![0u64; (n as usize).div_ceil(64)];
+        let mut alive_sorted = Vec::new();
+        for &p in graph.present_nodes() {
+            if graph.is_alive(p) {
+                alive_words[(p / 64) as usize] |= 1u64 << (p % 64);
+                alive_sorted.push(p as u32);
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for p in 0..n {
+            for neighbor in graph.usable_neighbors(p) {
+                neighbors.push(neighbor as u32);
+            }
+            let total = u32::try_from(neighbors.len()).expect("edge count exceeds u32 CSR");
+            offsets.push(total);
+        }
+
+        Self {
+            ring,
+            n,
+            offsets,
+            neighbors,
+            alive_words,
+            alive_sorted,
+        }
+    }
+
+    /// Number of grid points in the frozen space.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if the frozen space has no grid points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns `true` if the frozen geometry wraps around (is a ring).
+    #[must_use]
+    pub fn is_ring(&self) -> bool {
+        self.ring
+    }
+
+    /// Total usable links in the snapshot.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether node `p` was alive at freeze time (`false` out of range).
+    #[inline]
+    #[must_use]
+    pub fn is_alive(&self, p: NodeId) -> bool {
+        p < self.n && (self.alive_words[(p / 64) as usize] >> (p % 64)) & 1 == 1
+    }
+
+    /// The usable neighbours of `p`, as a contiguous slice (empty out of range, like
+    /// [`FrozenRoutes::is_alive`]).
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, p: NodeId) -> &[u32] {
+        if p >= self.n {
+            return &[];
+        }
+        let lo = self.offsets[p as usize] as usize;
+        let hi = self.offsets[p as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Alive nodes in ascending order (snapshot of `OverlayGraph::alive_nodes`).
+    #[must_use]
+    pub fn alive_sorted(&self) -> &[u32] {
+        &self.alive_sorted
+    }
+
+    /// Number of alive nodes at freeze time.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive_sorted.len()
+    }
+
+    /// Metric distance between two grid points, inlined (no `Geometry` dispatch).
+    ///
+    /// Matches `Geometry::distance` exactly: absolute difference on the line, shorter
+    /// arc on the ring.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u64 {
+        if self.ring {
+            let cw = if b >= a { b - a } else { self.n - (a - b) };
+            cw.min(self.n - cw)
+        } else {
+            a.abs_diff(b)
+        }
+    }
+}
+
+impl OverlayGraph {
+    /// Compiles the graph's current topology into a [`FrozenRoutes`] snapshot.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenRoutes {
+        FrozenRoutes::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+    use faultline_metric::{Geometry, MetricSpace};
+
+    fn damaged_graph() -> OverlayGraph {
+        let mut g = OverlayGraph::fully_populated(Geometry::line(16));
+        for p in 0..16u64 {
+            if p > 0 {
+                g.add_link(p, p - 1, LinkKind::Ring);
+            }
+            if p < 15 {
+                g.add_link(p, p + 1, LinkKind::Ring);
+            }
+        }
+        g.add_link(0, 9, LinkKind::Long);
+        g.add_link(0, 13, LinkKind::Long);
+        g.fail_node(9); // dead target: link 0 -> 9 unusable
+        g.fail_link(0, 13); // dead link: target alive but edge unusable
+        g
+    }
+
+    #[test]
+    fn csr_matches_usable_neighbors_everywhere() {
+        let g = damaged_graph();
+        let frozen = g.freeze();
+        assert_eq!(frozen.len(), 16);
+        assert!(!frozen.is_ring());
+        for p in 0..16u64 {
+            let expected: Vec<u32> = g.usable_neighbors(p).map(|q| q as u32).collect();
+            assert_eq!(frozen.neighbors(p), expected.as_slice(), "node {p}");
+        }
+        let total: usize = (0..16u64).map(|p| g.usable_neighbors(p).count()).sum();
+        assert_eq!(frozen.edge_count(), total);
+    }
+
+    #[test]
+    fn alive_bitset_and_sorted_list_match_the_graph() {
+        let mut g = damaged_graph();
+        g.fail_node(0);
+        g.fail_node(15);
+        let frozen = g.freeze();
+        for p in 0..16u64 {
+            assert_eq!(frozen.is_alive(p), g.is_alive(p), "node {p}");
+        }
+        assert!(!frozen.is_alive(1 << 40), "out of range is dead");
+        assert_eq!(
+            frozen.neighbors(1 << 40),
+            &[] as &[u32],
+            "out of range is linkless, not a panic"
+        );
+        let expected: Vec<u32> = g.alive_nodes().iter().map(|&p| p as u32).collect();
+        assert_eq!(frozen.alive_sorted(), expected.as_slice());
+        assert_eq!(frozen.alive_count(), expected.len());
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_churn() {
+        let mut g = damaged_graph();
+        let frozen = g.freeze();
+        let before = frozen.neighbors(5).to_vec();
+        g.fail_node(5);
+        g.fail_node(4);
+        assert_eq!(frozen.neighbors(5), before.as_slice());
+        assert!(frozen.is_alive(5), "snapshot keeps the freeze-time state");
+        let refrozen = g.freeze();
+        assert!(!refrozen.is_alive(5), "rebuilding picks up the churn");
+        assert_ne!(frozen, refrozen);
+    }
+
+    #[test]
+    fn inlined_distance_matches_geometry_on_line_and_ring() {
+        for geometry in [Geometry::line(97), Geometry::ring(97), Geometry::ring(96)] {
+            let g = OverlayGraph::fully_populated(geometry);
+            let frozen = g.freeze();
+            assert_eq!(frozen.is_ring(), geometry.is_ring());
+            for a in (0..97u64.min(frozen.len())).step_by(7) {
+                for b in 0..frozen.len() {
+                    assert_eq!(
+                        frozen.distance(a, b),
+                        geometry.distance(a, b),
+                        "distance({a},{b}) on {geometry:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_population_freezes_absent_points_as_dead_and_linkless() {
+        let mut g = OverlayGraph::with_present_nodes(Geometry::line(32), &[3, 10, 20]);
+        g.add_link(3, 10, LinkKind::Long);
+        let frozen = g.freeze();
+        assert!(!frozen.is_alive(4), "absent grid point");
+        assert!(frozen.is_alive(10));
+        assert_eq!(frozen.neighbors(4), &[] as &[u32]);
+        assert_eq!(frozen.neighbors(3), &[10]);
+        assert_eq!(frozen.alive_sorted(), &[3, 10, 20]);
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`GraphBuilder`] — the *ideal* static construction: every node draws its `ℓ`
 //!   long-distance links directly from a [`LinkSpec`](faultline_linkdist::LinkSpec)
 //!   (the dynamic, heuristic construction of Section 5 lives in `faultline-construction`).
+//! * [`FrozenRoutes`] — a compiled CSR routing snapshot (usable-neighbour adjacency,
+//!   alive bitset, inlined distance) rebuilt once per routing epoch; the traversal
+//!   structure the query engine's uncached hot path runs on.
 //! * [`stats`] — link-length histograms and degree statistics used by the Figure 5
 //!   reproduction and by the construction-quality tests.
 //!
@@ -34,11 +37,13 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod frozen;
 mod graph;
 mod link;
 pub mod stats;
 
 pub use builder::{build_paper_overlay, GraphBuilder};
+pub use frozen::FrozenRoutes;
 pub use graph::{NodeRecord, OverlayGraph};
 pub use link::{Link, LinkKind};
 

@@ -1,0 +1,577 @@
+//! The frozen fast path: greedy routing over a compiled [`FrozenRoutes`] snapshot.
+//!
+//! [`Router::route`] walks the mutable overlay: every hop scans `Vec<Link>` records and
+//! dereferences each target's node record to check liveness — a cache miss per link.
+//! [`Router::route_frozen`] runs the *same algorithm* over the CSR snapshot instead:
+//! the inner loop is a contiguous `u32` scan with the metric distance inlined per
+//! geometry (monomorphised, no `Geometry` dispatch) and liveness pre-filtered at freeze
+//! time. All per-route state lives in a caller-owned [`RouteScratch`], so a worker that
+//! routes millions of queries performs **zero heap allocations per query** — buffers
+//! are cleared, never dropped.
+//!
+//! The two paths are contractually bit-identical: same greedy modes, same fault
+//! strategies (terminate / random re-route / backtrack), same RNG consumption, same
+//! [`RouteResult`] — property-tested in `tests/frozen_equivalence.rs`. The only
+//! difference is that the frozen path reads the topology as of the snapshot, which is
+//! exactly the "routing epoch" semantics the query engine wants: maintenance mutates
+//! the graph, then a rebuild publishes the next epoch's routes.
+
+use crate::greedy::GreedyMode;
+use crate::result::{FailureReason, RouteOutcome, RouteResult};
+use crate::strategy::FaultStrategy;
+use crate::Router;
+use faultline_overlay::{FrozenRoutes, NodeId};
+use rand::Rng;
+
+/// Reusable per-worker buffers for [`Router::route_frozen`].
+///
+/// One scratch per worker thread is enough; routing clears the buffers but keeps their
+/// capacity, so after warm-up no query allocates. By default the visited-node sequence
+/// of the most recent route is recorded (as cheap `u32` pushes) and available through
+/// [`RouteScratch::path`]; callers that never read it — the engine when its route
+/// cache is disabled — can switch recording off with
+/// [`RouteScratch::with_path_recording`] and save the per-hop store.
+#[derive(Debug, Clone)]
+pub struct RouteScratch {
+    /// Visited nodes of the last route, in order (starts at the source).
+    path: Vec<u32>,
+    /// Backtracking history window (bounded by the strategy's `history` depth).
+    history: Vec<u32>,
+    /// Known dead ends, excluded from neighbour selection while backtracking.
+    dead_ends: Vec<u32>,
+    /// Whether to record the visited sequence into `path`.
+    record_path: bool,
+}
+
+impl Default for RouteScratch {
+    fn default() -> Self {
+        Self {
+            path: Vec::new(),
+            history: Vec::new(),
+            dead_ends: Vec::new(),
+            record_path: true,
+        }
+    }
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch (path recording enabled).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables recording of visited nodes into the scratch path buffer
+    /// (default: enabled). A router built `with_path_recording(true)` still records —
+    /// it needs the sequence to populate the result.
+    #[must_use]
+    pub fn with_path_recording(mut self, record: bool) -> Self {
+        self.record_path = record;
+        self
+    }
+
+    /// The nodes the most recent route visited, in order (starts at the source).
+    /// Empty if the route failed before leaving the source (a dead endpoint) or if
+    /// recording is disabled.
+    #[must_use]
+    pub fn path(&self) -> &[u32] {
+        &self.path
+    }
+}
+
+/// A one-dimensional metric specialised at compile time; the frozen kernel is
+/// monomorphised per implementation so distance and sidedness are branch-free inlined
+/// integer arithmetic.
+trait CsrMetric: Copy {
+    fn distance(&self, a: u64, b: u64) -> u64;
+    fn same_side(&self, current: u64, neighbor: u64, target: u64) -> bool;
+}
+
+/// The open line: distance is absolute difference, direction is label order.
+#[derive(Clone, Copy)]
+struct LineMetric;
+
+impl CsrMetric for LineMetric {
+    #[inline(always)]
+    fn distance(&self, a: u64, b: u64) -> u64 {
+        a.abs_diff(b)
+    }
+
+    #[inline(always)]
+    fn same_side(&self, current: u64, neighbor: u64, target: u64) -> bool {
+        if neighbor == target {
+            return true;
+        }
+        // `offset_between` on the line reports Down iff `from >= to`.
+        let down_to_target = current >= target;
+        (current >= neighbor) == down_to_target && (neighbor >= target) == down_to_target
+    }
+}
+
+/// The ring: distance is the shorter arc, direction is the shorter-arc direction with
+/// ties broken Down — exactly `RingSpace::offset_between`.
+#[derive(Clone, Copy)]
+struct RingMetric {
+    n: u64,
+}
+
+impl RingMetric {
+    /// Clockwise (increasing-label, wrapping) distance from `a` to `b`.
+    #[inline(always)]
+    fn clockwise(&self, a: u64, b: u64) -> u64 {
+        if b >= a {
+            b - a
+        } else {
+            self.n - (a - b)
+        }
+    }
+
+    /// Whether `offset_between(from, to)` reports Down.
+    #[inline(always)]
+    fn dir_is_down(&self, from: u64, to: u64) -> bool {
+        self.clockwise(to, from) <= self.clockwise(from, to)
+    }
+}
+
+impl CsrMetric for RingMetric {
+    #[inline(always)]
+    fn distance(&self, a: u64, b: u64) -> u64 {
+        let cw = self.clockwise(a, b);
+        cw.min(self.n - cw)
+    }
+
+    #[inline(always)]
+    fn same_side(&self, current: u64, neighbor: u64, target: u64) -> bool {
+        if neighbor == target {
+            return true;
+        }
+        let down_to_target = self.dir_is_down(current, target);
+        self.dir_is_down(current, neighbor) == down_to_target
+            && self.dir_is_down(neighbor, target) == down_to_target
+    }
+}
+
+/// The best usable next hop out of `current` in the CSR snapshot: strictly closer to
+/// the target than `current_distance`, not excluded, one-sided if requested; ties
+/// broken towards the smaller label. Mirrors `greedy::best_neighbor` over the frozen
+/// adjacency and returns `(new_distance, node)` so the caller can carry the distance
+/// forward instead of recomputing it every hop.
+///
+/// Candidates are packed as `(distance << 32) | label`: the lexicographic minimum of
+/// `(distance, label)` — the classic tie-break — is the numeric minimum of the packed
+/// key (labels are `u32` and distances fit 32 bits because the space is `u32`-indexed).
+/// Seeding the running minimum with `current_distance << 32` folds the strict-progress
+/// test into the same comparison: any neighbour at distance ≥ `current_distance` packs
+/// to a key ≥ the seed and is ignored. The hot loop is therefore one distance, one
+/// compare and one conditional move per contiguous `u32` neighbour — no branches to
+/// mispredict.
+#[inline(always)]
+fn best_neighbor_csr<M: CsrMetric>(
+    metric: M,
+    frozen: &FrozenRoutes,
+    current: u64,
+    current_distance: u64,
+    target: u64,
+    one_sided: bool,
+    excluded: &[u32],
+) -> Option<(u64, u64)> {
+    let limit = current_distance << 32;
+    let mut best = limit;
+    if !one_sided && excluded.is_empty() {
+        for &neighbor in frozen.neighbors(current) {
+            let key = (metric.distance(u64::from(neighbor), target) << 32) | u64::from(neighbor);
+            best = best.min(key);
+        }
+    } else {
+        for &neighbor in frozen.neighbors(current) {
+            if excluded.contains(&neighbor) {
+                continue;
+            }
+            if one_sided && !metric.same_side(current, u64::from(neighbor), target) {
+                continue;
+            }
+            let key = (metric.distance(u64::from(neighbor), target) << 32) | u64::from(neighbor);
+            best = best.min(key);
+        }
+    }
+    (best < limit).then_some((best >> 32, best & u64::from(u32::MAX)))
+}
+
+/// Picks a uniformly random alive node different from `other`, consuming randomness
+/// exactly as `router::random_alive_node` does (64 rejection draws over the full space,
+/// then one indexed draw over the alive list) — but with no per-query allocation: the
+/// exact fallback indexes the snapshot's pre-sorted alive list directly.
+fn random_alive_frozen<R: Rng + ?Sized>(
+    frozen: &FrozenRoutes,
+    other: NodeId,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let n = frozen.len();
+    for _ in 0..64 {
+        let candidate = rng.gen_range(0..n);
+        if candidate != other && frozen.is_alive(candidate) {
+            return Some(candidate);
+        }
+    }
+    let alive = frozen.alive_sorted();
+    let other_index = u32::try_from(other)
+        .ok()
+        .and_then(|o| alive.binary_search(&o).ok());
+    let candidates = alive.len() - usize::from(other_index.is_some());
+    if candidates == 0 {
+        return None;
+    }
+    let drawn = rng.gen_range(0..candidates);
+    let index = match other_index {
+        Some(skip) if drawn >= skip => drawn + 1,
+        _ => drawn,
+    };
+    Some(u64::from(alive[index]))
+}
+
+impl Router {
+    /// Routes one message over a compiled snapshot — the zero-allocation fast path.
+    ///
+    /// Produces a bit-identical [`RouteResult`] to [`Router::route`] on the graph the
+    /// snapshot was frozen from, for every greedy mode and fault strategy, provided the
+    /// same RNG state is supplied (randomness is consumed identically; only the random
+    /// re-route strategy draws any). All working memory comes from `scratch`, which is
+    /// reused across calls; the result's `path` field is only populated (and only then
+    /// allocates) when the router was built `with_path_recording(true)` — callers on
+    /// the hot path read [`RouteScratch::path`] instead.
+    pub fn route_frozen<R: Rng + ?Sized>(
+        &self,
+        frozen: &FrozenRoutes,
+        source: NodeId,
+        target: NodeId,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> RouteResult {
+        if frozen.is_ring() {
+            let metric = RingMetric { n: frozen.len() };
+            self.route_frozen_impl(metric, frozen, source, target, rng, scratch)
+        } else {
+            self.route_frozen_impl(LineMetric, frozen, source, target, rng, scratch)
+        }
+    }
+
+    fn route_frozen_impl<M: CsrMetric, R: Rng + ?Sized>(
+        &self,
+        metric: M,
+        frozen: &FrozenRoutes,
+        source: NodeId,
+        target: NodeId,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> RouteResult {
+        let record_path = self.records_path();
+        // The router-level flag needs the visited sequence to build the result path.
+        let record_scratch = scratch.record_path || record_path;
+        scratch.path.clear();
+        if !frozen.is_alive(source) {
+            return RouteResult::immediate_failure(FailureReason::DeadSource, record_path);
+        }
+        if !frozen.is_alive(target) {
+            return RouteResult::immediate_failure(FailureReason::DeadTarget, record_path);
+        }
+
+        let max_hops = self.max_hops().unwrap_or(4 * frozen.len() + 16);
+        let mut hops = 0u64;
+        let mut recoveries = 0u64;
+        let mut current = source;
+        let mut current_distance = metric.distance(current, target);
+        if record_scratch {
+            scratch.path.push(source as u32);
+        }
+
+        let backtrack_depth = match self.strategy() {
+            FaultStrategy::Backtrack { history } => history,
+            _ => 0,
+        };
+        scratch.history.clear();
+        scratch.dead_ends.clear();
+        let one_sided = self.mode() == GreedyMode::OneSided;
+        let mut reroutes_used = 0u32;
+
+        let finish =
+            |outcome: RouteOutcome, hops, recoveries, scratch: &RouteScratch| RouteResult {
+                outcome,
+                hops,
+                recoveries,
+                path: record_path.then(|| scratch.path.iter().map(|&p| u64::from(p)).collect()),
+            };
+
+        loop {
+            if current == target {
+                return finish(RouteOutcome::Delivered, hops, recoveries, scratch);
+            }
+            if hops >= max_hops {
+                return finish(
+                    RouteOutcome::Failed(FailureReason::HopLimit),
+                    hops,
+                    recoveries,
+                    scratch,
+                );
+            }
+
+            let excluded: &[u32] = if backtrack_depth > 0 {
+                &scratch.dead_ends
+            } else {
+                &[]
+            };
+            if let Some((next_distance, next)) = best_neighbor_csr(
+                metric,
+                frozen,
+                current,
+                current_distance,
+                target,
+                one_sided,
+                excluded,
+            ) {
+                if backtrack_depth > 0 {
+                    if scratch.history.len() == backtrack_depth {
+                        scratch.history.remove(0);
+                    }
+                    scratch.history.push(current as u32);
+                }
+                current = next;
+                current_distance = next_distance;
+                hops += 1;
+                if record_scratch {
+                    scratch.path.push(current as u32);
+                }
+                continue;
+            }
+
+            // Dead end: no usable neighbour is closer to the target.
+            match self.strategy() {
+                FaultStrategy::Terminate => {
+                    return finish(
+                        RouteOutcome::Failed(FailureReason::Stuck),
+                        hops,
+                        recoveries,
+                        scratch,
+                    );
+                }
+                FaultStrategy::RandomReroute { max_attempts } => {
+                    if reroutes_used >= max_attempts {
+                        return finish(
+                            RouteOutcome::Failed(FailureReason::Stuck),
+                            hops,
+                            recoveries,
+                            scratch,
+                        );
+                    }
+                    reroutes_used += 1;
+                    recoveries += 1;
+                    match random_alive_frozen(frozen, current, rng) {
+                        Some(node) => {
+                            current = node;
+                            current_distance = metric.distance(current, target);
+                            hops += 1;
+                            if record_scratch {
+                                scratch.path.push(current as u32);
+                            }
+                        }
+                        None => {
+                            return finish(
+                                RouteOutcome::Failed(FailureReason::Stuck),
+                                hops,
+                                recoveries,
+                                scratch,
+                            );
+                        }
+                    }
+                }
+                FaultStrategy::Backtrack { .. } => {
+                    recoveries += 1;
+                    scratch.dead_ends.push(current as u32);
+                    match scratch.history.pop() {
+                        Some(prev) => {
+                            current = u64::from(prev);
+                            current_distance = metric.distance(current, target);
+                            hops += 1;
+                            if record_scratch {
+                                scratch.path.push(current as u32);
+                            }
+                        }
+                        None => {
+                            return finish(
+                                RouteOutcome::Failed(FailureReason::Stuck),
+                                hops,
+                                recoveries,
+                                scratch,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_linkdist::InversePowerLaw;
+    use faultline_metric::Geometry;
+    use faultline_overlay::{GraphBuilder, LinkKind, OverlayGraph};
+    use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+    fn paper_graph(n: u64, ell: usize, seed: u64, ring: bool) -> OverlayGraph {
+        let geometry = if ring {
+            Geometry::ring(n)
+        } else {
+            Geometry::line(n)
+        };
+        let spec = InversePowerLaw::exponent_one(&geometry);
+        let mut rng = StdRng::seed_from_u64(seed);
+        GraphBuilder::new(geometry)
+            .links_per_node(ell)
+            .build(&spec, &mut rng)
+    }
+
+    fn assert_parity(router: Router, graph: &OverlayGraph, pairs: &[(u64, u64)], seed: u64) {
+        let frozen = graph.freeze();
+        let mut scratch = RouteScratch::new();
+        for &(s, t) in pairs {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let classic = router.route(graph, s, t, &mut rng_a);
+            let fast = router.route_frozen(&frozen, s, t, &mut rng_b, &mut scratch);
+            assert_eq!(classic, fast, "{s}->{t} diverged");
+            assert_eq!(
+                rng_a.clone().next_u64(),
+                rng_b.clone().next_u64(),
+                "{s}->{t} consumed different amounts of randomness"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_graph_parity_both_modes_and_geometries() {
+        for ring in [false, true] {
+            let graph = paper_graph(1 << 10, 6, 3, ring);
+            let pairs = [(0u64, 1023u64), (512, 3), (17, 18), (9, 9), (1000, 999)];
+            for mode in [GreedyMode::TwoSided, GreedyMode::OneSided] {
+                let router = Router::new().with_mode(mode).with_path_recording(true);
+                assert_parity(router, &graph, &pairs, 11);
+            }
+        }
+    }
+
+    #[test]
+    fn damaged_graph_parity_for_all_strategies() {
+        let mut graph = paper_graph(1 << 9, 4, 5, false);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..180 {
+            graph.fail_node(rng.gen_range(0..graph.len()));
+        }
+        let alive = graph.alive_nodes();
+        let pairs: Vec<(u64, u64)> = (0..40)
+            .map(|_| {
+                (
+                    alive[rng.gen_range(0..alive.len())],
+                    alive[rng.gen_range(0..alive.len())],
+                )
+            })
+            .collect();
+        for strategy in [
+            FaultStrategy::Terminate,
+            FaultStrategy::paper_backtrack(),
+            FaultStrategy::RandomReroute { max_attempts: 3 },
+        ] {
+            let router = Router::new()
+                .with_strategy(strategy)
+                .with_path_recording(true);
+            assert_parity(router, &graph, &pairs, 77);
+        }
+    }
+
+    #[test]
+    fn dead_endpoints_fail_identically() {
+        let mut graph = paper_graph(64, 3, 7, false);
+        graph.fail_node(5);
+        let frozen = graph.freeze();
+        let router = Router::new();
+        let mut scratch = RouteScratch::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = router.route_frozen(&frozen, 5, 20, &mut rng, &mut scratch);
+        assert_eq!(r.outcome, RouteOutcome::Failed(FailureReason::DeadSource));
+        assert!(scratch.path().is_empty());
+        let r = router.route_frozen(&frozen, 20, 5, &mut rng, &mut scratch);
+        assert_eq!(r.outcome, RouteOutcome::Failed(FailureReason::DeadTarget));
+    }
+
+    #[test]
+    fn scratch_path_tracks_the_latest_route_without_record_path() {
+        let graph = paper_graph(256, 6, 13, false);
+        let frozen = graph.freeze();
+        let router = Router::new();
+        let mut scratch = RouteScratch::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        let r = router.route_frozen(&frozen, 7, 200, &mut rng, &mut scratch);
+        assert!(r.is_delivered());
+        assert!(r.path.is_none(), "hot path never allocates a result path");
+        assert_eq!(scratch.path().first(), Some(&7));
+        assert_eq!(scratch.path().last(), Some(&200));
+        assert_eq!(scratch.path().len() as u64, r.hops + 1);
+        let r2 = router.route_frozen(&frozen, 250, 1, &mut rng, &mut scratch);
+        assert_eq!(scratch.path().len() as u64, r2.hops + 1);
+        assert_eq!(scratch.path().first(), Some(&250));
+    }
+
+    #[test]
+    fn disabling_scratch_recording_changes_the_path_buffer_but_not_the_result() {
+        let graph = paper_graph(512, 6, 19, false);
+        let frozen = graph.freeze();
+        let router = Router::new();
+        let mut recording = RouteScratch::new();
+        let mut silent = RouteScratch::new().with_path_recording(false);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let a = router.route_frozen(&frozen, 3, 400, &mut rng_a, &mut recording);
+        let b = router.route_frozen(&frozen, 3, 400, &mut rng_b, &mut silent);
+        assert_eq!(a, b);
+        assert!(!recording.path().is_empty());
+        assert!(silent.path().is_empty());
+        // A path-recording router overrides the scratch flag: it needs the sequence.
+        let recorder = Router::new().with_path_recording(true);
+        let r = recorder.route_frozen(&frozen, 3, 400, &mut rng_a, &mut silent);
+        assert_eq!(
+            r.path.as_deref().map(<[u64]>::len),
+            Some(silent.path().len())
+        );
+    }
+
+    #[test]
+    fn backtracking_recovers_from_the_handbuilt_trap_identically() {
+        // Same trap as the classic router's test: 10 routes towards 0, node 3 dead.
+        let mut graph = OverlayGraph::fully_populated(Geometry::line(20));
+        for p in 0..20u64 {
+            if p > 0 {
+                graph.add_link(p, p - 1, LinkKind::Ring);
+            }
+            if p < 19 {
+                graph.add_link(p, p + 1, LinkKind::Ring);
+            }
+        }
+        graph.add_link(10, 4, LinkKind::Long);
+        graph.add_link(9, 1, LinkKind::Long);
+        graph.fail_node(3);
+        let pairs = [(10u64, 0u64)];
+        for strategy in [FaultStrategy::Terminate, FaultStrategy::paper_backtrack()] {
+            let router = Router::new()
+                .with_strategy(strategy)
+                .with_path_recording(true);
+            assert_parity(router, &graph, &pairs, 9);
+        }
+    }
+
+    #[test]
+    fn hop_limit_parity() {
+        let graph = paper_graph(1 << 10, 1, 11, false);
+        let router = Router::new().with_max_hops(1).with_path_recording(true);
+        assert_parity(router, &graph, &[(0, 1023)], 12);
+    }
+}

@@ -72,15 +72,13 @@ fn same_side(
     }
     let (_, dir_to_target) = geometry.offset_between(current, target);
     let (_, dir_to_neighbor) = geometry.offset_between(current, neighbor);
-    // Moving towards the target and not past it: same direction and the neighbour's
-    // distance to the target must not exceed the distance travelled... the distance check
-    // in the caller already guarantees progress; overshooting flips the direction from
-    // the neighbour back to the target.
+    // Moving towards the target: same direction from the current node; overshooting
+    // flips the direction from the neighbour back to the target.
     if dir_to_target != dir_to_neighbor {
         return false;
     }
     let (_, dir_neighbor_to_target) = geometry.offset_between(neighbor, target);
-    dir_neighbor_to_target == dir_to_target || neighbor == target
+    dir_neighbor_to_target == dir_to_target
 }
 
 /// Convenience wrapper around [`Direction`] re-exported for downstream crates that need
@@ -138,6 +136,24 @@ mod tests {
         g.add_link(15, 5, LinkKind::Long);
         assert_eq!(best_neighbor(&g, 15, 5, GreedyMode::OneSided, &[]), Some(5));
         assert_eq!(best_neighbor(&g, 15, 5, GreedyMode::TwoSided, &[]), Some(5));
+    }
+
+    #[test]
+    fn one_sided_overshoot_at_the_boundary_is_rejected() {
+        // Pins the boundary semantics of `same_side`: a link landing exactly on the
+        // target is taken; a link overshooting by a single grid point is not, even
+        // though it is strictly closer than the current node.
+        let mut g = OverlayGraph::fully_populated(Geometry::line(20));
+        g.add_link(15, 4, LinkKind::Long); // one past target 5
+        assert_eq!(best_neighbor(&g, 15, 5, GreedyMode::OneSided, &[]), None);
+        g.add_link(15, 5, LinkKind::Long); // exactly on target
+        assert_eq!(best_neighbor(&g, 15, 5, GreedyMode::OneSided, &[]), Some(5));
+        // Same boundary on a ring, approaching downwards across the wrap.
+        let mut r = OverlayGraph::fully_populated(Geometry::ring(20));
+        r.add_link(2, 19, LinkKind::Long); // one past target 0, going down
+        assert_eq!(best_neighbor(&r, 2, 0, GreedyMode::OneSided, &[]), None);
+        r.add_link(2, 0, LinkKind::Long);
+        assert_eq!(best_neighbor(&r, 2, 0, GreedyMode::OneSided, &[]), Some(0));
     }
 
     #[test]

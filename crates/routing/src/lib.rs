@@ -13,6 +13,10 @@
 //! * [`Router`] — the routing engine: given an overlay graph (possibly damaged by the
 //!   failure models) it walks a message from source to destination and reports the
 //!   outcome, the hop count and (optionally) the full path.
+//! * [`Router::route_frozen`] — the same walk compiled down: it runs over a
+//!   [`FrozenRoutes`](faultline_overlay::FrozenRoutes) CSR snapshot with caller-owned
+//!   [`RouteScratch`] buffers, bit-identical results and zero per-query heap
+//!   allocations — the query engine's uncached hot path.
 //!
 //! # Example
 //!
@@ -39,12 +43,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod byzantine;
+mod frozen;
 mod greedy;
 mod result;
 mod router;
 mod strategy;
 
 pub use byzantine::{ByzantineSet, RedundantRouteResult, RedundantRouter};
+pub use frozen::RouteScratch;
 pub use greedy::{best_neighbor, direction_towards, GreedyMode};
 pub use result::{FailureReason, RouteOutcome, RouteResult};
 pub use router::Router;

@@ -81,6 +81,18 @@ impl Router {
         self.strategy
     }
 
+    /// The configured hop-budget override, if any (`None` = `4·n + 16`).
+    #[must_use]
+    pub fn max_hops(&self) -> Option<u64> {
+        self.max_hops
+    }
+
+    /// Whether this router records the visited-node path in every result.
+    #[must_use]
+    pub fn records_path(&self) -> bool {
+        self.record_path
+    }
+
     /// Routes one message from `source` to `target` over `graph`.
     ///
     /// Randomness is only consumed by the random re-route strategy; the other strategies

@@ -1,0 +1,110 @@
+//! Property: the frozen CSR kernel is bit-identical to the live-graph walk.
+//!
+//! `Router::route_frozen` is an *optimisation*, not a second implementation of the
+//! semantics: over random graphs, random churn patterns (node failures, revivals, link
+//! failures, permanent departures), both greedy modes and every fault strategy, its
+//! [`RouteResult`]s — outcome, hops, recoveries and recorded path — must equal
+//! `Router::route`'s exactly, and both must consume the same amount of randomness.
+
+use faultline_linkdist::InversePowerLaw;
+use faultline_metric::Geometry;
+use faultline_overlay::{GraphBuilder, OverlayGraph};
+use faultline_routing::{FaultStrategy, GreedyMode, RouteScratch, Router};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+fn build(n: u64, ell: usize, seed: u64, ring: bool) -> OverlayGraph {
+    let geometry = if ring {
+        Geometry::ring(n)
+    } else {
+        Geometry::line(n)
+    };
+    let spec = InversePowerLaw::exponent_one(&geometry);
+    let mut rng = StdRng::seed_from_u64(seed);
+    GraphBuilder::new(geometry)
+        .links_per_node(ell)
+        .build(&spec, &mut rng)
+}
+
+/// Applies a random damage/churn pattern: crash a fraction of nodes, revive a few of
+/// them, kill a fraction of long links, and permanently remove a handful of nodes
+/// (leaving dangling links behind, as departures do).
+fn churn(graph: &mut OverlayGraph, seed: u64, node_f: f64, link_f: f64) {
+    let n = graph.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A2);
+    for p in 0..n {
+        if rng.gen_bool(node_f) {
+            graph.fail_node(p);
+        }
+    }
+    for p in 0..n {
+        if graph.is_present(p) && !graph.is_alive(p) && rng.gen_bool(0.2) {
+            graph.revive_node(p);
+        }
+    }
+    graph.fail_long_links_where(|_, _| rng.gen_bool(link_f));
+    for _ in 0..(n / 64).min(8) {
+        let p = rng.gen_range(0..n);
+        if graph.present_count() > 2 {
+            graph.remove_node(p);
+        }
+    }
+}
+
+fn strategy_from(pick: u8) -> FaultStrategy {
+    match pick % 3 {
+        0 => FaultStrategy::Terminate,
+        1 => FaultStrategy::paper_backtrack(),
+        _ => FaultStrategy::RandomReroute { max_attempts: 2 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn route_frozen_matches_route_bit_for_bit(
+        n in 8u64..1_200,
+        ell in 1usize..8,
+        seed in any::<u64>(),
+        ring in any::<bool>(),
+        one_sided in any::<bool>(),
+        strategy_pick in 0u8..3,
+        node_failure in 0.0f64..0.5,
+        link_failure in 0.0f64..0.3,
+    ) {
+        let mut graph = build(n, ell, seed, ring);
+        churn(&mut graph, seed, node_failure, link_failure);
+        let frozen = graph.freeze();
+
+        let mode = if one_sided { GreedyMode::OneSided } else { GreedyMode::TwoSided };
+        let router = Router::new()
+            .with_mode(mode)
+            .with_strategy(strategy_from(strategy_pick))
+            .with_path_recording(true);
+
+        let mut pair_rng = StdRng::seed_from_u64(seed ^ 0x9A17);
+        let mut scratch = RouteScratch::new();
+        for trial in 0..8u64 {
+            // Endpoints deliberately include dead and absent grid points: the immediate
+            // failure paths must agree too.
+            let s = pair_rng.gen_range(0..n);
+            let t = pair_rng.gen_range(0..n);
+            let mut rng_live = StdRng::seed_from_u64(seed ^ trial);
+            let mut rng_frozen = StdRng::seed_from_u64(seed ^ trial);
+            let live = router.route(&graph, s, t, &mut rng_live);
+            let fast = router.route_frozen(&frozen, s, t, &mut rng_frozen, &mut scratch);
+            prop_assert_eq!(&live, &fast, "{} -> {} diverged", s, t);
+            prop_assert_eq!(
+                rng_live.next_u64(),
+                rng_frozen.next_u64(),
+                "{} -> {} consumed different randomness", s, t
+            );
+            // The scratch path always mirrors the recorded path (as u32s).
+            let scratch_path: Vec<u64> =
+                fast.path.clone().unwrap_or_default();
+            let recorded: Vec<u64> = scratch.path().iter().map(|&p| u64::from(p)).collect();
+            prop_assert_eq!(scratch_path, recorded);
+        }
+    }
+}

@@ -132,13 +132,15 @@ impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.3} ±{:.3} (std {:.3}, median {:.3}, p90 {:.3}, max {:.3})",
+            "n={} mean={:.3} ±{:.3} (std {:.3}, median {:.3}, p90 {:.3}, p95 {:.3}, p99 {:.3}, max {:.3})",
             self.count,
             self.mean,
             self.ci95_half_width(),
             self.std_dev,
             self.median,
             self.p90,
+            self.p95,
+            self.p99,
             self.max
         )
     }
@@ -204,5 +206,7 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("n=3"));
         assert!(text.contains("mean=2.000"));
+        assert!(text.contains("p95"), "tail percentiles must be surfaced");
+        assert!(text.contains("p99"), "tail percentiles must be surfaced");
     }
 }

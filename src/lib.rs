@@ -30,8 +30,8 @@
 #![warn(missing_docs)]
 
 pub use faultline_core::{
-    BatchStats, ConstructionMode, CoreError, Directory, LinkSpecChoice, LookupOutcome, Network,
-    NetworkConfig, StoredResource,
+    BatchStats, ConstructionMode, CoreError, Directory, FrozenView, LinkSpecChoice, LookupOutcome,
+    Network, NetworkConfig, NetworkView, StoredResource,
 };
 
 /// Baseline overlays (Chord, Kleinberg 2-D grid, Plaxton digit routing).
