@@ -3,8 +3,32 @@
 //! Runs batched parallel lookups (uncached, cold cache, warm cache) plus the
 //! churn-interleaved phase, prints a summary, and writes `BENCH_engine.json` (or the
 //! path in `ENGINE_BENCH_JSON`) for the cross-PR performance trajectory.
+//!
+//! Under `--quick` (the CI smoke run) it also acts as a regression gate: the run
+//! fails if the frozen-kernel speedup or the incremental snapshot-maintenance
+//! speedup falls below a floor (overridable via `ENGINE_SMOKE_MIN_FROZEN_SPEEDUP` /
+//! `ENGINE_SMOKE_MIN_PATCH_SPEEDUP` for unusual machines).
 
 use faultline_bench::{engine_run, BenchArgs};
+
+/// `--quick` floor for `headline.frozen_speedup`: the CSR kernel has measured ~4.8x
+/// over the live-graph walk; below this something structural regressed, not noise.
+const MIN_FROZEN_SPEEDUP: f64 = 1.5;
+
+/// `--quick` floor for `headline.snapshot_patch_speedup`: patching O(touched · ℓ)
+/// rows must beat the O(nodes + links) rebuild per epoch; parity means the delta
+/// layer stopped paying for itself.
+const MIN_PATCH_SPEEDUP: f64 = 1.0;
+
+fn threshold(env: &str, default: f64) -> f64 {
+    match std::env::var(env) {
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: {env}={raw} is not a number; gating at the default {default:.2}x");
+            default
+        }),
+        Err(_) => default,
+    }
+}
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -16,6 +40,11 @@ fn main() {
         config.links = 12;
         config.queries = 50_000;
         config.epochs = 3;
+        // At 4k nodes the default 1% maintenance churn tombstones enough rows per
+        // epoch to brush the compaction threshold, where patch ≈ rebuild and the
+        // gate would ride on µs-level noise; 0.2% keeps the smoke run squarely in
+        // the patch-win regime the gate is meant to protect.
+        config.maintenance_churn_fraction = 0.002;
     }
     config.nodes = args.nodes_or(config.nodes, 1 << 17);
     config.links = args.links_or(config.links, 17);
@@ -33,5 +62,34 @@ fn main() {
             eprintln!("failed to write {path}: {error}");
             std::process::exit(1);
         }
+    }
+
+    if args.quick {
+        let mut regressions = Vec::new();
+        let min_frozen = threshold("ENGINE_SMOKE_MIN_FROZEN_SPEEDUP", MIN_FROZEN_SPEEDUP);
+        if report.frozen_speedup() < min_frozen {
+            regressions.push(format!(
+                "frozen_speedup {:.2}x below the {min_frozen:.2}x floor",
+                report.frozen_speedup()
+            ));
+        }
+        let min_patch = threshold("ENGINE_SMOKE_MIN_PATCH_SPEEDUP", MIN_PATCH_SPEEDUP);
+        if report.snapshot_patch_speedup() < min_patch {
+            regressions.push(format!(
+                "snapshot_patch_speedup {:.2}x below the {min_patch:.2}x floor",
+                report.snapshot_patch_speedup()
+            ));
+        }
+        if !regressions.is_empty() {
+            for regression in &regressions {
+                eprintln!("perf regression: {regression}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "smoke gate passed: frozen_speedup {:.2}x (floor {min_frozen:.2}x), snapshot_patch_speedup {:.2}x (floor {min_patch:.2}x)",
+            report.frozen_speedup(),
+            report.snapshot_patch_speedup()
+        );
     }
 }

@@ -29,6 +29,12 @@ pub struct EngineBenchConfig {
     pub epochs: usize,
     /// Fraction of the space churned per epoch (0.10 reproduces the headline number).
     pub churn_fraction: f64,
+    /// Churn fraction for the dedicated snapshot-maintenance comparison (patch vs
+    /// rebuild per epoch). Kept an order of magnitude below `churn_fraction`: light
+    /// sustained churn is the regime incremental patching exists for — under the 10%
+    /// stress churn the blast radius covers most rows and `apply_churn` deliberately
+    /// degrades to a rebuild.
+    pub maintenance_churn_fraction: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -48,6 +54,7 @@ impl EngineBenchConfig {
             threads: 4,
             epochs: 5,
             churn_fraction: 0.10,
+            maintenance_churn_fraction: 0.01,
             seed: 2002,
         }
     }
@@ -68,8 +75,17 @@ pub struct EngineBenchReport {
     pub cached_cold: BatchReport,
     /// A fresh batch against the now-warm cache (steady-state hit rate).
     pub cached_warm: BatchReport,
-    /// Routing epochs interleaved with churn of `churn_fraction` per epoch.
+    /// Routing epochs interleaved with churn of `churn_fraction` per epoch, with the
+    /// snapshot incrementally patched (the default engine behaviour).
     pub interleaved: InterleavedReport,
+    /// Dedicated snapshot-maintenance run at `maintenance_churn_fraction` per epoch,
+    /// snapshot incrementally patched.
+    pub maintenance_patch: InterleavedReport,
+    /// The identical maintenance trajectory with incremental patching disabled: the
+    /// snapshot is recompiled from scratch every epoch. Epoch reports match
+    /// `maintenance_patch` query for query; only the maintenance cost differs, which
+    /// is exactly what the `snapshot_maintenance` section compares.
+    pub maintenance_rebuild: InterleavedReport,
 }
 
 impl EngineBenchReport {
@@ -103,6 +119,60 @@ impl EngineBenchReport {
         }
     }
 
+    /// Headline: per-epoch snapshot maintenance speedup at the maintenance churn rate
+    /// — mean full-rebuild time (from the rebuild-baseline trajectory) over mean
+    /// incremental-patch time (`0.0` when either side measured nothing).
+    #[must_use]
+    pub fn snapshot_patch_speedup(&self) -> f64 {
+        let patch = self.maintenance_patch.mean_patch_nanos();
+        let rebuild = self.maintenance_rebuild.mean_rebuild_nanos();
+        if patch > 0.0 && rebuild > 0.0 {
+            rebuild / patch
+        } else {
+            0.0
+        }
+    }
+
+    /// The `snapshot_maintenance` JSON section: per-epoch patch vs rebuild cost and
+    /// the compaction cadence, re-baselining the snapshot amortisation each PR.
+    #[must_use]
+    fn snapshot_maintenance_json(&self) -> String {
+        let us = |nanos: u64| -> String { format!("{:.1}", nanos as f64 / 1e3) };
+        let patch_us: Vec<String> = self
+            .maintenance_patch
+            .epochs()
+            .iter()
+            .map(|e| us(e.snapshot.patch_nanos))
+            .collect();
+        let rebuild_us: Vec<String> = self
+            .maintenance_rebuild
+            .epochs()
+            .iter()
+            .map(|e| us(e.snapshot.rebuild_nanos))
+            .collect();
+        let rows_patched: usize = self
+            .maintenance_patch
+            .epochs()
+            .iter()
+            .map(|e| e.snapshot.rows_patched)
+            .sum();
+        format!(
+            concat!(
+                "{{\"churn_fraction\":{:.4},\"patch_us\":[{}],\"rebuild_us\":[{}],",
+                "\"mean_patch_us\":{:.1},\"mean_rebuild_us\":{:.1},",
+                "\"rebuild_over_patch\":{:.2},\"rows_patched\":{},\"compactions\":{}}}"
+            ),
+            self.config.maintenance_churn_fraction,
+            patch_us.join(","),
+            rebuild_us.join(","),
+            self.maintenance_patch.mean_patch_nanos() / 1e3,
+            self.maintenance_rebuild.mean_rebuild_nanos() / 1e3,
+            self.snapshot_patch_speedup(),
+            rows_patched,
+            self.maintenance_patch.compactions(),
+        )
+    }
+
     /// Renders the full report as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -111,7 +181,9 @@ impl EngineBenchReport {
                 "{{\"config\":{{\"nodes\":{},\"links\":{},\"queries\":{},\"threads\":{},",
                 "\"epochs\":{},\"churn_fraction\":{:.3},\"seed\":{}}},",
                 "\"headline\":{{\"queries_per_sec\":{:.1},\"p99_hops\":{:.1},",
-                "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2}}},",
+                "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2},",
+                "\"snapshot_patch_speedup\":{:.2}}},",
+                "\"snapshot_maintenance\":{},",
                 "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
                 "\"interleaved\":{}}}"
             ),
@@ -126,6 +198,8 @@ impl EngineBenchReport {
             self.p99_hops(),
             self.success_rate_under_churn(),
             self.frozen_speedup(),
+            self.snapshot_patch_speedup(),
+            self.snapshot_maintenance_json(),
             self.uncached.to_json(),
             self.uncached_frozen.to_json(),
             self.cached_cold.to_json(),
@@ -177,6 +251,31 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         config.seed ^ 0xC09A,
     );
 
+    // Snapshot-maintenance comparison at light sustained churn: two identically
+    // seeded networks and engines walk the exact same trajectory, one patching its
+    // snapshot per epoch, the other recompiling it from scratch. Epoch reports come
+    // out identical; the per-epoch maintenance timings are the comparison the
+    // `snapshot_maintenance` section publishes.
+    let maintenance_churn = ChurnMix::fraction_of(config.nodes, config.maintenance_churn_fraction);
+    let maintenance = |incremental: bool| {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut network = Network::build(&network_config, &mut rng);
+        let mut engine = QueryEngine::new(
+            EngineConfig::default()
+                .threads(config.threads)
+                .incremental(incremental),
+        );
+        engine.run_interleaved(
+            &mut network,
+            config.epochs,
+            per_epoch,
+            maintenance_churn,
+            config.seed ^ 0x5EED,
+        )
+    };
+    let maintenance_patch = maintenance(true);
+    let maintenance_rebuild = maintenance(false);
+
     EngineBenchReport {
         config: *config,
         uncached,
@@ -184,6 +283,8 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         cached_cold,
         cached_warm,
         interleaved,
+        maintenance_patch,
+        maintenance_rebuild,
     }
 }
 
@@ -228,6 +329,14 @@ pub fn print(report: &EngineBenchReport) {
         report.interleaved.routing_queries_per_sec(),
         report.interleaved.overall_success_rate(),
     );
+    println!(
+        "snapshot maintenance ({:.1}% churn/epoch): patch {:.1} µs/epoch vs rebuild {:.1} µs/epoch ({:.1}x), {} compactions",
+        config.maintenance_churn_fraction * 100.0,
+        report.maintenance_patch.mean_patch_nanos() / 1e3,
+        report.maintenance_rebuild.mean_rebuild_nanos() / 1e3,
+        report.snapshot_patch_speedup(),
+        report.maintenance_patch.compactions(),
+    );
 }
 
 #[cfg(test)]
@@ -242,6 +351,7 @@ mod tests {
             threads: 2,
             epochs: 2,
             churn_fraction: 0.05,
+            maintenance_churn_fraction: 0.005,
             seed: 7,
         }
     }
@@ -290,10 +400,53 @@ mod tests {
             "\"p99_hops\"",
             "\"success_rate_under_churn\"",
             "\"frozen_speedup\"",
+            "\"snapshot_patch_speedup\"",
+            "\"snapshot_maintenance\"",
+            "\"patch_us\"",
+            "\"rebuild_us\"",
+            "\"compactions\"",
             "\"uncached_frozen\"",
             "\"interleaved\"",
         ] {
             assert!(json.contains(field), "missing {field}");
         }
+    }
+
+    #[test]
+    fn rebuild_baseline_reproduces_the_incremental_trajectory() {
+        let report = run(&tiny());
+        let digest = |r: &InterleavedReport| {
+            r.epochs()
+                .iter()
+                .map(|e| {
+                    (
+                        e.joins,
+                        e.leaves,
+                        e.flushed_routes,
+                        e.alive_after,
+                        e.batch.delivered(),
+                        e.batch.cache_hits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            digest(&report.maintenance_patch),
+            digest(&report.maintenance_rebuild),
+            "maintenance mode must not change the trajectory"
+        );
+        // Maintenance shape: the incremental run patches every epoch, the baseline
+        // rebuilds every epoch.
+        assert!(report
+            .maintenance_patch
+            .epochs()
+            .iter()
+            .all(|e| e.snapshot.patch_nanos > 0));
+        assert!(report
+            .maintenance_rebuild
+            .epochs()
+            .iter()
+            .all(|e| e.snapshot.rebuild_nanos > 0));
+        assert!(report.snapshot_patch_speedup() > 0.0);
     }
 }

@@ -1,0 +1,123 @@
+//! Property: incremental snapshot patching equals a from-scratch recompile.
+//!
+//! The Section 5 maintainer reports the exact blast radius of every join and leave
+//! (`touched_nodes`). Feeding those reports to [`FrozenRoutes::apply_churn`] must keep
+//! the patched snapshot *logically* identical to `OverlayGraph::freeze()` of the
+//! mutated graph after **any** interleaving of joins and leaves — same adjacency row
+//! for every node, same alive bitset, same sorted alive list — and a forced
+//! [`FrozenRoutes::compact`] must make it **bit**-identical (same dense `offsets` /
+//! `neighbors` arrays), no matter how many patch/compaction cycles happened in
+//! between.
+
+use faultline_construction::{NetworkMaintainer, ReplacementStrategy};
+use faultline_metric::Geometry;
+use faultline_overlay::{FrozenRoutes, NodeId, OverlayGraph};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Asserts the patched snapshot reads identically to a fresh freeze, row by row.
+fn assert_logically_equal(graph: &OverlayGraph, patched: &FrozenRoutes) {
+    let fresh = graph.freeze();
+    for p in 0..graph.len() {
+        assert_eq!(patched.neighbors(p), fresh.neighbors(p), "row {p} diverged");
+        assert_eq!(patched.is_alive(p), fresh.is_alive(p), "alive bit {p}");
+    }
+    assert_eq!(patched.alive_sorted(), fresh.alive_sorted());
+    assert_eq!(patched.edge_count(), fresh.edge_count());
+}
+
+/// One epoch of random maintainer churn; returns the union of the touched sets.
+fn churn_epoch(
+    maintainer: &mut NetworkMaintainer,
+    events: usize,
+    join_bias: f64,
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let n = maintainer.graph().len();
+    let mut touched = Vec::new();
+    for _ in 0..events {
+        let want_join = rng.gen_bool(join_bias);
+        if want_join {
+            let p = rng.gen_range(0..n);
+            if let Ok(report) = maintainer.join(p, rng) {
+                touched.extend(report.touched_nodes);
+            }
+        } else if maintainer.graph().present_count() > 2 {
+            let p = rng.gen_range(0..n);
+            if let Some(&victim) = maintainer
+                .graph()
+                .present_nodes()
+                .get(p as usize % maintainer.graph().present_nodes().len())
+            {
+                if let Ok(report) = maintainer.leave(victim, rng) {
+                    touched.extend(report.touched_nodes);
+                }
+            }
+        }
+    }
+    touched
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn patched_snapshots_equal_fresh_freezes_under_arbitrary_churn(
+        n in 32u64..512,
+        ell in 1usize..6,
+        seed in any::<u64>(),
+        ring in any::<bool>(),
+        epochs in 1usize..6,
+        events in 1usize..40,
+        join_bias in 0.1f64..0.9,
+    ) {
+        let geometry = if ring { Geometry::ring(n) } else { Geometry::line(n) };
+        let mut maintainer =
+            NetworkMaintainer::new(geometry, ell, ReplacementStrategy::InverseDistance);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Seed the population through the maintainer itself.
+        for _ in 0..(n / 2) {
+            let _ = maintainer.join(rng.gen_range(0..n), &mut rng);
+        }
+
+        let mut snapshot = maintainer.graph().freeze();
+        for _ in 0..epochs {
+            let touched = churn_epoch(&mut maintainer, events, join_bias, &mut rng);
+            snapshot.apply_churn(maintainer.graph(), &touched);
+            assert_logically_equal(maintainer.graph(), &snapshot);
+        }
+
+        // Bit-identity after folding the overflow region back into the dense CSR.
+        snapshot.compact();
+        prop_assert_eq!(snapshot, maintainer.graph().freeze());
+    }
+
+    #[test]
+    fn per_event_patching_matches_batched_epoch_patching(
+        n in 32u64..256,
+        seed in any::<u64>(),
+        events in 2usize..30,
+    ) {
+        let geometry = Geometry::line(n);
+        let mut a = NetworkMaintainer::new(geometry, 3, ReplacementStrategy::Oldest);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..(n / 2) {
+            let _ = a.join(rng.gen_range(0..n), &mut rng);
+        }
+        let mut per_event = a.graph().freeze();
+        let mut batched = per_event.clone();
+
+        let mut epoch_touched = Vec::new();
+        for _ in 0..events {
+            let touched = churn_epoch(&mut a, 1, 0.5, &mut rng);
+            per_event.apply_churn(a.graph(), &touched);
+            epoch_touched.extend(touched);
+        }
+        batched.apply_churn(a.graph(), &epoch_touched);
+
+        per_event.compact();
+        batched.compact();
+        prop_assert_eq!(&per_event, &batched);
+        prop_assert_eq!(per_event, a.graph().freeze());
+    }
+}

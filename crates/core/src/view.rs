@@ -7,7 +7,7 @@
 //! graph and the router configuration — and is `Copy`, so every worker can hold its own.
 
 use crate::network::Network;
-use faultline_overlay::{FrozenRoutes, NodeId, OverlayGraph};
+use faultline_overlay::{FrozenRoutes, NodeId, OverlayGraph, PatchStats};
 use faultline_routing::{RouteResult, RouteScratch, Router};
 use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
@@ -142,6 +142,14 @@ impl FrozenView {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.routes.is_empty()
+    }
+
+    /// Patches the snapshot in place after a churn epoch, given the union of the
+    /// maintainer reports' `touched_nodes`; see
+    /// [`FrozenRoutes::apply_churn`] for the blast-radius contract. O(touched · ℓ)
+    /// instead of the O(nodes + links) of a full [`NetworkView::freeze`].
+    pub fn apply_churn(&mut self, graph: &OverlayGraph, touched: &[NodeId]) -> PatchStats {
+        self.routes.apply_churn(graph, touched)
     }
 
     /// Routes one message over the snapshot with an explicit per-query seed.

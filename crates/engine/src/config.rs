@@ -4,13 +4,15 @@
 ///
 /// Built in the same builder style as `NetworkConfig`: start from
 /// [`EngineConfig::default`], override what you need.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     threads: usize,
     shards: usize,
     cache_capacity: usize,
     max_hops: Option<u64>,
     frozen: bool,
+    incremental: bool,
+    adaptive_freeze: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -21,6 +23,8 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             max_hops: None,
             frozen: true,
+            incremental: true,
+            adaptive_freeze: None,
         }
     }
 }
@@ -69,6 +73,40 @@ impl EngineConfig {
         self
     }
 
+    /// Enables or disables incremental snapshot maintenance in
+    /// [`run_interleaved`](crate::QueryEngine::run_interleaved) (default: enabled).
+    ///
+    /// When enabled, the interleaved runner keeps one snapshot alive across epochs and
+    /// patches exactly the rows each epoch's churn touched
+    /// ([`FrozenView::apply_churn`](faultline_core::FrozenView::apply_churn)); when
+    /// disabled it recompiles the snapshot from scratch every epoch — the pre-patching
+    /// behaviour, kept as the benchmark baseline. Both produce identical epoch
+    /// reports; only the per-epoch maintenance cost differs.
+    #[must_use]
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Enables the adaptive snapshot policy: skip compiling (and maintaining) a
+    /// snapshot for any batch that starts with a cache hit rate of at least
+    /// `hit_rate_threshold`, because a near-fully-warm cache leaves the uncached
+    /// kernel too cold to amortise the build. Disabled by default (`None`): every
+    /// frozen-enabled batch gets a snapshot.
+    ///
+    /// Routing results are unaffected — live-graph and frozen routing are
+    /// bit-identical for the deterministic strategies — only where the misses are
+    /// routed changes.
+    #[must_use]
+    pub fn adaptive_freeze(mut self, hit_rate_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&hit_rate_threshold),
+            "hit-rate threshold outside [0, 1]"
+        );
+        self.adaptive_freeze = Some(hit_rate_threshold);
+        self
+    }
+
     /// Configured worker threads (0 = available parallelism).
     #[must_use]
     pub fn thread_count(&self) -> usize {
@@ -98,6 +136,18 @@ impl EngineConfig {
     pub fn frozen_enabled(&self) -> bool {
         self.frozen
     }
+
+    /// Whether interleaved runs patch one persistent snapshot instead of rebuilding.
+    #[must_use]
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental
+    }
+
+    /// The adaptive-freeze hit-rate threshold, if the policy is enabled.
+    #[must_use]
+    pub fn adaptive_freeze_threshold(&self) -> Option<f64> {
+        self.adaptive_freeze
+    }
 }
 
 #[cfg(test)]
@@ -111,16 +161,31 @@ mod tests {
             .shards(32)
             .cache_capacity(64)
             .max_hops(1000)
-            .frozen(false);
+            .frozen(false)
+            .incremental(false)
+            .adaptive_freeze(0.95);
         assert_eq!(config.thread_count(), 8);
         assert_eq!(config.shard_count(), 32);
         assert_eq!(config.cache_capacity_entries(), 64);
         assert_eq!(config.max_hops_override(), Some(1000));
         assert!(!config.frozen_enabled());
+        assert!(!config.incremental_enabled());
+        assert_eq!(config.adaptive_freeze_threshold(), Some(0.95));
         assert!(
             EngineConfig::default().frozen_enabled(),
             "the fast path is the default"
         );
+        assert!(
+            EngineConfig::default().incremental_enabled(),
+            "incremental snapshot maintenance is the default"
+        );
+        assert_eq!(EngineConfig::default().adaptive_freeze_threshold(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit-rate threshold")]
+    fn adaptive_threshold_is_range_checked() {
+        let _ = EngineConfig::default().adaptive_freeze(1.5);
     }
 
     #[test]

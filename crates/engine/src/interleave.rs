@@ -11,17 +11,22 @@
 use crate::batch::QueryBatch;
 use crate::run::QueryEngine;
 use crate::stats::BatchReport;
-use faultline_core::Network;
+use faultline_core::{FrozenView, Network};
 use faultline_failure::{ChurnEvent, ChurnSchedule};
 use faultline_sim::{seed_for_trial, trial_rng};
+use std::time::Instant;
 
 /// Churn intensity applied between routing epochs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnMix {
-    /// Churn events (joins + leaves) applied after each epoch's batch.
+    /// Churn events (joins + leaves) applied after each epoch's batch (for
+    /// fraction-based mixes this is the *initial* count; see [`ChurnMix::events_for`]).
     pub events_per_epoch: usize,
     /// Probability that an event is a join (the rest are leaves).
     pub join_probability: f64,
+    /// For mixes built with [`ChurnMix::fraction_of`], the fraction of the *current*
+    /// alive population to churn each epoch; `None` pins the absolute event count.
+    fraction: Option<f64>,
 }
 
 impl ChurnMix {
@@ -31,17 +36,65 @@ impl ChurnMix {
         Self {
             events_per_epoch,
             join_probability: 0.5,
+            fraction: None,
         }
     }
 
-    /// Churn touching roughly `fraction` of an `n`-point space per epoch, balanced.
+    /// Churn touching roughly `fraction` of the alive population per epoch, balanced.
+    ///
+    /// `n` sizes the initial [`ChurnMix::events_per_epoch`] estimate; at every epoch
+    /// boundary the actual event count is re-derived from the *current* alive count
+    /// ([`ChurnMix::events_for`]), so a sustained leave-heavy run churns the shrinking
+    /// population proportionally instead of hammering it with events sized for the
+    /// original space.
     #[must_use]
     pub fn fraction_of(n: u64, fraction: f64) -> Self {
         assert!(
             (0.0..=1.0).contains(&fraction),
             "churn fraction outside [0, 1]"
         );
-        Self::balanced((n as f64 * fraction).round() as usize)
+        Self {
+            events_per_epoch: (n as f64 * fraction).round() as usize,
+            join_probability: 0.5,
+            fraction: Some(fraction),
+        }
+    }
+
+    /// Events to apply for an epoch that starts with `alive_now` alive nodes: the
+    /// fixed `events_per_epoch` for absolute mixes, `fraction × alive_now` (rounded)
+    /// for fraction mixes.
+    #[must_use]
+    pub fn events_for(&self, alive_now: u64) -> usize {
+        match self.fraction {
+            Some(fraction) => (alive_now as f64 * fraction).round() as usize,
+            None => self.events_per_epoch,
+        }
+    }
+}
+
+/// Snapshot maintenance performed during one epoch of an interleaved run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotWork {
+    /// Nanoseconds spent compiling the snapshot from scratch (the first epoch, any
+    /// epoch after an adaptive skip, and every epoch when incremental maintenance is
+    /// disabled).
+    pub rebuild_nanos: u64,
+    /// Nanoseconds spent patching the snapshot with the epoch's churn blast radius.
+    pub patch_nanos: u64,
+    /// Adjacency rows the patch rewrote.
+    pub rows_patched: usize,
+    /// Whether patching triggered a compaction back to a dense CSR.
+    pub compacted: bool,
+    /// Whether the epoch ran without any snapshot (frozen path disabled, or the
+    /// adaptive policy judged the cache warm enough to skip it).
+    pub skipped: bool,
+}
+
+impl SnapshotWork {
+    /// Total snapshot maintenance time this epoch (rebuild + patch).
+    #[must_use]
+    pub fn nanos(&self) -> u64 {
+        self.rebuild_nanos + self.patch_nanos
     }
 }
 
@@ -60,6 +113,8 @@ pub struct EpochReport {
     pub flushed_routes: usize,
     /// Alive nodes once the epoch's churn settled.
     pub alive_after: u64,
+    /// Snapshot maintenance (rebuild / patch / skip) performed this epoch.
+    pub snapshot: SnapshotWork,
 }
 
 /// The full interleaved trajectory.
@@ -108,6 +163,39 @@ impl InterleavedReport {
         }
     }
 
+    /// Mean nanoseconds per epoch spent patching the snapshot (0.0 when no epoch
+    /// patched).
+    #[must_use]
+    pub fn mean_patch_nanos(&self) -> f64 {
+        Self::mean_nonzero(self.epochs.iter().map(|e| e.snapshot.patch_nanos))
+    }
+
+    /// Mean nanoseconds per epoch spent full-rebuilding the snapshot (0.0 when no
+    /// epoch rebuilt).
+    #[must_use]
+    pub fn mean_rebuild_nanos(&self) -> f64 {
+        Self::mean_nonzero(self.epochs.iter().map(|e| e.snapshot.rebuild_nanos))
+    }
+
+    /// Number of epochs whose patch ended in a compaction.
+    #[must_use]
+    pub fn compactions(&self) -> usize {
+        self.epochs.iter().filter(|e| e.snapshot.compacted).count()
+    }
+
+    fn mean_nonzero<I: Iterator<Item = u64>>(values: I) -> f64 {
+        let (mut sum, mut count) = (0u64, 0u64);
+        for v in values.filter(|&v| v > 0) {
+            sum += v;
+            count += 1;
+        }
+        if count > 0 {
+            sum as f64 / count as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Renders the whole trajectory as a JSON object with one entry per epoch.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -118,13 +206,21 @@ impl InterleavedReport {
                 format!(
                     concat!(
                         "{{\"epoch\":{},\"joins\":{},\"leaves\":{},",
-                        "\"flushed_routes\":{},\"alive_after\":{},\"batch\":{}}}"
+                        "\"flushed_routes\":{},\"alive_after\":{},",
+                        "\"snapshot\":{{\"rebuild_ns\":{},\"patch_ns\":{},",
+                        "\"rows_patched\":{},\"compacted\":{},\"skipped\":{}}},",
+                        "\"batch\":{}}}"
                     ),
                     e.epoch,
                     e.joins,
                     e.leaves,
                     e.flushed_routes,
                     e.alive_after,
+                    e.snapshot.rebuild_nanos,
+                    e.snapshot.patch_nanos,
+                    e.snapshot.rows_patched,
+                    e.snapshot.compacted,
+                    e.snapshot.skipped,
                     e.batch.to_json()
                 )
             })
@@ -146,10 +242,21 @@ impl QueryEngine {
     /// Alternates routing epochs with churn + Section 5 repair on `network`.
     ///
     /// Per epoch: route `queries_per_epoch` fresh uniform queries in parallel, then
-    /// apply `churn.events_per_epoch` join/leave events through the maintenance
+    /// apply `churn.events_for(alive)` join/leave events through the maintenance
     /// heuristic, then flush the cached routes whose buckets the churn touched. All
     /// randomness derives from `master_seed`, so the whole trajectory is reproducible
     /// at any thread count.
+    ///
+    /// One compiled snapshot is kept alive across epochs and **incrementally patched**
+    /// with each epoch's maintainer blast radius (`touched_nodes`) instead of being
+    /// recompiled per batch — O(touched · ℓ) per epoch instead of O(nodes + links).
+    /// [`EngineConfig::incremental`](crate::EngineConfig::incremental) `(false)`
+    /// restores the rebuild-per-epoch baseline (identical epoch reports, different
+    /// maintenance cost), and the adaptive policy
+    /// ([`EngineConfig::adaptive_freeze`](crate::EngineConfig::adaptive_freeze)) drops
+    /// the snapshot entirely for epochs whose cache is warm enough to starve the
+    /// uncached path. Per-epoch maintenance work is reported in
+    /// [`EpochReport::snapshot`].
     pub fn run_interleaved(
         &mut self,
         network: &mut Network,
@@ -160,19 +267,36 @@ impl QueryEngine {
     ) -> InterleavedReport {
         let n = network.len();
         let mut reports = Vec::with_capacity(epochs);
+        let mut snapshot: Option<FrozenView> = None;
         for epoch in 0..epochs {
+            let mut work = SnapshotWork::default();
+            if self.snapshot_worthwhile() {
+                if snapshot.is_none() {
+                    let started = Instant::now();
+                    snapshot = Some(self.note_snapshot_built(self.routing_view(network).freeze()));
+                    work.rebuild_nanos = started.elapsed().as_nanos() as u64;
+                }
+            } else {
+                // Frozen path disabled or adaptively skipped: route misses (if any)
+                // over the live graph and stop maintaining the stale snapshot.
+                snapshot = None;
+                work.skipped = true;
+            }
+
             let batch_seed = seed_for_trial(master_seed, epoch as u64);
             let batch = QueryBatch::uniform(network, queries_per_epoch, batch_seed);
-            let batch_report = self.run_batch(network, &batch);
+            let batch_report = self.run_batch_with_snapshot(network, &batch, snapshot.as_ref());
 
             // Churn phase: one consistent schedule over the current population, applied
             // through the maintainer so links are regenerated as the paper prescribes.
+            // Event volume tracks the *current* alive population for fraction mixes.
+            let events = churn.events_for(network.alive_count());
             let mut churn_rng = trial_rng(master_seed ^ 0xC48A_0C48_A0C4_8A0C, epoch as u64);
             let present = network.graph().present_nodes().to_vec();
             let schedule = ChurnSchedule::generate(
                 n,
                 &present,
-                churn.events_per_epoch,
+                events,
                 churn.join_probability,
                 &mut churn_rng,
             );
@@ -199,6 +323,20 @@ impl QueryEngine {
             }
             let flushed_routes = self.invalidate_nodes(&touched, n);
 
+            // Publish the next epoch's routes: patch the touched rows in place, or
+            // drop the snapshot so the next epoch recompiles (rebuild baseline).
+            if let Some(live) = snapshot.as_mut() {
+                if self.config().incremental_enabled() {
+                    let started = Instant::now();
+                    let stats = live.apply_churn(network.graph(), &touched);
+                    work.patch_nanos = started.elapsed().as_nanos() as u64;
+                    work.rows_patched = stats.rows_patched;
+                    work.compacted = stats.compacted;
+                } else {
+                    snapshot = None;
+                }
+            }
+
             reports.push(EpochReport {
                 epoch,
                 batch: batch_report,
@@ -206,6 +344,7 @@ impl QueryEngine {
                 leaves,
                 flushed_routes,
                 alive_after: network.alive_count(),
+                snapshot: work,
             });
         }
         InterleavedReport { epochs: reports }
@@ -276,5 +415,13 @@ mod tests {
         let mix = ChurnMix::fraction_of(1000, 0.1);
         assert_eq!(mix.events_per_epoch, 100);
         assert_eq!(mix.join_probability, 0.5);
+        // Fraction mixes re-derive the event count from the current population...
+        assert_eq!(mix.events_for(1000), 100);
+        assert_eq!(mix.events_for(500), 50);
+        assert_eq!(mix.events_for(0), 0);
+        // ...absolute mixes never do.
+        let fixed = ChurnMix::balanced(25);
+        assert_eq!(fixed.events_for(1000), 25);
+        assert_eq!(fixed.events_for(10), 25);
     }
 }

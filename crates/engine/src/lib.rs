@@ -25,6 +25,11 @@
 //!   epochs with `faultline_failure` churn events and the Section 5 maintenance
 //!   heuristic (`Network::join`/`leave`), measuring throughput and success rate *while*
 //!   the network repairs itself — the paper's fault-tolerance claim at traffic scale.
+//!   One snapshot persists across epochs and is **incrementally patched** with each
+//!   epoch's maintainer blast radius (O(touched · ℓ) instead of an O(nodes + links)
+//!   recompile); [`EngineConfig::incremental`] restores the rebuild baseline and
+//!   [`EngineConfig::adaptive_freeze`] skips snapshot work when the cache is warm
+//!   enough to starve the uncached path.
 //! * **Percentile stats** — every batch reports p50/p95/p99 hop and per-query wall-time
 //!   ladders plus queries/sec, exportable as JSON for the benchmark trajectory.
 //!
@@ -58,6 +63,6 @@ mod stats;
 pub use batch::QueryBatch;
 pub use cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, NUM_BUCKETS};
 pub use config::EngineConfig;
-pub use interleave::{ChurnMix, EpochReport, InterleavedReport};
+pub use interleave::{ChurnMix, EpochReport, InterleavedReport, SnapshotWork};
 pub use run::QueryEngine;
 pub use stats::{BatchReport, QueryOutcome};

@@ -27,6 +27,10 @@ pub struct QueryEngine {
     config: EngineConfig,
     pool: rayon::ThreadPool,
     caches: Vec<RouteCache>,
+    /// Cache hit rate of the most recent batch (None before any cached batch ran);
+    /// the adaptive snapshot policy reads it to predict the next batch's miss volume.
+    last_hit_rate: Option<f64>,
+    snapshots_built: u64,
 }
 
 impl QueryEngine {
@@ -44,6 +48,8 @@ impl QueryEngine {
             config,
             pool,
             caches,
+            last_hit_rate: None,
+            snapshots_built: 0,
         }
     }
 
@@ -97,21 +103,75 @@ impl QueryEngine {
         }
     }
 
-    /// Executes a batch of lookups in parallel and reports per-query outcomes plus
-    /// aggregate statistics. See the crate docs for the execution model.
-    pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
-        let n = network.len();
-        let caching = self.config.cache_capacity_entries() > 0;
+    /// Snapshots the engine has compiled so far (freezes, not patches) — observable
+    /// evidence for the adaptive policy's skip decisions.
+    #[must_use]
+    pub fn snapshots_built(&self) -> u64 {
+        self.snapshots_built
+    }
+
+    /// Counts a freshly compiled snapshot and hands it back (used by the interleaved
+    /// runner, whose snapshots are built outside [`QueryEngine::run_batch`]).
+    pub(crate) fn note_snapshot_built(&mut self, view: FrozenView) -> FrozenView {
+        self.snapshots_built += 1;
+        view
+    }
+
+    /// The routing view the engine's batches run over (hop-budget override applied).
+    pub(crate) fn routing_view<'a>(&self, network: &'a Network) -> NetworkView<'a> {
         let mut view = network.view();
         if let Some(max_hops) = self.config.max_hops_override() {
             view = view.with_max_hops(max_hops);
         }
-        // Compile the routing snapshot once per batch: O(nodes + links), amortised over
-        // every cache miss in the batch. The live-graph fallback only records result
-        // paths when caching needs the touched-bucket masks (the frozen kernel records
-        // its path in scratch for free).
-        let frozen = self.config.frozen_enabled().then(|| view.freeze());
-        let frozen = frozen.as_ref();
+        view
+    }
+
+    /// Whether the next batch should be routed through a compiled snapshot: the fast
+    /// path must be enabled, and — when the adaptive policy is on — the previous
+    /// batch's cache hit rate must sit below the configured threshold (a near-fully
+    /// warm cache leaves too few misses to amortise snapshot work).
+    pub(crate) fn snapshot_worthwhile(&self) -> bool {
+        if !self.config.frozen_enabled() {
+            return false;
+        }
+        match (self.config.adaptive_freeze_threshold(), self.last_hit_rate) {
+            (Some(threshold), Some(rate)) => rate < threshold,
+            _ => true,
+        }
+    }
+
+    /// Executes a batch of lookups in parallel and reports per-query outcomes plus
+    /// aggregate statistics. See the crate docs for the execution model.
+    ///
+    /// Compiles the routing snapshot once per batch: O(nodes + links), amortised over
+    /// every cache miss in the batch (skipped entirely when the adaptive policy
+    /// predicts the cache will absorb the batch).
+    pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
+        let frozen = self.snapshot_worthwhile().then(|| {
+            self.snapshots_built += 1;
+            self.routing_view(network).freeze()
+        });
+        self.run_batch_with_snapshot(network, batch, frozen.as_ref())
+    }
+
+    /// Executes a batch over a caller-owned snapshot (or the live graph when `None`).
+    ///
+    /// This is the entry point for callers that maintain a snapshot across batches —
+    /// the interleaved runner patches one `FrozenView` through churn epochs instead of
+    /// recompiling per batch. The snapshot must describe `network`'s current topology;
+    /// a stale snapshot routes the epoch it was patched to, not the live graph.
+    pub fn run_batch_with_snapshot(
+        &mut self,
+        network: &Network,
+        batch: &QueryBatch,
+        frozen: Option<&FrozenView>,
+    ) -> BatchReport {
+        let n = network.len();
+        let caching = self.config.cache_capacity_entries() > 0;
+        let view = self.routing_view(network);
+        // The live-graph fallback only records result paths when caching needs the
+        // touched-bucket masks (the frozen kernel records its path in scratch for
+        // free).
         let view = view.with_path_recording(caching && frozen.is_none());
 
         // Assign queries to shards by source bucket; shard order is part of the
@@ -184,7 +244,11 @@ impl QueryEngine {
             .into_iter()
             .map(|o| o.expect("every query is either pre-failed or routed by one shard"))
             .collect();
-        BatchReport::new(outcomes, wall, self.threads())
+        let report = BatchReport::new(outcomes, wall, self.threads());
+        if caching && report.queries() > 0 {
+            self.last_hit_rate = Some(report.cache_hits() as f64 / report.queries() as f64);
+        }
+        report
     }
 }
 

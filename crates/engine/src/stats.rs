@@ -19,8 +19,16 @@ pub struct QueryOutcome {
     pub recoveries: u64,
     /// Whether the result came from the route cache.
     pub cached: bool,
-    /// Wall-clock nanoseconds this query took on its worker (0 for cache hits measured
-    /// below timer resolution).
+    /// Wall-clock nanoseconds this query took on its worker.
+    ///
+    /// Raw readings of `0` — queries (typically cache hits) that finished below the
+    /// platform timer's resolution — are clamped at batch-aggregation time to the
+    /// smallest non-zero per-query time observed in the same batch, so latency
+    /// percentiles stop being dragged towards an unmeasurable zero. The floor is a
+    /// conservative stand-in (the batch's fastest *measured* query, not the timer's
+    /// true resolution), so p50 over mostly-sub-resolution batches reads as an upper
+    /// bound. The field is `0` only when *no* query in the batch measured above the
+    /// timer's resolution.
     pub nanos: u64,
 }
 
@@ -33,7 +41,14 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    pub(crate) fn new(outcomes: Vec<QueryOutcome>, wall: Duration, threads: usize) -> Self {
+    pub(crate) fn new(mut outcomes: Vec<QueryOutcome>, wall: Duration, threads: usize) -> Self {
+        // Clamp sub-resolution readings to the batch's measured floor (see
+        // `QueryOutcome::nanos`).
+        if let Some(floor) = outcomes.iter().map(|o| o.nanos).filter(|&t| t > 0).min() {
+            for outcome in outcomes.iter_mut().filter(|o| o.nanos == 0) {
+                outcome.nanos = floor;
+            }
+        }
         Self {
             outcomes,
             wall,
@@ -188,6 +203,29 @@ mod tests {
         assert_eq!(hops.count, 2);
         assert_eq!(hops.mean, 6.0);
         assert!(report.queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sub_resolution_readings_are_clamped_to_the_batch_floor() {
+        let mut fast = outcome(true, 1, true);
+        fast.nanos = 0; // measured below timer resolution
+        let mut slow = outcome(true, 2, false);
+        slow.nanos = 40;
+        let mut slower = outcome(true, 3, false);
+        slower.nanos = 90;
+        let report = BatchReport::new(vec![fast, slow, slower], Duration::from_millis(1), 1);
+        assert_eq!(
+            report.outcomes()[0].nanos,
+            40,
+            "zero readings clamp to the smallest measured non-zero time"
+        );
+        let latency = report.latency_summary().unwrap();
+        assert!(latency.median >= 40.0, "p50 never sits below the floor");
+        // A batch in which nothing measured keeps its zeros (there is no floor).
+        let mut unmeasured = outcome(true, 1, true);
+        unmeasured.nanos = 0;
+        let report = BatchReport::new(vec![unmeasured], Duration::from_millis(1), 1);
+        assert_eq!(report.outcomes()[0].nanos, 0);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Incremental snapshot maintenance: patching a persistent snapshot through churn
+//! epochs must be an *optimisation*, never a behaviour change.
+//!
+//! The interleaved runner keeps one `FrozenView` alive and patches it with each
+//! epoch's maintainer blast radius. Disabling that
+//! (`EngineConfig::incremental(false)`) recompiles the snapshot every epoch — the
+//! pre-patching behaviour. Both modes must produce identical epoch reports (batch
+//! outcomes, join/leave counts, cache flushes, population trajectory); only the
+//! snapshot-maintenance timings may differ.
+
+use faultline_core::{ConstructionMode, Network, NetworkConfig};
+use faultline_engine::{ChurnMix, EngineConfig, EpochReport, QueryBatch, QueryEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn incremental_network(n: u64, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config =
+        NetworkConfig::paper_default(n).construction(ConstructionMode::incremental_default());
+    Network::build(&config, &mut rng)
+}
+
+/// Everything about an epoch that must not depend on how the snapshot is maintained.
+#[allow(clippy::type_complexity)]
+fn digest(
+    epochs: &[EpochReport],
+) -> Vec<(Vec<(u64, u64, bool, u64, bool)>, usize, usize, usize, u64)> {
+    epochs
+        .iter()
+        .map(|e| {
+            (
+                e.batch
+                    .outcomes()
+                    .iter()
+                    .map(|o| (o.source, o.target, o.delivered, o.hops, o.cached))
+                    .collect(),
+                e.joins,
+                e.leaves,
+                e.flushed_routes,
+                e.alive_after,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn patched_and_rebuilt_interleaves_report_identical_epochs() {
+    // Light churn relative to n, so most epochs take the genuine patch path rather
+    // than `apply_churn`'s heavy-blast rebuild fallback.
+    let run = |incremental: bool| {
+        let mut net = incremental_network(1 << 10, 9);
+        let mut engine =
+            QueryEngine::new(EngineConfig::default().threads(2).incremental(incremental));
+        let report = engine.run_interleaved(&mut net, 5, 1_500, ChurnMix::balanced(4), 77);
+        (digest(report.epochs()), report.epochs().to_vec())
+    };
+    let (patched_digest, patched_epochs) = run(true);
+    let (rebuilt_digest, rebuilt_epochs) = run(false);
+    assert_eq!(
+        patched_digest, rebuilt_digest,
+        "incremental patching changed an epoch report"
+    );
+    // The maintenance shape differs exactly as documented: the incremental run
+    // rebuilds once and patches every epoch; the baseline rebuilds every epoch and
+    // never patches.
+    assert!(patched_epochs[0].snapshot.rebuild_nanos > 0);
+    assert!(patched_epochs
+        .iter()
+        .skip(1)
+        .all(|e| e.snapshot.rebuild_nanos == 0));
+    assert!(patched_epochs.iter().all(|e| e.snapshot.patch_nanos > 0));
+    assert!(patched_epochs.iter().any(|e| e.snapshot.rows_patched > 0));
+    assert!(rebuilt_epochs.iter().all(|e| e.snapshot.rebuild_nanos > 0));
+    assert!(rebuilt_epochs.iter().all(|e| e.snapshot.patch_nanos == 0));
+}
+
+#[test]
+fn heavy_churn_interleaves_still_match_while_falling_back_to_rebuilds() {
+    // 40 events/epoch over 512 nodes: each blast radius tombstones more than 1/8 of
+    // all rows, so `apply_churn` takes its in-place rebuild fallback — the trajectory
+    // must stay identical to the rebuild-per-epoch baseline regardless.
+    let run = |incremental: bool| {
+        let mut net = incremental_network(512, 9);
+        let mut engine =
+            QueryEngine::new(EngineConfig::default().threads(2).incremental(incremental));
+        let report = engine.run_interleaved(&mut net, 4, 1_000, ChurnMix::balanced(40), 77);
+        (digest(report.epochs()), report.epochs().to_vec())
+    };
+    let (patched_digest, patched_epochs) = run(true);
+    let (rebuilt_digest, _) = run(false);
+    assert_eq!(patched_digest, rebuilt_digest);
+    assert!(
+        patched_epochs.iter().all(|e| e.snapshot.compacted),
+        "every heavy epoch must fold back to a dense CSR"
+    );
+}
+
+#[test]
+fn fraction_churn_tracks_the_shrinking_population() {
+    // Leave-heavy churn: with events derived from the *current* alive count, each
+    // epoch's event volume must shrink along with the population.
+    let mut net = incremental_network(1 << 10, 3);
+    let mut engine = QueryEngine::new(EngineConfig::default().threads(2));
+    let mut churn = ChurnMix::fraction_of(net.len(), 0.20);
+    churn.join_probability = 0.05;
+    let report = engine.run_interleaved(&mut net, 6, 300, churn, 5);
+    let events: Vec<usize> = report.epochs().iter().map(|e| e.joins + e.leaves).collect();
+    let alive: Vec<u64> = report.epochs().iter().map(|e| e.alive_after).collect();
+    assert!(
+        alive.first().unwrap() > alive.last().unwrap(),
+        "95% leaves must shrink the population: {alive:?}"
+    );
+    assert!(
+        events.first().unwrap() > events.last().unwrap(),
+        "event volume must track the shrinking alive set: {events:?}"
+    );
+    // Sanity: the last epoch churns ~20% of the *remaining* population, not of the
+    // original space.
+    let last_alive_before = report.epochs()[report.epochs().len() - 2].alive_after;
+    let expected = (last_alive_before as f64 * 0.20).round() as usize;
+    let actual = *events.last().unwrap();
+    assert!(
+        actual <= expected && actual + 2 >= expected,
+        "last epoch applied {actual} events for {last_alive_before} alive (expected ≈{expected})"
+    );
+}
+
+#[test]
+fn adaptive_policy_skips_snapshot_work_on_a_warm_cache() {
+    let net = incremental_network(512, 11);
+    let batch = QueryBatch::uniform(&net, 4_000, 21);
+    // The skip decision for batch k uses batch k-1's hit rate, so the threshold must
+    // sit below even the cold batch's (within-batch repeats hit the cache).
+    let mut adaptive = QueryEngine::new(
+        EngineConfig::default()
+            .threads(2)
+            .cache_capacity(4096)
+            .adaptive_freeze(0.05),
+    );
+    let cold = adaptive.run_batch(&net, &batch);
+    assert_eq!(
+        adaptive.snapshots_built(),
+        1,
+        "cold batch compiles a snapshot"
+    );
+    assert!(
+        cold.cache_hits() as f64 / cold.queries() as f64 > 0.05,
+        "4k uniform queries over 512 nodes must repeat bucket pairs"
+    );
+    let warm = adaptive.run_batch(&net, &batch);
+    assert!(
+        warm.cache_hits() > warm.queries() / 2,
+        "replaying the batch must hit the cache"
+    );
+    assert_eq!(
+        adaptive.snapshots_built(),
+        1,
+        "a warm cache above the threshold must skip the freeze"
+    );
+    // The skip must not change results: the same batch on an always-freeze engine.
+    let mut eager = QueryEngine::new(EngineConfig::default().threads(2).cache_capacity(4096));
+    let cold_e = eager.run_batch(&net, &batch);
+    let warm_e = eager.run_batch(&net, &batch);
+    assert_eq!(eager.snapshots_built(), 2);
+    let fp = |r: &faultline_engine::BatchReport| {
+        r.outcomes()
+            .iter()
+            .map(|o| (o.delivered, o.hops, o.cached))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(fp(&cold), fp(&cold_e));
+    assert_eq!(fp(&warm), fp(&warm_e));
+}
+
+#[test]
+fn adaptive_interleave_marks_skipped_epochs() {
+    let mut net = incremental_network(512, 13);
+    let mut engine = QueryEngine::new(
+        EngineConfig::default()
+            .threads(2)
+            .cache_capacity(8192)
+            .adaptive_freeze(0.05),
+    );
+    // Tiny churn + replayed-scale batches: hit rate climbs fast, so later epochs must
+    // cross the (deliberately low) threshold and skip snapshot maintenance.
+    let report = engine.run_interleaved(&mut net, 5, 3_000, ChurnMix::balanced(2), 3);
+    assert!(
+        report.epochs().iter().any(|e| e.snapshot.skipped),
+        "an almost-static overlay must eventually skip the snapshot"
+    );
+    assert!(
+        report.overall_success_rate() > 0.9,
+        "skipping the snapshot must not hurt delivery"
+    );
+}

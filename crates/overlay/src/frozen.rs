@@ -17,20 +17,50 @@
 //! * the geometry reduced to `(ring, n)` — distance becomes two or three integer ops,
 //!   no enum dispatch.
 //!
-//! A snapshot is plain owned data (`Send + Sync`), shared freely across worker threads,
-//! and simply rebuilt after each churn epoch; it never mutates.
+//! A snapshot is plain owned data (`Send + Sync`), shared freely across worker threads.
+//! Between full rebuilds it can be **incrementally patched**: churn only touches O(ℓ)
+//! adjacency rows per event, so [`FrozenRoutes::apply_churn`] rewrites exactly those
+//! rows into an overflow region (tombstoning their dense slots) instead of recompiling
+//! the world, and a periodic [`FrozenRoutes::compact`] folds the overflow back into a
+//! dense CSR once tombstones accumulate. A patched snapshot is always logically
+//! identical to a from-scratch [`OverlayGraph::freeze`], and a compacted one is
+//! bit-identical.
 
 use crate::graph::OverlayGraph;
 use crate::NodeId;
 
+/// Sentinel in the row-redirect table: the row still lives in the dense CSR arrays.
+const DENSE_ROW: u32 = u32::MAX;
+
+/// Compact once more than `1/TOMBSTONE_DENOM` of all rows are tombstoned.
+const TOMBSTONE_DENOM: usize = 8;
+
+/// What one [`FrozenRoutes::apply_churn`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchStats {
+    /// Adjacency rows whose content changed and were rewritten into the overflow region.
+    pub rows_patched: usize,
+    /// Touched rows whose usable-neighbour set turned out unchanged (no write needed).
+    pub rows_unchanged: usize,
+    /// Nodes whose alive bit flipped.
+    pub alive_flips: usize,
+    /// Whether this call ended in a compaction back to a dense CSR.
+    pub compacted: bool,
+    /// Whether the blast radius was so large that the call recompiled the dense CSR
+    /// outright (buffer-reusing equivalent of a fresh `freeze()`) instead of patching.
+    pub rebuilt: bool,
+}
+
 /// A compiled routing snapshot: CSR adjacency over usable neighbours plus an alive
-/// bitset, frozen from an [`OverlayGraph`] at a point in time.
+/// bitset, frozen from an [`OverlayGraph`] at a point in time and optionally patched
+/// forward through churn epochs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrozenRoutes {
     ring: bool,
     n: u64,
     /// CSR row offsets: node `p`'s usable neighbours are
-    /// `neighbors[offsets[p] .. offsets[p + 1]]`.
+    /// `neighbors[offsets[p] .. offsets[p + 1]]` — unless the row was patched, in
+    /// which case the dense slot is a tombstone and `row_redirect` wins.
     offsets: Vec<u32>,
     /// Flat adjacency, in per-node link order.
     neighbors: Vec<u32>,
@@ -38,6 +68,16 @@ pub struct FrozenRoutes {
     alive_words: Vec<u64>,
     /// Alive nodes in ascending order (same order as `OverlayGraph::alive_nodes`).
     alive_sorted: Vec<u32>,
+    /// Per-row patch indirection. Empty ⇔ fully dense (the state a fresh `freeze()` or
+    /// a `compact()` leaves behind); otherwise `row_redirect[p]` is either [`DENSE_ROW`]
+    /// or the start of the row's overflow record.
+    row_redirect: Vec<u32>,
+    /// Overflow region for patched rows, as `[len, neighbor, neighbor, ...]` records.
+    /// Repatching a row appends a fresh record; the old one becomes garbage until the
+    /// next compaction.
+    overflow: Vec<u32>,
+    /// Number of distinct rows whose dense slot is currently tombstoned.
+    tombstones: u32,
 }
 
 impl FrozenRoutes {
@@ -80,7 +120,188 @@ impl FrozenRoutes {
             neighbors,
             alive_words,
             alive_sorted,
+            row_redirect: Vec::new(),
+            overflow: Vec::new(),
+            tombstones: 0,
         }
+    }
+
+    /// Patches the snapshot in place so it matches the graph's *current* topology at
+    /// every node in `touched`, without recompiling untouched rows.
+    ///
+    /// `touched` must cover every node whose usable-neighbour row or alive state
+    /// changed since the snapshot was built (or last patched). The Section 5
+    /// maintainer's join/leave reports list exactly this blast radius
+    /// (`touched_nodes`), so feeding the union of an epoch's reports keeps the
+    /// snapshot logically identical to a from-scratch `freeze()` of the mutated
+    /// graph. Mutations that change liveness without touching link tables
+    /// (`fail_node` sweeps and friends) invalidate in-neighbour rows this method is
+    /// never told about — rebuild instead.
+    ///
+    /// Changed rows are rewritten into the overflow region and their dense slots
+    /// tombstoned; once tombstones exceed 1/8 of all rows (or the overflow region
+    /// outgrows half the dense adjacency), the snapshot is automatically
+    /// [compacted](FrozenRoutes::compact) back to a dense CSR. An epoch whose blast
+    /// radius alone would cross that threshold skips the patch-then-compact detour
+    /// and recompiles the dense arrays directly (reusing the existing buffers) —
+    /// incremental maintenance degrades gracefully to rebuild cost under extreme
+    /// churn instead of paying for both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different geometry than the snapshot was frozen from,
+    /// if a touched node is outside the space, or if the overflow region exceeds the
+    /// `u32` CSR range.
+    pub fn apply_churn(&mut self, graph: &OverlayGraph, touched: &[NodeId]) -> PatchStats {
+        assert_eq!(graph.len(), self.n, "graph and snapshot sizes differ");
+        assert_eq!(
+            graph.geometry().is_ring(),
+            self.ring,
+            "graph and snapshot geometries differ"
+        );
+        let mut stats = PatchStats::default();
+        // Maintainer blast radii overlap heavily (ring neighbours, repeated repair
+        // sources); deduplicate so each row is recomputed once per call.
+        let mut unique = touched.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        if let Some(&max) = unique.last() {
+            assert!(max < self.n, "touched node {max} outside the frozen space");
+        }
+        if (self.tombstones as usize + unique.len()) * TOMBSTONE_DENOM > self.n as usize {
+            self.rebuild_from(graph);
+            stats.rebuilt = true;
+            stats.compacted = true;
+            return stats;
+        }
+        let mut alive_dirty = false;
+        let mut row = Vec::new();
+        for &p in &unique {
+            let i = p as usize;
+
+            let now_alive = graph.is_alive(p);
+            if now_alive != self.is_alive(p) {
+                self.alive_words[i / 64] ^= 1u64 << (i % 64);
+                stats.alive_flips += 1;
+                alive_dirty = true;
+            }
+
+            row.clear();
+            row.extend(graph.usable_neighbors(p).map(|q| q as u32));
+            if row.as_slice() == self.neighbors(p) {
+                stats.rows_unchanged += 1;
+                continue;
+            }
+            if self.row_redirect.is_empty() {
+                // `resize` reuses whatever capacity the last compaction left behind.
+                self.row_redirect.resize(self.n as usize, DENSE_ROW);
+            }
+            if self.row_redirect[i] == DENSE_ROW {
+                self.tombstones += 1;
+            }
+            let start = self.overflow.len();
+            assert!(
+                start + 1 + row.len() <= DENSE_ROW as usize,
+                "overflow region exceeds u32 CSR range"
+            );
+            self.overflow
+                .push(u32::try_from(row.len()).expect("row length exceeds u32"));
+            self.overflow.extend_from_slice(&row);
+            self.row_redirect[i] = start as u32;
+            stats.rows_patched += 1;
+        }
+
+        // The sorted alive list is refreshed in one bitset sweep rather than per-node
+        // `Vec::insert`/`remove` memmoves (an epoch can flip hundreds of bits).
+        if alive_dirty {
+            self.alive_sorted.clear();
+            for (word_index, &word) in self.alive_words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros();
+                    self.alive_sorted.push((word_index as u32) * 64 + bit);
+                    bits &= bits - 1;
+                }
+            }
+        }
+
+        if self.should_compact() {
+            self.compact();
+            stats.compacted = true;
+        }
+        stats
+    }
+
+    /// Whether tombstone or overflow growth warrants folding back to a dense CSR.
+    fn should_compact(&self) -> bool {
+        self.tombstones as usize * TOMBSTONE_DENOM > self.offsets.len() - 1
+            || self.overflow.len() > self.neighbors.len() / 2 + 256
+    }
+
+    /// Recompiles the dense arrays from `graph` in place, reusing every buffer. The
+    /// result is identical to a fresh `freeze()` of the same graph; only the
+    /// allocation behaviour differs.
+    fn rebuild_from(&mut self, graph: &OverlayGraph) {
+        self.alive_words.iter_mut().for_each(|word| *word = 0);
+        self.alive_sorted.clear();
+        for &p in graph.present_nodes() {
+            if graph.is_alive(p) {
+                self.alive_words[(p / 64) as usize] |= 1u64 << (p % 64);
+                self.alive_sorted.push(p as u32);
+            }
+        }
+        self.offsets.clear();
+        self.neighbors.clear();
+        self.offsets.push(0u32);
+        for p in 0..self.n {
+            self.neighbors
+                .extend(graph.usable_neighbors(p).map(|q| q as u32));
+            self.offsets
+                .push(u32::try_from(self.neighbors.len()).expect("edge count exceeds u32 CSR"));
+        }
+        self.row_redirect.clear();
+        self.overflow.clear();
+        self.tombstones = 0;
+    }
+
+    /// Folds every patched row back into the dense CSR arrays and clears the overflow
+    /// region, restoring the exact representation a from-scratch `freeze()` of the
+    /// same topology would produce (rows are rebuilt in node order, so `offsets` and
+    /// `neighbors` come out bit-identical). A no-op on an unpatched snapshot.
+    pub fn compact(&mut self) {
+        if self.row_redirect.is_empty() {
+            return;
+        }
+        let n = self.n as usize;
+        // The old arrays are read through `self.neighbors(p)` while the new ones are
+        // built, so the CSR pair needs fresh storage for one compaction; the redirect
+        // and overflow buffers are only cleared, keeping their capacity for the next
+        // patch cycle.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len() + self.overflow.len() / 2);
+        offsets.push(0u32);
+        for p in 0..n {
+            neighbors.extend_from_slice(self.neighbors(p as u64));
+            offsets.push(u32::try_from(neighbors.len()).expect("edge count exceeds u32 CSR"));
+        }
+        self.offsets = offsets;
+        self.neighbors = neighbors;
+        self.row_redirect.clear();
+        self.overflow.clear();
+        self.tombstones = 0;
+    }
+
+    /// Number of rows currently tombstoned in the dense CSR (0 after a compaction or a
+    /// fresh freeze).
+    #[must_use]
+    pub fn patched_rows(&self) -> usize {
+        self.tombstones as usize
+    }
+
+    /// Words currently held in the overflow region (patched rows plus repatch garbage).
+    #[must_use]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
     }
 
     /// Number of grid points in the frozen space.
@@ -101,10 +322,14 @@ impl FrozenRoutes {
         self.ring
     }
 
-    /// Total usable links in the snapshot.
+    /// Total usable links in the snapshot (walks the patch indirection, so it stays
+    /// exact on a patched snapshot).
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.neighbors.len()
+        if self.row_redirect.is_empty() {
+            return self.neighbors.len();
+        }
+        (0..self.n).map(|p| self.neighbors(p).len()).sum()
     }
 
     /// Whether node `p` was alive at freeze time (`false` out of range).
@@ -116,14 +341,28 @@ impl FrozenRoutes {
 
     /// The usable neighbours of `p`, as a contiguous slice (empty out of range, like
     /// [`FrozenRoutes::is_alive`]).
+    ///
+    /// Patched rows live in the overflow region; the redirect check is one predictable
+    /// branch on an unpatched snapshot (the table is empty) and one extra load on a
+    /// patched one, and either way the returned row is a contiguous slice, so the
+    /// routing kernel's zero-alloc inner scan is unchanged.
     #[inline]
     #[must_use]
     pub fn neighbors(&self, p: NodeId) -> &[u32] {
         if p >= self.n {
             return &[];
         }
-        let lo = self.offsets[p as usize] as usize;
-        let hi = self.offsets[p as usize + 1] as usize;
+        let i = p as usize;
+        if !self.row_redirect.is_empty() {
+            let slot = self.row_redirect[i];
+            if slot != DENSE_ROW {
+                let start = slot as usize;
+                let len = self.overflow[start] as usize;
+                return &self.overflow[start + 1..start + 1 + len];
+            }
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
         &self.neighbors[lo..hi]
     }
 
@@ -250,6 +489,141 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Simulates a maintainer-style mutation with an exact blast radius: every node
+    /// whose link table or liveness changes is returned for `apply_churn`.
+    fn patched_equals_fresh(g: &OverlayGraph, patched: &FrozenRoutes) {
+        let fresh = g.freeze();
+        for p in 0..g.len() {
+            assert_eq!(patched.neighbors(p), fresh.neighbors(p), "row {p}");
+            assert_eq!(patched.is_alive(p), fresh.is_alive(p), "alive {p}");
+        }
+        assert_eq!(patched.alive_sorted(), fresh.alive_sorted());
+        assert_eq!(patched.alive_count(), fresh.alive_count());
+        assert_eq!(patched.edge_count(), fresh.edge_count());
+    }
+
+    /// A bidirectional chain on `line(n)`, large enough that a handful of touched
+    /// rows stays under the rebuild-fallback threshold.
+    fn chain_graph(n: u64) -> OverlayGraph {
+        let mut g = OverlayGraph::fully_populated(Geometry::line(n));
+        for p in 0..n {
+            if p > 0 {
+                g.add_link(p, p - 1, LinkKind::Ring);
+            }
+            if p < n - 1 {
+                g.add_link(p, p + 1, LinkKind::Ring);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn apply_churn_patches_exactly_the_touched_rows() {
+        let mut g = chain_graph(64);
+        g.add_link(0, 40, LinkKind::Long);
+        let mut frozen = g.freeze();
+        // Remove node 5: its row empties, and 4/6 lose their links to it.
+        g.remove_node(5);
+        g.remove_link(4, 5, LinkKind::Ring);
+        g.remove_link(6, 5, LinkKind::Ring);
+        let stats = frozen.apply_churn(&g, &[4, 5, 6]);
+        assert_eq!(stats.rows_patched, 3, "rows 4/5/6 all changed: {stats:?}");
+        assert_eq!(stats.alive_flips, 1, "only node 5's liveness flipped");
+        assert!(!stats.rebuilt && !stats.compacted);
+        patched_equals_fresh(&g, &frozen);
+        assert_eq!(frozen.patched_rows(), 3);
+        assert!(frozen.overflow_len() > 0);
+    }
+
+    #[test]
+    fn apply_churn_is_idempotent_and_skips_unchanged_rows() {
+        let mut g = chain_graph(64);
+        let mut frozen = g.freeze();
+        g.fail_link(1, 0);
+        let first = frozen.apply_churn(&g, &[1, 2]);
+        assert_eq!(first.rows_patched, 1);
+        assert_eq!(first.rows_unchanged, 1, "node 2's row did not change");
+        let second = frozen.apply_churn(&g, &[1, 2]);
+        assert_eq!(
+            second.rows_patched, 0,
+            "repatching an unchanged graph is a no-op"
+        );
+        assert_eq!(second.rows_unchanged, 2);
+        // Duplicates in the blast radius collapse to one row recompute.
+        let third = frozen.apply_churn(&g, &[1, 1, 1, 2]);
+        assert_eq!(third.rows_unchanged, 2);
+        patched_equals_fresh(&g, &frozen);
+    }
+
+    #[test]
+    fn a_heavy_blast_radius_falls_back_to_an_in_place_rebuild() {
+        let mut g = chain_graph(32);
+        let mut frozen = g.freeze();
+        // Touch 1/4 of all rows: patch-then-compact can never beat recompiling.
+        let touched: Vec<NodeId> = (0..8).collect();
+        for p in 0..8u64 {
+            g.fail_link(p, p + 1);
+        }
+        let stats = frozen.apply_churn(&g, &touched);
+        assert!(stats.rebuilt, "8 of 32 rows must cross the 1/8 threshold");
+        assert!(stats.compacted);
+        assert_eq!(frozen.patched_rows(), 0);
+        assert_eq!(frozen.overflow_len(), 0);
+        assert_eq!(frozen, g.freeze(), "in-place rebuild is bit-identical");
+    }
+
+    #[test]
+    fn compaction_restores_bit_identity_with_a_fresh_freeze() {
+        let mut g = damaged_graph();
+        let mut frozen = g.freeze();
+        g.revive_node(9);
+        g.fail_link(2, 1);
+        // Reviving 9 changes the rows of its in-neighbours too (8, 10 via ring links,
+        // 0 via its long link): the touched set must cover the full blast radius.
+        frozen.apply_churn(&g, &[9, 2, 8, 10, 0]);
+        frozen.compact();
+        assert_eq!(frozen.patched_rows(), 0);
+        assert_eq!(frozen.overflow_len(), 0);
+        assert_eq!(frozen, g.freeze(), "compacted snapshot is bit-identical");
+        // Compacting a dense snapshot is a no-op.
+        let before = frozen.clone();
+        frozen.compact();
+        assert_eq!(frozen, before);
+    }
+
+    #[test]
+    fn heavy_repatching_triggers_automatic_compaction() {
+        let mut g = OverlayGraph::fully_populated(Geometry::ring(64));
+        for p in 0..64u64 {
+            g.add_link(p, (p + 1) % 64, LinkKind::Ring);
+            g.add_link((p + 1) % 64, p, LinkKind::Ring);
+        }
+        let mut frozen = g.freeze();
+        let mut compactions = 0usize;
+        for p in 0..32u64 {
+            g.fail_link(p, (p + 1) % 64);
+            let stats = frozen.apply_churn(&g, &[p]);
+            if stats.compacted {
+                compactions += 1;
+                assert_eq!(frozen.patched_rows(), 0);
+            }
+            patched_equals_fresh(&g, &frozen);
+        }
+        assert!(
+            compactions > 0,
+            "tombstoning half the rows must cross the 1/8 threshold"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn apply_churn_rejects_a_mismatched_graph() {
+        let g16 = damaged_graph();
+        let g8 = OverlayGraph::fully_populated(Geometry::line(8));
+        let mut frozen = g16.freeze();
+        let _ = frozen.apply_churn(&g8, &[0]);
     }
 
     #[test]

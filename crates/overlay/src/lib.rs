@@ -11,8 +11,10 @@
 //!   long-distance links directly from a [`LinkSpec`](faultline_linkdist::LinkSpec)
 //!   (the dynamic, heuristic construction of Section 5 lives in `faultline-construction`).
 //! * [`FrozenRoutes`] — a compiled CSR routing snapshot (usable-neighbour adjacency,
-//!   alive bitset, inlined distance) rebuilt once per routing epoch; the traversal
-//!   structure the query engine's uncached hot path runs on.
+//!   alive bitset, inlined distance); the traversal structure the query engine's
+//!   uncached hot path runs on. Snapshots are built once per routing epoch and then
+//!   *patched* through churn ([`FrozenRoutes::apply_churn`]): changed rows go to an
+//!   overflow region, tombstoned dense slots are periodically compacted away.
 //! * [`stats`] — link-length histograms and degree statistics used by the Figure 5
 //!   reproduction and by the construction-quality tests.
 //!
@@ -43,7 +45,7 @@ mod link;
 pub mod stats;
 
 pub use builder::{build_paper_overlay, GraphBuilder};
-pub use frozen::FrozenRoutes;
+pub use frozen::{FrozenRoutes, PatchStats};
 pub use graph::{NodeRecord, OverlayGraph};
 pub use link::{Link, LinkKind};
 

@@ -70,6 +70,12 @@ impl RouteScratch {
         self
     }
 
+    /// Whether this scratch records the visited sequence into its path buffer.
+    #[must_use]
+    pub fn records_path(&self) -> bool {
+        self.record_path
+    }
+
     /// The nodes the most recent route visited, in order (starts at the source).
     /// Empty if the route failed before leaving the source (a dead endpoint) or if
     /// recording is disabled.
