@@ -9,10 +9,16 @@
 
 use faultline_core::{ConstructionMode, Network, NetworkConfig};
 use faultline_engine::{
-    BatchReport, ChurnMix, EngineConfig, InterleavedReport, QueryBatch, QueryEngine,
+    BatchReport, ByzantineConfig, ChurnMix, EngineConfig, InterleavedReport, QueryBatch,
+    QueryEngine,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Corruption levels the byzantine phase sweeps (fraction of alive nodes corrupted).
+/// The middle level (15%) is the one the `byzantine_throughput` headline and the CI
+/// perf gate read.
+pub const BYZANTINE_LEVELS: [f64; 3] = [0.05, 0.15, 0.30];
 
 /// Configuration of the engine throughput experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +41,8 @@ pub struct EngineBenchConfig {
     /// stress churn the blast radius covers most rows and `apply_churn` deliberately
     /// degrades to a rebuild.
     pub maintenance_churn_fraction: f64,
+    /// Diversified walks per lookup in the byzantine phase (the redundancy factor).
+    pub byzantine_redundancy: u32,
     /// Master seed.
     pub seed: u64,
 }
@@ -55,9 +63,21 @@ impl EngineBenchConfig {
             epochs: 5,
             churn_fraction: 0.10,
             maintenance_churn_fraction: 0.01,
+            byzantine_redundancy: ByzantineConfig::DEFAULT_REDUNDANCY,
             seed: 2002,
         }
     }
+}
+
+/// One corruption level of the byzantine phase.
+#[derive(Debug, Clone)]
+pub struct ByzantineLevel {
+    /// Fraction of the alive population corrupted.
+    pub corruption: f64,
+    /// Resolved adversary count at this level.
+    pub adversaries: usize,
+    /// The uncached redundant-lookup batch over the CSR snapshot.
+    pub report: BatchReport,
 }
 
 /// Everything the experiment measured.
@@ -75,6 +95,12 @@ pub struct EngineBenchReport {
     pub cached_cold: BatchReport,
     /// A fresh batch against the now-warm cache (steady-state hit rate).
     pub cached_warm: BatchReport,
+    /// The byzantine phase: the same uncached frozen-kernel workload with a sampled
+    /// adversary set at each [`BYZANTINE_LEVELS`] corruption level, every lookup
+    /// issuing up to `byzantine_redundancy` diversified walks. `uncached_frozen` is
+    /// its honest baseline (redundancy overhead and throughput cost are measured
+    /// against it).
+    pub byzantine: Vec<ByzantineLevel>,
     /// Routing epochs interleaved with churn of `churn_fraction` per epoch, with the
     /// snapshot incrementally patched (the default engine behaviour).
     pub interleaved: InterleavedReport,
@@ -133,6 +159,87 @@ impl EngineBenchReport {
         }
     }
 
+    /// The byzantine level the headline and the CI gate read: the middle
+    /// [`BYZANTINE_LEVELS`] entry (15% corruption) — adversarial enough to contest a
+    /// large share of lookups, survivable enough that regressions are signal rather
+    /// than noise.
+    #[must_use]
+    pub fn byzantine_gate_level(&self) -> Option<&ByzantineLevel> {
+        self.byzantine.get(BYZANTINE_LEVELS.len() / 2)
+    }
+
+    /// Headline: adversarial queries/sec at the gate level (`0.0` when the byzantine
+    /// phase did not run).
+    #[must_use]
+    pub fn byzantine_throughput(&self) -> f64 {
+        self.byzantine_gate_level()
+            .map_or(0.0, |level| level.report.queries_per_sec())
+    }
+
+    /// Headline: delivered fraction at the gate level (`0.0` when the byzantine phase
+    /// did not run — a missing phase must read as a regression, not a pass).
+    #[must_use]
+    pub fn byzantine_success_rate(&self) -> f64 {
+        self.byzantine_gate_level()
+            .map_or(0.0, |level| level.report.success_rate())
+    }
+
+    /// Bandwidth overhead of the redundant lookups at `level`: mean hops paid per
+    /// byzantine lookup (all walks) over mean hops per honest uncached-frozen lookup.
+    #[must_use]
+    pub fn redundancy_overhead(&self, level: &ByzantineLevel) -> f64 {
+        let honest_queries = self.uncached_frozen.queries().max(1) as f64;
+        let byz_queries = level.report.queries().max(1) as f64;
+        let honest_mean = self.uncached_frozen.total_route_hops() as f64 / honest_queries;
+        if honest_mean > 0.0 {
+            (level.report.total_route_hops() as f64 / byz_queries) / honest_mean
+        } else {
+            0.0
+        }
+    }
+
+    /// The `byzantine` JSON section: per-level adversarial throughput, the
+    /// success-rate curve, and the redundancy overhead vs the honest baseline.
+    #[must_use]
+    fn byzantine_json(&self) -> String {
+        let levels: Vec<String> = self
+            .byzantine
+            .iter()
+            .map(|level| {
+                format!(
+                    concat!(
+                        "{{\"corruption\":{:.4},\"adversaries\":{},",
+                        "\"queries_per_sec\":{:.1},\"success_rate\":{:.6},",
+                        "\"contested_queries\":{},\"mean_attempts\":{:.3},",
+                        "\"redundancy_overhead\":{:.3},\"batch\":{}}}"
+                    ),
+                    level.corruption,
+                    level.adversaries,
+                    level.report.queries_per_sec(),
+                    level.report.success_rate(),
+                    level.report.contested_queries(),
+                    level.report.mean_attempts(),
+                    self.redundancy_overhead(level),
+                    level.report.to_json(),
+                )
+            })
+            .collect();
+        let curve: Vec<String> = self
+            .byzantine
+            .iter()
+            .map(|level| format!("{:.6}", level.report.success_rate()))
+            .collect();
+        format!(
+            concat!(
+                "{{\"redundancy\":{},\"levels\":[{}],",
+                "\"success_rate_curve\":[{}]}}"
+            ),
+            self.config.byzantine_redundancy,
+            levels.join(","),
+            curve.join(","),
+        )
+    }
+
     /// The `snapshot_maintenance` JSON section: per-epoch patch vs rebuild cost and
     /// the compaction cadence, re-baselining the snapshot amortisation each PR.
     #[must_use]
@@ -179,11 +286,12 @@ impl EngineBenchReport {
         format!(
             concat!(
                 "{{\"config\":{{\"nodes\":{},\"links\":{},\"queries\":{},\"threads\":{},",
-                "\"epochs\":{},\"churn_fraction\":{:.3},\"seed\":{}}},",
+                "\"epochs\":{},\"churn_fraction\":{:.3},\"byzantine_redundancy\":{},\"seed\":{}}},",
                 "\"headline\":{{\"queries_per_sec\":{:.1},\"p99_hops\":{:.1},",
                 "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2},",
-                "\"snapshot_patch_speedup\":{:.2}}},",
-                "\"snapshot_maintenance\":{},",
+                "\"snapshot_patch_speedup\":{:.2},\"byzantine_throughput\":{:.1},",
+                "\"byzantine_success_rate\":{:.6}}},",
+                "\"snapshot_maintenance\":{},\"byzantine\":{},",
                 "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
                 "\"interleaved\":{}}}"
             ),
@@ -193,13 +301,17 @@ impl EngineBenchReport {
             self.cached_warm.threads(),
             self.config.epochs,
             self.config.churn_fraction,
+            self.config.byzantine_redundancy,
             self.config.seed,
             self.queries_per_sec(),
             self.p99_hops(),
             self.success_rate_under_churn(),
             self.frozen_speedup(),
             self.snapshot_patch_speedup(),
+            self.byzantine_throughput(),
+            self.byzantine_success_rate(),
             self.snapshot_maintenance_json(),
+            self.byzantine_json(),
             self.uncached.to_json(),
             self.uncached_frozen.to_json(),
             self.cached_cold.to_json(),
@@ -240,6 +352,39 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
     let cached_cold = cached_engine.run_batch(&network, &batch);
     let warm_batch = QueryBatch::uniform(&network, config.queries, config.seed ^ 0x3A9D);
     let cached_warm = cached_engine.run_batch(&network, &warm_batch);
+
+    // Byzantine phase, on the still-pristine overlay (before churn mutates it): the
+    // uncached frozen-kernel workload with a sampled adversary set per corruption
+    // level. Endpoints are drawn honest w.r.t. each level's resolved membership, per
+    // the literature's lookup-resilience convention.
+    let byzantine = BYZANTINE_LEVELS
+        .iter()
+        .map(|&corruption| {
+            let spec = ByzantineConfig::fraction(corruption, config.seed ^ 0xB52A)
+                .redundancy(config.byzantine_redundancy);
+            let mut engine = QueryEngine::new(
+                EngineConfig::default()
+                    .threads(config.threads)
+                    .cache_capacity(0)
+                    .byzantine(spec),
+            );
+            let adversaries = engine
+                .resolve_adversaries(&network)
+                .expect("byzantine engine resolves a set")
+                .clone();
+            let honest_batch = QueryBatch::uniform_honest(
+                &network,
+                config.queries,
+                config.seed ^ 0xB52B,
+                &adversaries,
+            );
+            ByzantineLevel {
+                corruption,
+                adversaries: adversaries.len(),
+                report: engine.run_batch(&network, &honest_batch),
+            }
+        })
+        .collect();
 
     let churn = ChurnMix::fraction_of(config.nodes, config.churn_fraction);
     let per_epoch = config.queries / config.epochs.max(1);
@@ -282,6 +427,7 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         uncached_frozen,
         cached_cold,
         cached_warm,
+        byzantine,
         interleaved,
         maintenance_patch,
         maintenance_rebuild,
@@ -323,6 +469,22 @@ pub fn print(report: &EngineBenchReport) {
         report.frozen_speedup()
     );
     println!(
+        "byzantine ({} walks/lookup, uncached frozen kernel):",
+        config.byzantine_redundancy
+    );
+    for level in &report.byzantine {
+        println!(
+            "  {:>4.0}% corruption ({:>5} nodes): {:>10.0} q/s   success {:>7.4}   contested {:>7}   attempts {:>5.2}   overhead {:>5.2}x",
+            level.corruption * 100.0,
+            level.adversaries,
+            level.report.queries_per_sec(),
+            level.report.success_rate(),
+            level.report.contested_queries(),
+            level.report.mean_attempts(),
+            report.redundancy_overhead(level),
+        );
+    }
+    println!(
         "interleaved ({} epochs, {:.0}% churn/epoch): {:.0} q/s, success {:.4}",
         config.epochs,
         config.churn_fraction * 100.0,
@@ -352,6 +514,7 @@ mod tests {
             epochs: 2,
             churn_fraction: 0.05,
             maintenance_churn_fraction: 0.005,
+            byzantine_redundancy: 4,
             seed: 7,
         }
     }
@@ -368,6 +531,43 @@ mod tests {
         assert!(report.cached_warm.cache_hits() > report.cached_cold.cache_hits() / 2);
         assert!(report.success_rate_under_churn() > 0.85);
         assert!(report.p99_hops() > 0.0);
+    }
+
+    #[test]
+    fn byzantine_phase_sweeps_every_level_and_degrades_monotonically_in_corruption() {
+        let report = run(&tiny());
+        assert_eq!(report.byzantine.len(), BYZANTINE_LEVELS.len());
+        for (level, &corruption) in report.byzantine.iter().zip(BYZANTINE_LEVELS.iter()) {
+            assert_eq!(level.corruption, corruption);
+            let expected = (512.0 * corruption).round() as usize;
+            assert_eq!(
+                level.adversaries, expected,
+                "sampled set size at {corruption}"
+            );
+            assert_eq!(level.report.queries(), 4_000);
+            assert!(level.report.is_byzantine());
+            assert!(
+                level.report.contested_queries() > 0,
+                "adversaries must contest"
+            );
+            assert!(
+                report.redundancy_overhead(level) > 1.0,
+                "redundant walks must cost more bandwidth than single walks"
+            );
+        }
+        // More corruption can only hurt delivery (with high probability at this scale).
+        assert!(
+            report.byzantine[0].report.success_rate() >= report.byzantine[2].report.success_rate(),
+            "5% corruption must not deliver less than 30%"
+        );
+        assert!(report.byzantine_throughput() > 0.0);
+        assert_eq!(
+            report.byzantine_success_rate(),
+            report.byzantine[1].report.success_rate(),
+            "the gate reads the 15% level"
+        );
+        // Redundancy keeps the gate level useful: most lookups still deliver.
+        assert!(report.byzantine_success_rate() > 0.6);
     }
 
     #[test]
@@ -401,10 +601,18 @@ mod tests {
             "\"success_rate_under_churn\"",
             "\"frozen_speedup\"",
             "\"snapshot_patch_speedup\"",
+            "\"byzantine_throughput\"",
+            "\"byzantine_success_rate\"",
             "\"snapshot_maintenance\"",
             "\"patch_us\"",
             "\"rebuild_us\"",
             "\"compactions\"",
+            "\"byzantine\"",
+            "\"redundancy\":4",
+            "\"success_rate_curve\"",
+            "\"redundancy_overhead\"",
+            "\"adversary\"",
+            "\"contested_queries\"",
             "\"uncached_frozen\"",
             "\"interleaved\"",
         ] {

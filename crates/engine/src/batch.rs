@@ -2,6 +2,7 @@
 
 use faultline_core::Network;
 use faultline_overlay::NodeId;
+use faultline_routing::ByzantineSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,8 +32,38 @@ impl QueryBatch {
     /// Panics if the network has no alive nodes.
     #[must_use]
     pub fn uniform(network: &Network, count: usize, seed: u64) -> Self {
-        let alive = network.graph().alive_nodes();
-        assert!(!alive.is_empty(), "cannot draw queries from a dead network");
+        Self::uniform_honest(network, count, seed, &ByzantineSet::new())
+    }
+
+    /// Generates `count` queries between uniformly random alive nodes **outside**
+    /// `adversaries` (source ≠ target whenever at least two honest nodes are alive).
+    ///
+    /// This is the byzantine lane's batch generator: the literature reports lookup
+    /// resilience for honest endpoints only (a Byzantine source never issues a real
+    /// lookup; a Byzantine destination can trivially deny its own resources), so
+    /// adversarial labels are excluded up front. With an empty set this draws exactly
+    /// the same pairs as [`QueryBatch::uniform`] for the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no honest node is alive.
+    #[must_use]
+    pub fn uniform_honest(
+        network: &Network,
+        count: usize,
+        seed: u64,
+        adversaries: &ByzantineSet,
+    ) -> Self {
+        let alive: Vec<NodeId> = network
+            .graph()
+            .alive_nodes()
+            .into_iter()
+            .filter(|&p| !adversaries.contains(p))
+            .collect();
+        assert!(
+            !alive.is_empty(),
+            "cannot draw queries: no honest node is alive"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_4241_5443_4821); // "QWBATCH!"
         let pairs = (0..count)
             .map(|_| {
@@ -102,6 +133,27 @@ mod tests {
         assert_ne!(
             QueryBatch::uniform(&net, 100, 1),
             QueryBatch::uniform(&net, 100, 2)
+        );
+    }
+
+    #[test]
+    fn honest_batches_exclude_adversarial_endpoints() {
+        let net = network(256);
+        let mut adversaries = ByzantineSet::new();
+        for p in 0..64 {
+            adversaries.insert(p * 4); // corrupt a quarter of the space
+        }
+        let batch = QueryBatch::uniform_honest(&net, 1_000, 5, &adversaries);
+        assert_eq!(batch.len(), 1_000);
+        for &(s, t) in batch.pairs() {
+            assert!(!adversaries.contains(s), "source {s} is adversarial");
+            assert!(!adversaries.contains(t), "target {t} is adversarial");
+            assert_ne!(s, t);
+        }
+        // An empty set reproduces the plain uniform draw bit for bit.
+        assert_eq!(
+            QueryBatch::uniform_honest(&net, 500, 9, &ByzantineSet::new()),
+            QueryBatch::uniform(&net, 500, 9)
         );
     }
 

@@ -1,10 +1,117 @@
 //! Engine configuration.
 
+use faultline_routing::{ByzantineSet, FaultStrategy};
+
+/// How the engine decides which nodes are Byzantine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByzantineMembership {
+    /// Sample this fraction of the alive nodes when the engine first sees the
+    /// network, using an RNG seeded with `seed` (deterministic per `(network, seed)`).
+    Fraction {
+        /// Fraction of the alive population to corrupt, in `[0, 1]`.
+        fraction: f64,
+        /// Seed for the membership sample.
+        seed: u64,
+    },
+    /// An explicit, caller-chosen adversary set.
+    Explicit(ByzantineSet),
+}
+
+/// Adversary specification for a [`QueryEngine`](crate::QueryEngine): who is
+/// Byzantine, how many redundant walks each lookup issues, and (optionally) which
+/// fault strategy those walks recover with.
+///
+/// When present on an [`EngineConfig`], every batch routes through
+/// [`RedundantRouter::route_frozen`](faultline_routing::RedundantRouter::route_frozen)
+/// over the shared CSR snapshot — the byzantine workload lane. An *empty* resolved
+/// set short-circuits to the honest batch path bit-for-bit (no redundancy overhead),
+/// so a fraction of `0.0` is an exact honest baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByzantineConfig {
+    membership: ByzantineMembership,
+    redundancy: u32,
+    strategy: Option<FaultStrategy>,
+}
+
+impl ByzantineConfig {
+    /// Default redundant walks per lookup. Four diversified walks recover the large
+    /// majority of lookups at ≤15% corruption (see `BENCH_engine.json`'s `byzantine`
+    /// section) while keeping bandwidth overhead bounded.
+    pub const DEFAULT_REDUNDANCY: u32 = 4;
+
+    /// Corrupts a uniformly random `fraction` of the alive nodes (sampled once, when
+    /// the engine first routes over a network, from `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "Byzantine fraction must be in [0, 1]"
+        );
+        Self {
+            membership: ByzantineMembership::Fraction { fraction, seed },
+            redundancy: Self::DEFAULT_REDUNDANCY,
+            strategy: None,
+        }
+    }
+
+    /// Marks an explicit set of nodes as Byzantine.
+    #[must_use]
+    pub fn explicit(set: ByzantineSet) -> Self {
+        Self {
+            membership: ByzantineMembership::Explicit(set),
+            redundancy: Self::DEFAULT_REDUNDANCY,
+            strategy: None,
+        }
+    }
+
+    /// Sets the number of diversified walks per lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `redundancy == 0`.
+    #[must_use]
+    pub fn redundancy(mut self, redundancy: u32) -> Self {
+        assert!(redundancy > 0, "at least one walk per lookup is required");
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Overrides the fault strategy the redundant walks recover with (default: the
+    /// network's own router strategy).
+    #[must_use]
+    pub fn strategy(mut self, strategy: FaultStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// The configured membership rule.
+    #[must_use]
+    pub fn membership(&self) -> &ByzantineMembership {
+        &self.membership
+    }
+
+    /// Walks per lookup.
+    #[must_use]
+    pub fn redundancy_factor(&self) -> u32 {
+        self.redundancy
+    }
+
+    /// The fault-strategy override, if any.
+    #[must_use]
+    pub fn strategy_override(&self) -> Option<FaultStrategy> {
+        self.strategy
+    }
+}
+
 /// Configuration of a [`QueryEngine`](crate::QueryEngine).
 ///
 /// Built in the same builder style as `NetworkConfig`: start from
 /// [`EngineConfig::default`], override what you need.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     threads: usize,
     shards: usize,
@@ -13,6 +120,7 @@ pub struct EngineConfig {
     frozen: bool,
     incremental: bool,
     adaptive_freeze: Option<f64>,
+    byzantine: Option<ByzantineConfig>,
 }
 
 impl Default for EngineConfig {
@@ -25,6 +133,7 @@ impl Default for EngineConfig {
             frozen: true,
             incremental: true,
             adaptive_freeze: None,
+            byzantine: None,
         }
     }
 }
@@ -148,6 +257,25 @@ impl EngineConfig {
     pub fn adaptive_freeze_threshold(&self) -> Option<f64> {
         self.adaptive_freeze
     }
+
+    /// Opens the byzantine workload lane: every batch routes through redundant
+    /// diversified walks that survive the configured adversary set. See
+    /// [`ByzantineConfig`].
+    ///
+    /// Adversarial lookups are never served from (or inserted into) the route cache —
+    /// a cached digest cannot tell which walks an adversary swallowed, and the
+    /// redundancy-overhead measurements need every lookup exact.
+    #[must_use]
+    pub fn byzantine(mut self, byzantine: ByzantineConfig) -> Self {
+        self.byzantine = Some(byzantine);
+        self
+    }
+
+    /// The adversary specification, if the byzantine lane is configured.
+    #[must_use]
+    pub fn byzantine_config(&self) -> Option<&ByzantineConfig> {
+        self.byzantine.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +314,50 @@ mod tests {
     #[should_panic(expected = "hit-rate threshold")]
     fn adaptive_threshold_is_range_checked() {
         let _ = EngineConfig::default().adaptive_freeze(1.5);
+    }
+
+    #[test]
+    fn byzantine_spec_builder() {
+        assert!(EngineConfig::default().byzantine_config().is_none());
+        let spec = ByzantineConfig::fraction(0.15, 99)
+            .redundancy(6)
+            .strategy(FaultStrategy::paper_backtrack());
+        let config = EngineConfig::default().byzantine(spec.clone());
+        let stored = config.byzantine_config().expect("spec stored");
+        assert_eq!(stored, &spec);
+        assert_eq!(stored.redundancy_factor(), 6);
+        assert_eq!(
+            stored.strategy_override(),
+            Some(FaultStrategy::paper_backtrack())
+        );
+        assert_eq!(
+            stored.membership(),
+            &ByzantineMembership::Fraction {
+                fraction: 0.15,
+                seed: 99
+            }
+        );
+        let mut set = ByzantineSet::new();
+        set.insert(7);
+        let explicit = ByzantineConfig::explicit(set.clone());
+        assert_eq!(explicit.membership(), &ByzantineMembership::Explicit(set));
+        assert_eq!(
+            explicit.redundancy_factor(),
+            ByzantineConfig::DEFAULT_REDUNDANCY
+        );
+        assert_eq!(explicit.strategy_override(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "Byzantine fraction")]
+    fn byzantine_fraction_is_range_checked() {
+        let _ = ByzantineConfig::fraction(1.01, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn byzantine_zero_redundancy_is_rejected() {
+        let _ = ByzantineConfig::fraction(0.1, 0).redundancy(0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::stats::BatchReport;
 use faultline_core::{FrozenView, Network};
 use faultline_failure::{ChurnEvent, ChurnSchedule};
 use faultline_sim::{seed_for_trial, trial_rng};
+use rand::Rng;
 use std::time::Instant;
 
 /// Churn intensity applied between routing epochs.
@@ -27,6 +28,9 @@ pub struct ChurnMix {
     /// For mixes built with [`ChurnMix::fraction_of`], the fraction of the *current*
     /// alive population to churn each epoch; `None` pins the absolute event count.
     fraction: Option<f64>,
+    /// Probability that a joining node is conscripted into the adversary set (only
+    /// meaningful when the engine's byzantine lane is active).
+    adversarial_joins: f64,
 }
 
 impl ChurnMix {
@@ -37,6 +41,7 @@ impl ChurnMix {
             events_per_epoch,
             join_probability: 0.5,
             fraction: None,
+            adversarial_joins: 0.0,
         }
     }
 
@@ -57,7 +62,32 @@ impl ChurnMix {
             events_per_epoch: (n as f64 * fraction).round() as usize,
             join_probability: 0.5,
             fraction: Some(fraction),
+            adversarial_joins: 0.0,
         }
+    }
+
+    /// Sets the probability that each joining node is conscripted into the adversary
+    /// set — the churn-side of the byzantine lane: the adversary keeps injecting
+    /// corrupted identities while honest nodes arrive and depart. Ignored (no draws
+    /// are made) when the engine routes honestly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1]`.
+    #[must_use]
+    pub fn adversarial_joins(mut self, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "adversarial-join probability outside [0, 1]"
+        );
+        self.adversarial_joins = probability;
+        self
+    }
+
+    /// The configured adversarial-join probability (0.0 by default).
+    #[must_use]
+    pub fn adversarial_join_probability(&self) -> f64 {
+        self.adversarial_joins
     }
 
     /// Events to apply for an epoch that starts with `alive_now` alive nodes: the
@@ -113,6 +143,9 @@ pub struct EpochReport {
     pub flushed_routes: usize,
     /// Alive nodes once the epoch's churn settled.
     pub alive_after: u64,
+    /// Byzantine nodes once the epoch's churn settled (0 on honest runs): leaves of
+    /// adversarial nodes shrink the set, adversarial joins grow it.
+    pub byzantine_after: usize,
     /// Snapshot maintenance (rebuild / patch / skip) performed this epoch.
     pub snapshot: SnapshotWork,
 }
@@ -206,7 +239,7 @@ impl InterleavedReport {
                 format!(
                     concat!(
                         "{{\"epoch\":{},\"joins\":{},\"leaves\":{},",
-                        "\"flushed_routes\":{},\"alive_after\":{},",
+                        "\"flushed_routes\":{},\"alive_after\":{},\"byzantine_after\":{},",
                         "\"snapshot\":{{\"rebuild_ns\":{},\"patch_ns\":{},",
                         "\"rows_patched\":{},\"compacted\":{},\"skipped\":{}}},",
                         "\"batch\":{}}}"
@@ -216,6 +249,7 @@ impl InterleavedReport {
                     e.leaves,
                     e.flushed_routes,
                     e.alive_after,
+                    e.byzantine_after,
                     e.snapshot.rebuild_nanos,
                     e.snapshot.patch_nanos,
                     e.snapshot.rows_patched,
@@ -266,6 +300,7 @@ impl QueryEngine {
         master_seed: u64,
     ) -> InterleavedReport {
         let n = network.len();
+        self.resolve_adversaries(network);
         let mut reports = Vec::with_capacity(epochs);
         let mut snapshot: Option<FrozenView> = None;
         for epoch in 0..epochs {
@@ -284,7 +319,15 @@ impl QueryEngine {
             }
 
             let batch_seed = seed_for_trial(master_seed, epoch as u64);
-            let batch = QueryBatch::uniform(network, queries_per_epoch, batch_seed);
+            // Byzantine epochs draw honest endpoints over the *current* membership
+            // (the literature's lookup-resilience convention); with no — or an empty —
+            // adversary set this is the plain uniform draw.
+            let batch = match self.adversaries() {
+                Some(set) => {
+                    QueryBatch::uniform_honest(network, queries_per_epoch, batch_seed, set)
+                }
+                None => QueryBatch::uniform(network, queries_per_epoch, batch_seed),
+            };
             let batch_report = self.run_batch_with_snapshot(network, &batch, snapshot.as_ref());
 
             // Churn phase: one consistent schedule over the current population, applied
@@ -292,6 +335,11 @@ impl QueryEngine {
             // Event volume tracks the *current* alive population for fraction mixes.
             let events = churn.events_for(network.alive_count());
             let mut churn_rng = trial_rng(master_seed ^ 0xC48A_0C48_A0C4_8A0C, epoch as u64);
+            // Membership draws come from a *dedicated* stream so a byzantine run walks
+            // the exact same topology trajectory as its honest twin (same schedules,
+            // same join/leave link regeneration).
+            let mut membership_rng = trial_rng(master_seed ^ 0xAD5E_11A6_0B52_AD5E, epoch as u64);
+            let conscripting = self.adversaries().is_some();
             let present = network.graph().present_nodes().to_vec();
             let schedule = ChurnSchedule::generate(
                 n,
@@ -311,12 +359,23 @@ impl QueryEngine {
                         if let Ok(report) = network.join(p, &mut churn_rng) {
                             joins += 1;
                             touched.extend(report.touched_nodes);
+                            if conscripting {
+                                // A join either conscripts the newcomer or clears any
+                                // stale membership at its (reused) label — a fresh
+                                // honest node must never inherit an old conviction.
+                                let conscript = churn.adversarial_join_probability() > 0.0
+                                    && membership_rng
+                                        .gen_bool(churn.adversarial_join_probability());
+                                self.adversary_churn(p, true, conscript);
+                            }
                         }
                     }
                     ChurnEvent::Leave(p) => {
                         if let Ok(report) = network.leave(p, &mut churn_rng) {
                             leaves += 1;
                             touched.extend(report.touched_nodes);
+                            // A departing adversary loses its position.
+                            self.adversary_churn(p, false, false);
                         }
                     }
                 }
@@ -344,6 +403,9 @@ impl QueryEngine {
                 leaves,
                 flushed_routes,
                 alive_after: network.alive_count(),
+                byzantine_after: self
+                    .adversaries()
+                    .map_or(0, faultline_routing::ByzantineSet::len),
                 snapshot: work,
             });
         }
@@ -415,6 +477,11 @@ mod tests {
         let mix = ChurnMix::fraction_of(1000, 0.1);
         assert_eq!(mix.events_per_epoch, 100);
         assert_eq!(mix.join_probability, 0.5);
+        assert_eq!(mix.adversarial_join_probability(), 0.0);
+        assert_eq!(
+            mix.adversarial_joins(0.25).adversarial_join_probability(),
+            0.25
+        );
         // Fraction mixes re-derive the event count from the current population...
         assert_eq!(mix.events_for(1000), 100);
         assert_eq!(mix.events_for(500), 50);

@@ -30,6 +30,17 @@
 //!   recompile); [`EngineConfig::incremental`] restores the rebuild baseline and
 //!   [`EngineConfig::adaptive_freeze`] skips snapshot work when the cache is warm
 //!   enough to starve the uncached path.
+//! * **Byzantine workload lane** — [`EngineConfig::byzantine`] opens an adversarial
+//!   traffic class: a [`ByzantineConfig`] names the corrupted nodes (a sampled
+//!   fraction or an explicit [`ByzantineSet`]) and every lookup issues up to
+//!   `redundancy` diversified walks through
+//!   [`RedundantRouter::route_frozen`](faultline_routing::RedundantRouter::route_frozen)
+//!   over the shared CSR snapshot — zero-alloc, cache-bypassing, and thread-count
+//!   deterministic like the honest path. Under churn, adversary membership stays
+//!   consistent: departing Byzantine nodes shrink the set and
+//!   [`ChurnMix::adversarial_joins`] conscripts arrivals (a join at a stale label
+//!   *clears* it — labels are reused, so newcomers never inherit old convictions).
+//!   [`BatchReport`] splits honest-vs-contested success/hop/latency percentiles.
 //! * **Percentile stats** — every batch reports p50/p95/p99 hop and per-query wall-time
 //!   ladders plus queries/sec, exportable as JSON for the benchmark trajectory.
 //!
@@ -62,7 +73,10 @@ mod stats;
 
 pub use batch::QueryBatch;
 pub use cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, NUM_BUCKETS};
-pub use config::EngineConfig;
+pub use config::{ByzantineConfig, ByzantineMembership, EngineConfig};
 pub use interleave::{ChurnMix, EpochReport, InterleavedReport, SnapshotWork};
 pub use run::QueryEngine;
-pub use stats::{BatchReport, QueryOutcome};
+pub use stats::{AdversarySplit, BatchReport, QueryOutcome};
+
+// Re-exported so byzantine-lane callers need no direct `faultline_routing` dependency.
+pub use faultline_routing::ByzantineSet;

@@ -2,12 +2,14 @@
 
 use crate::batch::QueryBatch;
 use crate::cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache};
-use crate::config::EngineConfig;
+use crate::config::{ByzantineMembership, EngineConfig};
 use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network, NetworkView};
 use faultline_overlay::NodeId;
-use faultline_routing::RouteScratch;
+use faultline_routing::{ByzantineSet, RedundantRouter, RouteScratch};
 use faultline_sim::seed_for_trial;
+use rand::rngs::{SmallRng, StdRng};
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// A reusable parallel query engine.
@@ -31,6 +33,17 @@ pub struct QueryEngine {
     /// the adaptive snapshot policy reads it to predict the next batch's miss volume.
     last_hit_rate: Option<f64>,
     snapshots_built: u64,
+    /// Resolved adversary membership (None until the byzantine lane first routes over
+    /// a network, or forever on honest engines). Churn epochs mutate it: departing
+    /// Byzantine nodes shrink it, joining nodes are marked (or cleared) by the mix.
+    adversaries: Option<ByzantineSet>,
+}
+
+/// Per-batch byzantine apparatus shared (read-only) by every shard worker.
+#[derive(Clone, Copy)]
+struct ByzantineLane<'a> {
+    router: RedundantRouter,
+    adversaries: &'a ByzantineSet,
 }
 
 impl QueryEngine {
@@ -50,6 +63,7 @@ impl QueryEngine {
             caches,
             last_hit_rate: None,
             snapshots_built: 0,
+            adversaries: None,
         }
     }
 
@@ -126,6 +140,66 @@ impl QueryEngine {
         view
     }
 
+    /// Resolves the configured adversary membership against `network` (once; later
+    /// calls return the already-resolved set) and returns it. Honest engines return
+    /// `None`. Fraction memberships sample the *currently alive* nodes with an RNG
+    /// seeded from the spec, so resolution is deterministic per `(network, config)`
+    /// and independent of thread count.
+    ///
+    /// Callers that need the membership before running a batch — e.g. to draw an
+    /// honest query batch via [`QueryBatch::uniform_honest`] — call this first;
+    /// [`QueryEngine::run_batch`] and
+    /// [`QueryEngine::run_interleaved`](crate::QueryEngine::run_interleaved) call it
+    /// implicitly.
+    ///
+    /// The membership sticks to the engine for its lifetime (churn mutates it in
+    /// place): pointing a byzantine engine at a *different* network keeps the first
+    /// network's labels. Call [`QueryEngine::clear_adversaries`] first — or build a
+    /// fresh engine — when switching networks.
+    pub fn resolve_adversaries(&mut self, network: &Network) -> Option<&ByzantineSet> {
+        if self.adversaries.is_none() {
+            let spec = self.config.byzantine_config()?;
+            self.adversaries = Some(match spec.membership() {
+                ByzantineMembership::Fraction { fraction, seed } => {
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    ByzantineSet::sample_fraction(network.graph(), *fraction, &mut rng)
+                }
+                ByzantineMembership::Explicit(set) => set.clone(),
+            });
+        }
+        self.adversaries.as_ref()
+    }
+
+    /// The resolved adversary set, if the byzantine lane has been resolved (see
+    /// [`QueryEngine::resolve_adversaries`]).
+    #[must_use]
+    pub fn adversaries(&self) -> Option<&ByzantineSet> {
+        self.adversaries.as_ref()
+    }
+
+    /// Drops the resolved adversary membership so the next batch re-resolves it from
+    /// the network it routes over. Required when re-pointing a byzantine engine at a
+    /// different network: the cached set holds the *first* network's labels.
+    pub fn clear_adversaries(&mut self) {
+        self.adversaries = None;
+    }
+
+    /// Byzantine-lane membership updates driven by churn (see
+    /// [`QueryEngine::run_interleaved`](crate::QueryEngine::run_interleaved)): a
+    /// departing node loses its membership, and a joining node is either conscripted
+    /// (`conscript == true`) or — crucially — *cleared*: grid labels are reused, so a
+    /// join at a label the set still lists is a fresh honest node, not the returning
+    /// adversary.
+    pub(crate) fn adversary_churn(&mut self, node: NodeId, joined: bool, conscript: bool) {
+        if let Some(set) = self.adversaries.as_mut() {
+            if joined && conscript {
+                set.insert(node);
+            } else {
+                set.remove(node);
+            }
+        }
+    }
+
     /// Whether the next batch should be routed through a compiled snapshot: the fast
     /// path must be enabled, and — when the adaptive policy is on — the previous
     /// batch's cache hit rate must sit below the configured threshold (a near-fully
@@ -168,11 +242,29 @@ impl QueryEngine {
     ) -> BatchReport {
         let n = network.len();
         let caching = self.config.cache_capacity_entries() > 0;
+        self.resolve_adversaries(network);
         let view = self.routing_view(network);
+        // Byzantine lane: a non-empty resolved adversary set routes every query
+        // through redundant diversified walks, bypassing the route cache (a cached
+        // digest cannot tell which walks an adversary swallowed). An empty set is the
+        // honest path bit for bit.
+        let byzantine = match (self.config.byzantine_config(), self.adversaries.as_ref()) {
+            (Some(spec), Some(set)) if !set.is_empty() => {
+                let inner = match spec.strategy_override() {
+                    Some(strategy) => view.router().with_strategy(strategy),
+                    None => view.router(),
+                };
+                Some(ByzantineLane {
+                    router: RedundantRouter::new(inner, spec.redundancy_factor()),
+                    adversaries: set,
+                })
+            }
+            _ => None,
+        };
         // The live-graph fallback only records result paths when caching needs the
         // touched-bucket masks (the frozen kernel records its path in scratch for
         // free).
-        let view = view.with_path_recording(caching && frozen.is_none());
+        let view = view.with_path_recording(caching && frozen.is_none() && byzantine.is_none());
 
         // Assign queries to shards by source bucket; shard order is part of the
         // deterministic contract (same batch ⇒ same per-shard sequences). Queries whose
@@ -190,6 +282,9 @@ impl QueryEngine {
                     hops: 0,
                     recoveries: 0,
                     cached: false,
+                    attempts: 0,
+                    adversary_drops: 0,
+                    total_hops: 0,
                     nanos: 0,
                 });
             } else {
@@ -212,23 +307,37 @@ impl QueryEngine {
                 scope.spawn(move |_| {
                     // One scratch per shard worker: buffers are reused across every
                     // query the shard routes, so the frozen kernel never allocates.
-                    // Path recording only matters to cache invalidation masks; without
+                    // Path recording only matters to cache invalidation masks (the
+                    // byzantine lane forces it on per call and restores it); without
                     // a cache the kernel skips the per-hop stores entirely.
-                    let mut scratch = RouteScratch::new().with_path_recording(cache.enabled());
+                    let mut scratch = RouteScratch::new()
+                        .with_path_recording(cache.enabled() && byzantine.is_none());
                     output.reserve_exact(indices.len());
                     for &index in indices {
                         let (source, target) = batch.pairs()[index];
-                        let outcome = route_one(
-                            view,
-                            frozen,
-                            cache,
-                            &mut scratch,
-                            n,
-                            batch.seed(),
-                            index,
-                            source,
-                            target,
-                        );
+                        let outcome = match byzantine {
+                            Some(lane) => route_one_byzantine(
+                                view,
+                                frozen,
+                                lane,
+                                &mut scratch,
+                                batch.seed(),
+                                index,
+                                source,
+                                target,
+                            ),
+                            None => route_one(
+                                view,
+                                frozen,
+                                cache,
+                                &mut scratch,
+                                n,
+                                batch.seed(),
+                                index,
+                                source,
+                                target,
+                            ),
+                        };
                         output.push((index, outcome));
                     }
                 });
@@ -244,8 +353,11 @@ impl QueryEngine {
             .into_iter()
             .map(|o| o.expect("every query is either pre-failed or routed by one shard"))
             .collect();
-        let report = BatchReport::new(outcomes, wall, self.threads());
-        if caching && report.queries() > 0 {
+        let is_byzantine = byzantine.is_some();
+        let report = BatchReport::with_mode(outcomes, wall, self.threads(), is_byzantine);
+        // Byzantine batches never consult the cache, so their 0% hit rate says
+        // nothing the adaptive snapshot policy should act on.
+        if caching && !is_byzantine && report.queries() > 0 {
             self.last_hit_rate = Some(report.cache_hits() as f64 / report.queries() as f64);
         }
         report
@@ -280,6 +392,9 @@ fn route_one(
             hops: hit.hops,
             recoveries: hit.recoveries,
             cached: true,
+            attempts: 1,
+            adversary_drops: 0,
+            total_hops: hit.hops,
             nanos: started.elapsed().as_nanos() as u64,
         };
     }
@@ -333,6 +448,64 @@ fn route_one(
         hops,
         recoveries,
         cached: false,
+        attempts: 1,
+        adversary_drops: 0,
+        total_hops: hops,
+        nanos: started.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Routes one query on the byzantine lane: up to `redundancy` diversified walks over
+/// the CSR snapshot (or the live graph when no snapshot was compiled), each truncated
+/// at the first adversary it steps onto. Never consults the route cache.
+///
+/// Determinism matches the honest path's contract: randomness derives from
+/// `(batch seed, query index)` — `SmallRng` over the snapshot, `StdRng` over the live
+/// graph, mirroring the honest kernels — so results are identical at any thread
+/// count, and identical to a sequential loop of per-query
+/// [`RedundantRouter::route_frozen`] calls with the same seeds.
+#[allow(clippy::too_many_arguments)]
+fn route_one_byzantine(
+    view: NetworkView<'_>,
+    frozen: Option<&FrozenView>,
+    lane: ByzantineLane<'_>,
+    scratch: &mut RouteScratch,
+    batch_seed: u64,
+    index: usize,
+    source: NodeId,
+    target: NodeId,
+) -> QueryOutcome {
+    let started = Instant::now();
+    let seed = seed_for_trial(batch_seed, index as u64);
+    let result = match frozen {
+        Some(snapshot) => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            lane.router.route_frozen(
+                snapshot.routes(),
+                lane.adversaries,
+                source,
+                target,
+                &mut rng,
+                scratch,
+            )
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            lane.router
+                .route(view.graph(), lane.adversaries, source, target, &mut rng)
+        }
+    };
+    QueryOutcome {
+        source,
+        target,
+        delivered: result.delivered,
+        // Latency cost when delivered (the winning walk), bandwidth cost when not.
+        hops: result.winning_hops.unwrap_or(result.total_hops),
+        recoveries: result.recoveries,
+        cached: false,
+        attempts: result.attempts,
+        adversary_drops: result.dropped_by_adversary,
+        total_hops: result.total_hops,
         nanos: started.elapsed().as_nanos() as u64,
     }
 }

@@ -19,6 +19,17 @@ pub struct QueryOutcome {
     pub recoveries: u64,
     /// Whether the result came from the route cache.
     pub cached: bool,
+    /// Walks issued for this lookup: `1` on the honest path, `1..=redundancy` on the
+    /// byzantine lane (retries stop at the first delivered walk), and `0` for
+    /// pre-failed lookups whose endpoints lie outside the space — no walk was ever
+    /// issued, and they weigh [`BatchReport::mean_attempts`] accordingly.
+    pub attempts: u32,
+    /// Walks swallowed by a Byzantine node (`0` on the honest path).
+    pub adversary_drops: u32,
+    /// Hops summed over **every** walk — the bandwidth cost of the lookup. Equals
+    /// [`QueryOutcome::hops`] on the honest path; on the byzantine lane `hops` is the
+    /// winning walk's latency cost while `total_hops` is what the network paid.
+    pub total_hops: u64,
     /// Wall-clock nanoseconds this query took on its worker.
     ///
     /// Raw readings of `0` — queries (typically cache hits) that finished below the
@@ -32,16 +43,38 @@ pub struct QueryOutcome {
     pub nanos: u64,
 }
 
+/// Success/hop/latency digest of one side of a batch's honest-vs-contested split
+/// (see [`BatchReport::adversary_split`]).
+#[derive(Debug, Clone)]
+pub struct AdversarySplit {
+    /// Lookups on this side of the split.
+    pub queries: usize,
+    /// Delivered lookups on this side.
+    pub delivered: usize,
+    /// Delivered fraction (1.0 when the side is empty).
+    pub success_rate: f64,
+    /// Hop percentiles over delivered lookups on this side (winning-walk hops).
+    pub hops: Option<Summary>,
+    /// Per-query wall-time percentiles (ns) over all lookups on this side.
+    pub latency: Option<Summary>,
+}
+
 /// Aggregate report for one executed batch.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
     outcomes: Vec<QueryOutcome>,
     wall: Duration,
     threads: usize,
+    byzantine: bool,
 }
 
 impl BatchReport {
-    pub(crate) fn new(mut outcomes: Vec<QueryOutcome>, wall: Duration, threads: usize) -> Self {
+    pub(crate) fn with_mode(
+        mut outcomes: Vec<QueryOutcome>,
+        wall: Duration,
+        threads: usize,
+        byzantine: bool,
+    ) -> Self {
         // Clamp sub-resolution readings to the batch's measured floor (see
         // `QueryOutcome::nanos`).
         if let Some(floor) = outcomes.iter().map(|o| o.nanos).filter(|&t| t > 0).min() {
@@ -53,6 +86,7 @@ impl BatchReport {
             outcomes,
             wall,
             threads,
+            byzantine,
         }
     }
 
@@ -133,21 +167,123 @@ impl BatchReport {
         Summary::of(self.outcomes.iter().map(|o| o.nanos as f64))
     }
 
+    /// Whether this batch ran on the byzantine lane (redundant walks over an
+    /// adversary set). Honest batches — including byzantine-configured engines whose
+    /// resolved set was empty — report `false`.
+    #[must_use]
+    pub fn is_byzantine(&self) -> bool {
+        self.byzantine
+    }
+
+    /// Lookups that lost at least one walk to an adversary (`0` on honest batches).
+    #[must_use]
+    pub fn contested_queries(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.adversary_drops > 0)
+            .count()
+    }
+
+    /// Walks swallowed by adversaries across the whole batch.
+    #[must_use]
+    pub fn dropped_walks(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| u64::from(o.adversary_drops))
+            .sum()
+    }
+
+    /// Mean walks issued per lookup (1.0 on honest batches, 0.0 when empty).
+    #[must_use]
+    pub fn mean_attempts(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let walks: u64 = self.outcomes.iter().map(|o| u64::from(o.attempts)).sum();
+        walks as f64 / self.outcomes.len() as f64
+    }
+
+    /// Hops summed over every walk of every lookup — the batch's total bandwidth
+    /// cost. On honest batches this equals the plain hop total; the ratio against an
+    /// honest baseline is the redundancy overhead the byzantine lane pays.
+    #[must_use]
+    pub fn total_route_hops(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.total_hops).sum()
+    }
+
+    /// Splits the batch into lookups untouched by adversaries (`contested == false`:
+    /// honest success/hop/latency percentiles) and lookups that lost at least one
+    /// walk (`contested == true`: the adversarial tail). On honest batches the
+    /// contested side is empty.
+    #[must_use]
+    pub fn adversary_split(&self, contested: bool) -> AdversarySplit {
+        let side: Vec<&QueryOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| (o.adversary_drops > 0) == contested)
+            .collect();
+        let delivered = side.iter().filter(|o| o.delivered).count();
+        AdversarySplit {
+            queries: side.len(),
+            delivered,
+            success_rate: if side.is_empty() {
+                1.0
+            } else {
+                delivered as f64 / side.len() as f64
+            },
+            hops: Summary::of(side.iter().filter(|o| o.delivered).map(|o| o.hops as f64)),
+            latency: Summary::of(side.iter().map(|o| o.nanos as f64)),
+        }
+    }
+
     /// Renders the report as a JSON object (hand-rolled: the workspace builds offline
-    /// and carries no JSON dependency).
+    /// and carries no JSON dependency). Byzantine-lane batches gain an `"adversary"`
+    /// section with the honest-vs-contested split.
     #[must_use]
     pub fn to_json(&self) -> String {
         let hops = self.hop_summary();
         let latency = self.latency_summary();
         let quantiles =
             |s: &Option<Summary>, f: fn(&Summary) -> f64| -> f64 { s.as_ref().map_or(0.0, f) };
+        let adversary = if self.byzantine {
+            let split_json = |split: &AdversarySplit| -> String {
+                format!(
+                    concat!(
+                        "{{\"queries\":{},\"success_rate\":{:.6},",
+                        "\"hops_p50\":{:.1},\"hops_p99\":{:.1},",
+                        "\"latency_p50_ns\":{:.0},\"latency_p99_ns\":{:.0}}}"
+                    ),
+                    split.queries,
+                    split.success_rate,
+                    quantiles(&split.hops, |s| s.median),
+                    quantiles(&split.hops, |s| s.p99),
+                    quantiles(&split.latency, |s| s.median),
+                    quantiles(&split.latency, |s| s.p99),
+                )
+            };
+            format!(
+                concat!(
+                    ",\"adversary\":{{\"contested_queries\":{},\"dropped_walks\":{},",
+                    "\"mean_attempts\":{:.3},\"total_route_hops\":{},",
+                    "\"clean\":{},\"contested\":{}}}"
+                ),
+                self.contested_queries(),
+                self.dropped_walks(),
+                self.mean_attempts(),
+                self.total_route_hops(),
+                split_json(&self.adversary_split(false)),
+                split_json(&self.adversary_split(true)),
+            )
+        } else {
+            String::new()
+        };
         format!(
             concat!(
                 "{{\"queries\":{},\"delivered\":{},\"success_rate\":{:.6},",
                 "\"cache_hits\":{},\"threads\":{},\"wall_ms\":{:.3},",
                 "\"queries_per_sec\":{:.1},",
                 "\"hops\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\"mean\":{:.3}}},",
-                "\"latency_ns\":{{\"p50\":{:.0},\"p95\":{:.0},\"p99\":{:.0}}}}}"
+                "\"latency_ns\":{{\"p50\":{:.0},\"p95\":{:.0},\"p99\":{:.0}}}{}}}"
             ),
             self.queries(),
             self.delivered(),
@@ -163,6 +299,7 @@ impl BatchReport {
             quantiles(&latency, |s| s.median),
             quantiles(&latency, |s| s.p95),
             quantiles(&latency, |s| s.p99),
+            adversary,
         )
     }
 }
@@ -179,13 +316,16 @@ mod tests {
             hops,
             recoveries: 0,
             cached,
+            attempts: 1,
+            adversary_drops: 0,
+            total_hops: hops,
             nanos: 100,
         }
     }
 
     #[test]
     fn aggregates_count_correctly() {
-        let report = BatchReport::new(
+        let report = BatchReport::with_mode(
             vec![
                 outcome(true, 4, false),
                 outcome(true, 8, true),
@@ -193,6 +333,7 @@ mod tests {
             ],
             Duration::from_millis(10),
             4,
+            false,
         );
         assert_eq!(report.queries(), 3);
         assert_eq!(report.delivered(), 2);
@@ -213,7 +354,8 @@ mod tests {
         slow.nanos = 40;
         let mut slower = outcome(true, 3, false);
         slower.nanos = 90;
-        let report = BatchReport::new(vec![fast, slow, slower], Duration::from_millis(1), 1);
+        let report =
+            BatchReport::with_mode(vec![fast, slow, slower], Duration::from_millis(1), 1, false);
         assert_eq!(
             report.outcomes()[0].nanos,
             40,
@@ -224,20 +366,25 @@ mod tests {
         // A batch in which nothing measured keeps its zeros (there is no floor).
         let mut unmeasured = outcome(true, 1, true);
         unmeasured.nanos = 0;
-        let report = BatchReport::new(vec![unmeasured], Duration::from_millis(1), 1);
+        let report = BatchReport::with_mode(vec![unmeasured], Duration::from_millis(1), 1, false);
         assert_eq!(report.outcomes()[0].nanos, 0);
     }
 
     #[test]
     fn empty_batch_is_vacuously_successful() {
-        let report = BatchReport::new(vec![], Duration::from_millis(1), 1);
+        let report = BatchReport::with_mode(vec![], Duration::from_millis(1), 1, false);
         assert_eq!(report.success_rate(), 1.0);
         assert!(report.hop_summary().is_none());
     }
 
     #[test]
     fn json_has_the_headline_fields() {
-        let report = BatchReport::new(vec![outcome(true, 4, false)], Duration::from_millis(2), 2);
+        let report = BatchReport::with_mode(
+            vec![outcome(true, 4, false)],
+            Duration::from_millis(2),
+            2,
+            false,
+        );
         let json = report.to_json();
         for field in [
             "\"queries\":1",
@@ -248,5 +395,75 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+        assert!(
+            !json.contains("\"adversary\""),
+            "honest batches carry no adversary section"
+        );
+    }
+
+    #[test]
+    fn adversary_split_separates_clean_and_contested_lookups() {
+        let mut contested_delivered = outcome(true, 9, false);
+        contested_delivered.attempts = 3;
+        contested_delivered.adversary_drops = 2;
+        contested_delivered.total_hops = 21;
+        let mut contested_lost = outcome(false, 30, false);
+        contested_lost.attempts = 4;
+        contested_lost.adversary_drops = 4;
+        contested_lost.total_hops = 30;
+        let report = BatchReport::with_mode(
+            vec![outcome(true, 5, false), contested_delivered, contested_lost],
+            Duration::from_millis(1),
+            1,
+            true,
+        );
+        assert!(report.is_byzantine());
+        assert_eq!(report.contested_queries(), 2);
+        assert_eq!(report.dropped_walks(), 6);
+        assert!((report.mean_attempts() - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.total_route_hops(), 5 + 21 + 30);
+        let clean = report.adversary_split(false);
+        assert_eq!(clean.queries, 1);
+        assert_eq!(clean.delivered, 1);
+        assert_eq!(clean.success_rate, 1.0);
+        assert_eq!(clean.hops.unwrap().mean, 5.0);
+        let contested = report.adversary_split(true);
+        assert_eq!(contested.queries, 2);
+        assert_eq!(contested.delivered, 1);
+        assert!((contested.success_rate - 0.5).abs() < 1e-12);
+        assert_eq!(
+            contested.hops.unwrap().mean,
+            9.0,
+            "only delivered hops count"
+        );
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for field in [
+            "\"adversary\"",
+            "\"contested_queries\":2",
+            "\"dropped_walks\":6",
+            "\"mean_attempts\":2.667",
+            "\"total_route_hops\":56",
+            "\"clean\"",
+            "\"contested\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn empty_splits_are_vacuously_successful() {
+        let report = BatchReport::with_mode(
+            vec![outcome(true, 4, false)],
+            Duration::from_millis(1),
+            1,
+            false,
+        );
+        assert!(!report.is_byzantine());
+        let contested = report.adversary_split(true);
+        assert_eq!(contested.queries, 0);
+        assert_eq!(contested.success_rate, 1.0);
+        assert!(contested.hops.is_none());
+        assert_eq!(report.mean_attempts(), 1.0);
     }
 }

@@ -92,6 +92,21 @@ impl ByzantineSet {
     pub fn insert(&mut self, node: NodeId) {
         self.nodes.insert(node);
     }
+
+    /// Removes a node from the set, returning `true` if it was a member.
+    ///
+    /// Churn layers call this when a Byzantine node departs (the adversary loses that
+    /// position) and when a fresh honest node joins at a label the set still lists —
+    /// grid labels are reused across join/leave cycles, so stale membership would
+    /// silently convict the newcomer.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.nodes.remove(&node)
+    }
+
+    /// Iterates over the Byzantine node labels (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
 }
 
 /// Result of a redundant lookup over a partially Byzantine overlay.
@@ -107,6 +122,10 @@ pub struct RedundantRouteResult {
     pub winning_hops: Option<u64>,
     /// Number of walks that ended by stepping onto a Byzantine node.
     pub dropped_by_adversary: u32,
+    /// Fault-strategy interventions summed over every walk. A walk truncated by an
+    /// adversary contributes its full computed-walk count (live and frozen paths agree
+    /// on this accounting, keeping them bit-identical).
+    pub recoveries: u64,
 }
 
 /// Issues several diversified greedy walks per lookup to survive Byzantine drops.
@@ -173,7 +192,7 @@ impl RedundantRouter {
 
     /// Performs one greedy walk over the snapshot, truncating at the first Byzantine
     /// node on the visited sequence (read from `scratch` — no per-walk allocation).
-    /// Returns `(delivered, hops, dropped_by_adversary)`.
+    /// Returns `(delivered, hops, recoveries, dropped_by_adversary)`.
     fn single_walk_frozen<R: Rng + ?Sized>(
         &self,
         frozen: &FrozenRoutes,
@@ -182,17 +201,17 @@ impl RedundantRouter {
         target: NodeId,
         rng: &mut R,
         scratch: &mut RouteScratch,
-    ) -> (bool, u64, bool) {
+    ) -> (bool, u64, u64, bool) {
         let result = self.inner.route_frozen(frozen, start, target, rng, scratch);
         for (idx, &node) in scratch.path().iter().enumerate() {
             let node = u64::from(node);
             if node != start && node != target && adversaries.contains(node) {
                 // The adversary at path index `idx` swallowed the message after
                 // `idx` hops; the rest of the walk never happened.
-                return (false, idx as u64, true);
+                return (false, idx as u64, result.recoveries, true);
             }
         }
-        (result.is_delivered(), result.hops, false)
+        (result.is_delivered(), result.hops, result.recoveries, false)
     }
 
     /// Routes a lookup over a compiled [`FrozenRoutes`] snapshot — the frozen
@@ -217,10 +236,11 @@ impl RedundantRouter {
         // The adversary scan needs the visited sequence even if the caller's scratch
         // was built with recording off; keep the caller's buffers, flip the flag.
         let caller_records = scratch.records_path();
-        *scratch = std::mem::take(scratch).with_path_recording(true);
+        scratch.set_path_recording(true);
         let mut attempts = 0u32;
         let mut total_hops = 0u64;
         let mut dropped = 0u32;
+        let mut recoveries = 0u64;
         let mut winning_hops = None;
         while attempts < self.redundancy {
             attempts += 1;
@@ -238,9 +258,10 @@ impl RedundantRouter {
                 dropped += 1;
                 continue;
             }
-            let (delivered, hops, was_dropped) =
+            let (delivered, hops, walk_recoveries, was_dropped) =
                 self.single_walk_frozen(frozen, adversaries, start, target, rng, scratch);
             total_hops += extra_hop + hops;
+            recoveries += walk_recoveries;
             if was_dropped {
                 dropped += 1;
             }
@@ -249,13 +270,14 @@ impl RedundantRouter {
                 break;
             }
         }
-        *scratch = std::mem::take(scratch).with_path_recording(caller_records);
+        scratch.set_path_recording(caller_records);
         RedundantRouteResult {
             delivered: winning_hops.is_some(),
             attempts,
             total_hops,
             winning_hops,
             dropped_by_adversary: dropped,
+            recoveries,
         }
     }
 
@@ -275,6 +297,7 @@ impl RedundantRouter {
         let mut attempts = 0u32;
         let mut total_hops = 0u64;
         let mut dropped = 0u32;
+        let mut recoveries = 0u64;
         let mut winning_hops = None;
         while attempts < self.redundancy {
             attempts += 1;
@@ -295,6 +318,7 @@ impl RedundantRouter {
             }
             let (result, was_dropped) = self.single_walk(graph, adversaries, start, target, rng);
             total_hops += extra_hop + result.hops;
+            recoveries += result.recoveries;
             if was_dropped {
                 dropped += 1;
             }
@@ -309,6 +333,7 @@ impl RedundantRouter {
             total_hops,
             winning_hops,
             dropped_by_adversary: dropped,
+            recoveries,
         }
     }
 }
@@ -414,6 +439,10 @@ mod tests {
         manual.insert(42);
         assert!(manual.contains(42));
         assert!(!manual.contains(43));
+        assert_eq!(manual.iter().collect::<Vec<_>>(), vec![42]);
+        assert!(manual.remove(42), "42 was a member");
+        assert!(!manual.remove(42), "removal is idempotent");
+        assert!(manual.is_empty());
     }
 
     #[test]

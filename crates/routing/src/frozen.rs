@@ -76,6 +76,13 @@ impl RouteScratch {
         self.record_path
     }
 
+    /// In-place counterpart of [`RouteScratch::with_path_recording`], for hot paths
+    /// that toggle recording per call (the redundant router forces it on for the
+    /// adversary scan and restores the caller's setting) without moving the buffers.
+    pub fn set_path_recording(&mut self, record: bool) {
+        self.record_path = record;
+    }
+
     /// The nodes the most recent route visited, in order (starts at the source).
     /// Empty if the route failed before leaving the source (a dead endpoint) or if
     /// recording is disabled.
