@@ -6,12 +6,14 @@
 //!
 //! Under `--quick` (the CI smoke run) it also acts as a regression gate: the run
 //! fails if the frozen-kernel speedup, the incremental snapshot-maintenance speedup,
-//! the adversarial throughput or the adversarial success rate falls below a floor
-//! (each overridable — `ENGINE_SMOKE_MIN_FROZEN_SPEEDUP`,
-//! `ENGINE_SMOKE_MIN_PATCH_SPEEDUP`, `ENGINE_SMOKE_MIN_BYZANTINE_QPS`,
-//! `ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS` — for unusual machines). All gate readings
-//! are appended to `$GITHUB_STEP_SUMMARY` when that file is available, so a failing
-//! run is diagnosable from the job page without opening the log.
+//! the typed-delta patch speedup, the rebuild-fallback-free fraction, the
+//! adversarial throughput or the adversarial success rate falls below a floor (each
+//! overridable — `ENGINE_SMOKE_MIN_FROZEN_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_SPEEDUP`,
+//! `ENGINE_SMOKE_MIN_DELTA_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE`,
+//! `ENGINE_SMOKE_MIN_BYZANTINE_QPS`, `ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS` — for
+//! unusual machines). All gate readings, plus the snapshot compaction/rebuild
+//! cadence, are appended to `$GITHUB_STEP_SUMMARY` when that file is available, so a
+//! failing run is diagnosable from the job page without opening the log.
 
 use faultline_bench::{engine_run, BenchArgs};
 use std::io::Write;
@@ -24,6 +26,21 @@ const MIN_FROZEN_SPEEDUP: f64 = 1.5;
 /// rows must beat the O(nodes + links) rebuild per epoch; parity means the delta
 /// layer stopped paying for itself.
 const MIN_PATCH_SPEEDUP: f64 = 1.0;
+
+/// `--quick` floor for `headline.delta_patch_speedup` (typed delta-apply vs the
+/// touched-list recompute on the identical trajectory). The smoke scale patches only
+/// a couple of hundred rows per epoch, so both sides sit in the tens of microseconds
+/// and the ratio carries timer noise; the floor sits below parity to absorb that
+/// while still catching the structural regression it exists for — `apply_delta`
+/// silently recomputing rows again (which would pin the ratio near 1.0 at full
+/// scale, but can read as ~0.9 here on a bad timer day).
+const MIN_DELTA_SPEEDUP: f64 = 0.7;
+
+/// `--quick` floor for the fraction of delta-maintenance epochs that stayed on the
+/// patch path (no structural rebuild fallback). Light churn must never trip the
+/// fallback: a single rebuild at smoke scale means the structural-only gating
+/// regressed.
+const MIN_PATCH_REBUILD_FREE: f64 = 1.0;
 
 /// `--quick` floor for `headline.byzantine_throughput` (q/s at 15% corruption,
 /// redundancy 4, uncached frozen kernel). Measured ~1.2M q/s at the smoke scale; the
@@ -63,9 +80,43 @@ impl GateReading {
     }
 }
 
-/// Appends the gate table to `$GITHUB_STEP_SUMMARY` (best-effort: skipped silently
-/// outside GitHub Actions, warned about if the file cannot be written).
-fn write_step_summary(readings: &[GateReading]) {
+/// One row of the maintenance-cadence table: how often a trajectory compacted or
+/// fell back to a rebuild (regressions here are invisible in the speedup numbers
+/// until they cliff, so the summary prints them outright).
+struct CadenceRow {
+    label: &'static str,
+    epochs: usize,
+    compactions: usize,
+    rebuild_fallbacks: usize,
+    rows_in_place: usize,
+    rows_patched: usize,
+}
+
+impl CadenceRow {
+    fn of(label: &'static str, trajectory: &faultline_engine::InterleavedReport) -> Self {
+        Self {
+            label,
+            epochs: trajectory.epochs().len(),
+            compactions: trajectory.compactions(),
+            rebuild_fallbacks: trajectory.rebuild_fallbacks(),
+            rows_in_place: trajectory
+                .epochs()
+                .iter()
+                .map(|e| e.snapshot.rows_in_place)
+                .sum(),
+            rows_patched: trajectory
+                .epochs()
+                .iter()
+                .map(|e| e.snapshot.rows_patched)
+                .sum(),
+        }
+    }
+}
+
+/// Appends the gate table and the compaction/rebuild cadence to
+/// `$GITHUB_STEP_SUMMARY` (best-effort: skipped silently outside GitHub Actions,
+/// warned about if the file cannot be written).
+fn write_step_summary(readings: &[GateReading], cadence: &[CadenceRow]) {
     let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
         return;
     };
@@ -80,6 +131,20 @@ fn write_step_summary(readings: &[GateReading]) {
             r.value,
             r.floor,
             if r.passed() { "✅ pass" } else { "❌ FAIL" },
+        ));
+    }
+    table.push_str(
+        "\n### Snapshot maintenance cadence\n\n| trajectory | epochs | compactions | rebuild fallbacks | rows in place / patched |\n|---|---|---|---|---|\n",
+    );
+    for row in cadence {
+        table.push_str(&format!(
+            "| {} | {} | {} | {} | {} / {} |\n",
+            row.label,
+            row.epochs,
+            row.compactions,
+            row.rebuild_fallbacks,
+            row.rows_in_place,
+            row.rows_patched,
         ));
     }
     match std::fs::OpenOptions::new()
@@ -145,6 +210,21 @@ fn main() {
                 env: "ENGINE_SMOKE_MIN_PATCH_SPEEDUP",
             },
             GateReading {
+                name: "delta_patch_speedup",
+                value: report.delta_patch_speedup(),
+                floor: threshold("ENGINE_SMOKE_MIN_DELTA_SPEEDUP", MIN_DELTA_SPEEDUP),
+                env: "ENGINE_SMOKE_MIN_DELTA_SPEEDUP",
+            },
+            GateReading {
+                name: "patch_rebuild_free",
+                value: report.patch_rebuild_free(),
+                floor: threshold(
+                    "ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE",
+                    MIN_PATCH_REBUILD_FREE,
+                ),
+                env: "ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE",
+            },
+            GateReading {
                 name: "byzantine_throughput",
                 value: report.byzantine_throughput(),
                 floor: threshold("ENGINE_SMOKE_MIN_BYZANTINE_QPS", MIN_BYZANTINE_QPS),
@@ -157,7 +237,11 @@ fn main() {
                 env: "ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS",
             },
         ];
-        write_step_summary(&readings);
+        let cadence = [
+            CadenceRow::of("maintenance (delta)", &report.maintenance_patch),
+            CadenceRow::of("maintenance (touched-list)", &report.maintenance_touched),
+        ];
+        write_step_summary(&readings, &cadence);
         let mut regressed = false;
         for reading in &readings {
             if reading.passed() {

@@ -10,7 +10,7 @@
 use faultline_core::{ConstructionMode, Network, NetworkConfig};
 use faultline_engine::{
     BatchReport, ByzantineConfig, ChurnMix, EngineConfig, InterleavedReport, QueryBatch,
-    QueryEngine,
+    QueryEngine, SnapshotMaintenance,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,12 +35,19 @@ pub struct EngineBenchConfig {
     pub epochs: usize,
     /// Fraction of the space churned per epoch (0.10 reproduces the headline number).
     pub churn_fraction: f64,
-    /// Churn fraction for the dedicated snapshot-maintenance comparison (patch vs
-    /// rebuild per epoch). Kept an order of magnitude below `churn_fraction`: light
-    /// sustained churn is the regime incremental patching exists for — under the 10%
-    /// stress churn the blast radius covers most rows and `apply_churn` deliberately
-    /// degrades to a rebuild.
+    /// Churn fraction for the dedicated snapshot-maintenance comparison (delta-apply
+    /// vs touched-list patch vs rebuild per epoch). Kept an order of magnitude below
+    /// `churn_fraction`: light sustained churn is the regime incremental patching
+    /// exists for — under the 10% stress churn the blast radius covers most rows and
+    /// patching deliberately degrades to a rebuild.
     pub maintenance_churn_fraction: f64,
+    /// Churn fraction for the cache-invalidation comparison (row-level eviction vs
+    /// the old bucket bitmask). Kept another order of magnitude lighter still: this
+    /// is the steady-trickle regime where invalidation granularity decides the warm
+    /// hit rate — a 64-bit bucket mask saturates (flushes everything) once a few
+    /// dozen scattered nodes are touched, while row-level eviction keeps every walk
+    /// that dodged the blast radius.
+    pub cache_churn_fraction: f64,
     /// Diversified walks per lookup in the byzantine phase (the redundancy factor).
     pub byzantine_redundancy: u32,
     /// Master seed.
@@ -63,6 +70,7 @@ impl EngineBenchConfig {
             epochs: 5,
             churn_fraction: 0.10,
             maintenance_churn_fraction: 0.01,
+            cache_churn_fraction: 0.001,
             byzantine_redundancy: ByzantineConfig::DEFAULT_REDUNDANCY,
             seed: 2002,
         }
@@ -105,13 +113,26 @@ pub struct EngineBenchReport {
     /// snapshot incrementally patched (the default engine behaviour).
     pub interleaved: InterleavedReport,
     /// Dedicated snapshot-maintenance run at `maintenance_churn_fraction` per epoch,
-    /// snapshot incrementally patched.
+    /// snapshot patched from the typed churn delta (the default engine behaviour).
     pub maintenance_patch: InterleavedReport,
+    /// The identical maintenance trajectory patched from the flat touched-node list
+    /// (per-row usable-neighbour recompute — the PR 3 behaviour). Epoch reports
+    /// match `maintenance_patch` query for query; the per-epoch patch timings are
+    /// the `delta_patch_speedup` comparison.
+    pub maintenance_touched: InterleavedReport,
     /// The identical maintenance trajectory with incremental patching disabled: the
     /// snapshot is recompiled from scratch every epoch. Epoch reports match
     /// `maintenance_patch` query for query; only the maintenance cost differs, which
     /// is exactly what the `snapshot_maintenance` section compares.
     pub maintenance_rebuild: InterleavedReport,
+    /// Cache-invalidation comparison at `cache_churn_fraction` per epoch: row-level
+    /// eviction (the default engine behaviour).
+    pub cache_row: InterleavedReport,
+    /// The same trickle-churn trajectory with the old bucket-bitmask flush
+    /// (`EngineConfig::row_invalidation(false)`): identical topology and schedules,
+    /// coarser eviction — the warm-hit-rate baseline of the `cache_invalidation`
+    /// section.
+    pub cache_bucket: InterleavedReport,
 }
 
 impl EngineBenchReport {
@@ -147,7 +168,7 @@ impl EngineBenchReport {
 
     /// Headline: per-epoch snapshot maintenance speedup at the maintenance churn rate
     /// — mean full-rebuild time (from the rebuild-baseline trajectory) over mean
-    /// incremental-patch time (`0.0` when either side measured nothing).
+    /// delta-patch time (`0.0` when either side measured nothing).
     #[must_use]
     pub fn snapshot_patch_speedup(&self) -> f64 {
         let patch = self.maintenance_patch.mean_patch_nanos();
@@ -157,6 +178,39 @@ impl EngineBenchReport {
         } else {
             0.0
         }
+    }
+
+    /// Headline: per-epoch speedup of typed delta patching over the touched-list
+    /// recompute it replaces — mean `apply_churn` time over mean `apply_delta` time
+    /// on the identical trajectory (`0.0` when either side measured nothing).
+    #[must_use]
+    pub fn delta_patch_speedup(&self) -> f64 {
+        let delta = self.maintenance_patch.mean_patch_nanos();
+        let touched = self.maintenance_touched.mean_patch_nanos();
+        if delta > 0.0 && touched > 0.0 {
+            touched / delta
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the delta-maintenance run's epochs that did **not** hit the
+    /// structural rebuild fallback (`1.0` = every epoch stayed on the patch path —
+    /// the acceptance bar for the light-churn pair run).
+    #[must_use]
+    pub fn patch_rebuild_free(&self) -> f64 {
+        let epochs = self.maintenance_patch.epochs().len();
+        if epochs == 0 {
+            return 0.0;
+        }
+        1.0 - self.maintenance_patch.rebuild_fallbacks() as f64 / epochs as f64
+    }
+
+    /// Headline: warm-cache hit rate under trickle churn with row-level invalidation
+    /// (the `cache_bucket` trajectory holds the old bucket-mask baseline).
+    #[must_use]
+    pub fn cache_row_hit_rate(&self) -> f64 {
+        self.cache_row.warm_hit_rate()
     }
 
     /// The byzantine level the headline and the CI gate read: the middle
@@ -240,13 +294,20 @@ impl EngineBenchReport {
         )
     }
 
-    /// The `snapshot_maintenance` JSON section: per-epoch patch vs rebuild cost and
-    /// the compaction cadence, re-baselining the snapshot amortisation each PR.
+    /// The `snapshot_maintenance` JSON section: per-epoch delta-apply vs
+    /// touched-list vs rebuild cost and the compaction/fallback cadence,
+    /// re-baselining the snapshot amortisation each PR.
     #[must_use]
     fn snapshot_maintenance_json(&self) -> String {
         let us = |nanos: u64| -> String { format!("{:.1}", nanos as f64 / 1e3) };
         let patch_us: Vec<String> = self
             .maintenance_patch
+            .epochs()
+            .iter()
+            .map(|e| us(e.snapshot.patch_nanos))
+            .collect();
+        let apply_churn_us: Vec<String> = self
+            .maintenance_touched
             .epochs()
             .iter()
             .map(|e| us(e.snapshot.patch_nanos))
@@ -257,26 +318,89 @@ impl EngineBenchReport {
             .iter()
             .map(|e| us(e.snapshot.rebuild_nanos))
             .collect();
-        let rows_patched: usize = self
-            .maintenance_patch
-            .epochs()
-            .iter()
-            .map(|e| e.snapshot.rows_patched)
-            .sum();
+        let sum = |f: fn(&faultline_engine::EpochReport) -> usize| -> usize {
+            self.maintenance_patch.epochs().iter().map(f).sum()
+        };
+        let rows_patched = sum(|e| e.snapshot.rows_patched);
+        let rows_in_place = sum(|e| e.snapshot.rows_in_place);
         format!(
             concat!(
-                "{{\"churn_fraction\":{:.4},\"patch_us\":[{}],\"rebuild_us\":[{}],",
-                "\"mean_patch_us\":{:.1},\"mean_rebuild_us\":{:.1},",
-                "\"rebuild_over_patch\":{:.2},\"rows_patched\":{},\"compactions\":{}}}"
+                "{{\"churn_fraction\":{:.4},\"patch_us\":[{}],\"apply_churn_us\":[{}],",
+                "\"rebuild_us\":[{}],",
+                "\"mean_patch_us\":{:.1},\"mean_apply_churn_us\":{:.1},",
+                "\"mean_rebuild_us\":{:.1},",
+                "\"rebuild_over_patch\":{:.2},\"delta_over_touched\":{:.2},",
+                "\"rows_patched\":{},\"rows_in_place\":{},",
+                "\"compactions\":{},\"rebuild_fallbacks\":{}}}"
             ),
             self.config.maintenance_churn_fraction,
             patch_us.join(","),
+            apply_churn_us.join(","),
             rebuild_us.join(","),
             self.maintenance_patch.mean_patch_nanos() / 1e3,
+            self.maintenance_touched.mean_patch_nanos() / 1e3,
             self.maintenance_rebuild.mean_rebuild_nanos() / 1e3,
             self.snapshot_patch_speedup(),
+            self.delta_patch_speedup(),
             rows_patched,
+            rows_in_place,
             self.maintenance_patch.compactions(),
+            self.maintenance_patch.rebuild_fallbacks(),
+        )
+    }
+
+    /// The `cache_invalidation` JSON section: warm-hit rate under trickle churn with
+    /// row-level eviction vs the old bucket mask, per-epoch rows invalidated vs what
+    /// the mask would have flushed, and the per-epoch delta-apply vs `apply_churn`
+    /// cost *at this section's own churn fraction* (the row run patches from the
+    /// delta, the bucket-baseline run from the touched list, over the identical
+    /// topology trajectory).
+    #[must_use]
+    fn cache_invalidation_json(&self) -> String {
+        let flushed: Vec<String> = self
+            .cache_row
+            .epochs()
+            .iter()
+            .map(|e| e.flushed_routes.to_string())
+            .collect();
+        let bucket_stale: Vec<String> = self
+            .cache_row
+            .epochs()
+            .iter()
+            .map(|e| e.bucket_stale_routes.to_string())
+            .collect();
+        let bucket_flushed: Vec<String> = self
+            .cache_bucket
+            .epochs()
+            .iter()
+            .map(|e| e.flushed_routes.to_string())
+            .collect();
+        let rows_changed: Vec<String> = self
+            .cache_row
+            .epochs()
+            .iter()
+            .map(|e| e.rows_changed.to_string())
+            .collect();
+        format!(
+            concat!(
+                "{{\"churn_fraction\":{:.4},",
+                "\"warm_hit_rate_row\":{:.6},\"warm_hit_rate_bucket\":{:.6},",
+                "\"rows_changed\":[{}],\"rows_invalidated\":[{}],",
+                "\"bucket_mask_stale\":[{}],\"bucket_mask_flushed\":[{}],",
+                "\"total_rows_invalidated\":{},\"total_bucket_mask_flushed\":{},",
+                "\"delta_apply_us\":{:.1},\"apply_churn_us\":{:.1}}}"
+            ),
+            self.config.cache_churn_fraction,
+            self.cache_row.warm_hit_rate(),
+            self.cache_bucket.warm_hit_rate(),
+            rows_changed.join(","),
+            flushed.join(","),
+            bucket_stale.join(","),
+            bucket_flushed.join(","),
+            self.cache_row.total_flushed_routes(),
+            self.cache_bucket.total_flushed_routes(),
+            self.cache_row.mean_patch_nanos() / 1e3,
+            self.cache_bucket.mean_patch_nanos() / 1e3,
         )
     }
 
@@ -289,9 +413,10 @@ impl EngineBenchReport {
                 "\"epochs\":{},\"churn_fraction\":{:.3},\"byzantine_redundancy\":{},\"seed\":{}}},",
                 "\"headline\":{{\"queries_per_sec\":{:.1},\"p99_hops\":{:.1},",
                 "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2},",
-                "\"snapshot_patch_speedup\":{:.2},\"byzantine_throughput\":{:.1},",
+                "\"snapshot_patch_speedup\":{:.2},\"delta_patch_speedup\":{:.2},",
+                "\"cache_row_hit_rate\":{:.6},\"byzantine_throughput\":{:.1},",
                 "\"byzantine_success_rate\":{:.6}}},",
-                "\"snapshot_maintenance\":{},\"byzantine\":{},",
+                "\"snapshot_maintenance\":{},\"cache_invalidation\":{},\"byzantine\":{},",
                 "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
                 "\"interleaved\":{}}}"
             ),
@@ -308,9 +433,12 @@ impl EngineBenchReport {
             self.success_rate_under_churn(),
             self.frozen_speedup(),
             self.snapshot_patch_speedup(),
+            self.delta_patch_speedup(),
+            self.cache_row_hit_rate(),
             self.byzantine_throughput(),
             self.byzantine_success_rate(),
             self.snapshot_maintenance_json(),
+            self.cache_invalidation_json(),
             self.byzantine_json(),
             self.uncached.to_json(),
             self.uncached_frozen.to_json(),
@@ -396,19 +524,20 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         config.seed ^ 0xC09A,
     );
 
-    // Snapshot-maintenance comparison at light sustained churn: two identically
-    // seeded networks and engines walk the exact same trajectory, one patching its
-    // snapshot per epoch, the other recompiling it from scratch. Epoch reports come
-    // out identical; the per-epoch maintenance timings are the comparison the
-    // `snapshot_maintenance` section publishes.
+    // Snapshot-maintenance comparison at light sustained churn: three identically
+    // seeded networks and engines walk the exact same trajectory — one patching its
+    // snapshot from the typed churn delta (the default), one recomputing the flat
+    // touched-node list (`apply_churn`, the PR 3 path), one recompiling from scratch.
+    // Epoch reports come out identical; the per-epoch maintenance timings are the
+    // comparison the `snapshot_maintenance` section publishes.
     let maintenance_churn = ChurnMix::fraction_of(config.nodes, config.maintenance_churn_fraction);
-    let maintenance = |incremental: bool| {
+    let maintenance = |mode: SnapshotMaintenance| {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut network = Network::build(&network_config, &mut rng);
         let mut engine = QueryEngine::new(
             EngineConfig::default()
                 .threads(config.threads)
-                .incremental(incremental),
+                .maintenance(mode),
         );
         engine.run_interleaved(
             &mut network,
@@ -418,8 +547,41 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
             config.seed ^ 0x5EED,
         )
     };
-    let maintenance_patch = maintenance(true);
-    let maintenance_rebuild = maintenance(false);
+    let maintenance_patch = maintenance(SnapshotMaintenance::Delta);
+    let maintenance_touched = maintenance(SnapshotMaintenance::TouchedList);
+    let maintenance_rebuild = maintenance(SnapshotMaintenance::Rebuild);
+
+    // Cache-invalidation comparison under trickle churn: identical topology
+    // trajectories (churn schedules derive from the seed, not from the cache), one
+    // engine evicting at row granularity, the other with the old bucket bitmask.
+    // The baseline run also patches its snapshot from the touched list, so the pair
+    // yields delta-apply vs `apply_churn` timings at *this* churn fraction too
+    // (maintenance mode provably does not change the trajectory).
+    let cache_churn = ChurnMix::fraction_of(config.nodes, config.cache_churn_fraction);
+    let cache_run = |row_invalidation: bool| {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut network = Network::build(&network_config, &mut rng);
+        let maintenance = if row_invalidation {
+            SnapshotMaintenance::Delta
+        } else {
+            SnapshotMaintenance::TouchedList
+        };
+        let mut engine = QueryEngine::new(
+            EngineConfig::default()
+                .threads(config.threads)
+                .maintenance(maintenance)
+                .row_invalidation(row_invalidation),
+        );
+        engine.run_interleaved(
+            &mut network,
+            config.epochs,
+            per_epoch,
+            cache_churn,
+            config.seed ^ 0xCACE,
+        )
+    };
+    let cache_row = cache_run(true);
+    let cache_bucket = cache_run(false);
 
     EngineBenchReport {
         config: *config,
@@ -430,7 +592,10 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         byzantine,
         interleaved,
         maintenance_patch,
+        maintenance_touched,
         maintenance_rebuild,
+        cache_row,
+        cache_bucket,
     }
 }
 
@@ -492,12 +657,23 @@ pub fn print(report: &EngineBenchReport) {
         report.interleaved.overall_success_rate(),
     );
     println!(
-        "snapshot maintenance ({:.1}% churn/epoch): patch {:.1} µs/epoch vs rebuild {:.1} µs/epoch ({:.1}x), {} compactions",
+        "snapshot maintenance ({:.1}% churn/epoch): delta {:.1} µs/epoch vs touched-list {:.1} µs vs rebuild {:.1} µs ({:.1}x over rebuild, {:.1}x over touched-list), {} compactions, {} rebuild fallbacks",
         config.maintenance_churn_fraction * 100.0,
         report.maintenance_patch.mean_patch_nanos() / 1e3,
+        report.maintenance_touched.mean_patch_nanos() / 1e3,
         report.maintenance_rebuild.mean_rebuild_nanos() / 1e3,
         report.snapshot_patch_speedup(),
+        report.delta_patch_speedup(),
         report.maintenance_patch.compactions(),
+        report.maintenance_patch.rebuild_fallbacks(),
+    );
+    println!(
+        "cache invalidation ({:.2}% churn/epoch): warm hit rate {:.4} row-level vs {:.4} bucket-mask, {} routes flushed vs {} by the old mask",
+        config.cache_churn_fraction * 100.0,
+        report.cache_row.warm_hit_rate(),
+        report.cache_bucket.warm_hit_rate(),
+        report.cache_row.total_flushed_routes(),
+        report.cache_bucket.total_flushed_routes(),
     );
 }
 
@@ -514,6 +690,7 @@ mod tests {
             epochs: 2,
             churn_fraction: 0.05,
             maintenance_churn_fraction: 0.005,
+            cache_churn_fraction: 0.002,
             byzantine_redundancy: 4,
             seed: 7,
         }
@@ -601,12 +778,23 @@ mod tests {
             "\"success_rate_under_churn\"",
             "\"frozen_speedup\"",
             "\"snapshot_patch_speedup\"",
+            "\"delta_patch_speedup\"",
+            "\"cache_row_hit_rate\"",
             "\"byzantine_throughput\"",
             "\"byzantine_success_rate\"",
             "\"snapshot_maintenance\"",
             "\"patch_us\"",
+            "\"apply_churn_us\"",
             "\"rebuild_us\"",
+            "\"rows_in_place\"",
             "\"compactions\"",
+            "\"rebuild_fallbacks\"",
+            "\"cache_invalidation\"",
+            "\"warm_hit_rate_row\"",
+            "\"warm_hit_rate_bucket\"",
+            "\"rows_invalidated\"",
+            "\"bucket_mask_stale\"",
+            "\"bucket_mask_flushed\"",
             "\"byzantine\"",
             "\"redundancy\":4",
             "\"success_rate_curve\"",
@@ -640,21 +828,60 @@ mod tests {
         };
         assert_eq!(
             digest(&report.maintenance_patch),
+            digest(&report.maintenance_touched),
+            "delta vs touched-list patching must not change the trajectory"
+        );
+        assert_eq!(
+            digest(&report.maintenance_patch),
             digest(&report.maintenance_rebuild),
             "maintenance mode must not change the trajectory"
         );
-        // Maintenance shape: the incremental run patches every epoch, the baseline
+        // Maintenance shape: the incremental runs patch every epoch, the baseline
         // rebuilds every epoch.
-        assert!(report
-            .maintenance_patch
-            .epochs()
-            .iter()
-            .all(|e| e.snapshot.patch_nanos > 0));
+        for patched in [&report.maintenance_patch, &report.maintenance_touched] {
+            assert!(patched.epochs().iter().all(|e| e.snapshot.patch_nanos > 0));
+        }
         assert!(report
             .maintenance_rebuild
             .epochs()
             .iter()
             .all(|e| e.snapshot.rebuild_nanos > 0));
         assert!(report.snapshot_patch_speedup() > 0.0);
+        assert!(report.delta_patch_speedup() > 0.0);
+        assert_eq!(
+            report.patch_rebuild_free(),
+            1.0,
+            "light maintenance churn must never hit the rebuild fallback"
+        );
+    }
+
+    #[test]
+    fn cache_invalidation_pair_compares_row_level_against_the_bucket_mask() {
+        let report = run(&tiny());
+        // Identical topology trajectories (schedules derive from the seed).
+        let topology = |r: &InterleavedReport| {
+            r.epochs()
+                .iter()
+                .map(|e| (e.joins, e.leaves, e.alive_after))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(topology(&report.cache_row), topology(&report.cache_bucket));
+        // Row-level eviction never flushes more than the bucket mask counted on the
+        // same cache.
+        for e in report.cache_row.epochs() {
+            assert!(
+                e.flushed_routes <= e.bucket_stale_routes,
+                "epoch {}: {} > {}",
+                e.epoch,
+                e.flushed_routes,
+                e.bucket_stale_routes
+            );
+        }
+        // And it keeps the warm cache at least as hot.
+        assert!(report.cache_row.warm_hit_rate() >= report.cache_bucket.warm_hit_rate());
+        assert_eq!(
+            report.cache_row_hit_rate(),
+            report.cache_row.warm_hit_rate()
+        );
     }
 }

@@ -64,7 +64,10 @@ impl IncrementalBuilder {
     /// Panics if the arrival list contains duplicates or out-of-range positions (those are
     /// programming errors in experiment setup, not runtime conditions).
     pub fn build_from_arrivals<R: Rng>(&self, arrivals: &[NodeId], rng: &mut R) -> OverlayGraph {
-        let mut maintainer = NetworkMaintainer::new(self.geometry, self.ell, self.strategy);
+        // Bulk construction replays thousands of joins whose row diffs nobody reads:
+        // skip delta capture so the build does no per-arrival row snapshotting.
+        let mut maintainer =
+            NetworkMaintainer::new(self.geometry, self.ell, self.strategy).delta_capture(false);
         for &p in arrivals {
             maintainer
                 .join(p, rng)

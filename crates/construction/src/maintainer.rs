@@ -4,7 +4,7 @@ use crate::poisson::sample_poisson;
 use crate::replacement::{ReplacementDecision, ReplacementStrategy};
 use faultline_linkdist::{InversePowerLaw, LinkSpec};
 use faultline_metric::{Geometry, MetricSpace};
-use faultline_overlay::{LinkKind, NodeId, OverlayGraph};
+use faultline_overlay::{ChurnDelta, LinkKind, NodeId, OverlayGraph, RowChangeKind};
 use rand::Rng;
 
 /// Errors returned by the maintenance operations.
@@ -50,6 +50,11 @@ pub struct JoinReport {
     /// neighbours spliced around it, and each earlier node that redirected a link to it.
     /// Route caches key invalidation off this set.
     pub touched_nodes: Vec<NodeId>,
+    /// Typed row-level diffs of the same blast radius: per touched node, its new
+    /// usable-neighbour row, liveness, and a change classification, plus the join
+    /// event itself. Empty when delta capture is disabled
+    /// ([`NetworkMaintainer::delta_capture`]) — `touched_nodes` is always filled.
+    pub delta: ChurnDelta,
 }
 
 /// What happened during one node departure.
@@ -65,6 +70,10 @@ pub struct LeaveReport {
     /// ring neighbours re-closed around the hole, and each source whose dangling long
     /// link was repaired or dropped. Route caches key invalidation off this set.
     pub touched_nodes: Vec<NodeId>,
+    /// Typed row-level diffs of the same blast radius (see [`JoinReport::delta`]):
+    /// repaired sources are link-replaced rows, everything else is structural. Empty
+    /// when delta capture is disabled.
+    pub delta: ChurnDelta,
 }
 
 /// Maintains a constructed overlay under joins and departures using the Section 5
@@ -75,6 +84,7 @@ pub struct NetworkMaintainer {
     sampler: InversePowerLaw,
     ell: usize,
     strategy: ReplacementStrategy,
+    capture_deltas: bool,
 }
 
 impl NetworkMaintainer {
@@ -86,6 +96,7 @@ impl NetworkMaintainer {
             sampler: InversePowerLaw::exponent_one(&geometry),
             ell,
             strategy,
+            capture_deltas: true,
         }
     }
 
@@ -99,7 +110,28 @@ impl NetworkMaintainer {
             sampler: InversePowerLaw::exponent_one(&geometry),
             ell,
             strategy,
+            capture_deltas: true,
         }
+    }
+
+    /// Enables or disables typed row-diff capture in the join/leave reports
+    /// (default: enabled).
+    ///
+    /// Capture walks each touched node's link table once per event to snapshot its
+    /// new usable-neighbour row; bulk construction replaying thousands of arrivals
+    /// through the maintainer ([`crate::IncrementalBuilder`]) disables it, because
+    /// nobody consumes deltas mid-build. With capture off, reports carry an empty
+    /// [`ChurnDelta`]; `touched_nodes` is always populated either way.
+    #[must_use]
+    pub fn delta_capture(mut self, capture: bool) -> Self {
+        self.capture_deltas = capture;
+        self
+    }
+
+    /// Whether join/leave reports carry typed row diffs.
+    #[must_use]
+    pub fn captures_deltas(&self) -> bool {
+        self.capture_deltas
     }
 
     /// The maintained overlay.
@@ -145,9 +177,18 @@ impl NetworkMaintainer {
             return Err(ConstructionError::AlreadyPresent(position));
         }
         self.graph.insert_node(position);
-        let mut touched_nodes = vec![position];
+        // Per-node change classification, accumulated as the event unfolds; the
+        // most severe kind wins when a node plays several roles.
+        let mut kinds: Vec<(NodeId, RowChangeKind)> = vec![(position, RowChangeKind::Structural)];
         let (ring_pred, ring_succ) = self.neighbors_around(position);
-        touched_nodes.extend([ring_pred, ring_succ].into_iter().flatten());
+        // Ring splices rewire the neighbours' rows (length-preserving in the common
+        // two-sided case, but membership changes: classified structural).
+        kinds.extend(
+            [ring_pred, ring_succ]
+                .into_iter()
+                .flatten()
+                .map(|p| (p, RowChangeKind::Structural)),
+        );
         self.splice_ring_links(position, ring_pred, ring_succ);
 
         // (1) Outgoing links: sample ideal sinks, land on the nearest present node.
@@ -180,13 +221,18 @@ impl NetworkMaintainer {
             if source == position {
                 continue;
             }
-            if self.invite_redirect(source, position, rng) {
+            if let Some(kind) = self.invite_redirect(source, position, rng) {
                 granted += 1;
-                touched_nodes.push(source);
+                kinds.push((source, kind));
             }
         }
+        let mut touched_nodes: Vec<NodeId> = kinds.iter().map(|&(p, _)| p).collect();
         touched_nodes.sort_unstable();
         touched_nodes.dedup();
+        let mut delta = self.capture_delta(&kinds);
+        if self.capture_deltas {
+            delta.push_join(position);
+        }
 
         Ok(JoinReport {
             position,
@@ -194,6 +240,7 @@ impl NetworkMaintainer {
             incoming_requests,
             incoming_granted: granted,
             touched_nodes,
+            delta,
         })
     }
 
@@ -234,50 +281,93 @@ impl NetworkMaintainer {
         }
 
         // (3) Regenerate dangling long links using the same distribution.
-        let mut touched_nodes = vec![position];
-        touched_nodes.extend([pred, succ].into_iter().flatten());
+        let mut kinds: Vec<(NodeId, RowChangeKind)> = vec![(position, RowChangeKind::Structural)];
+        kinds.extend(
+            [pred, succ]
+                .into_iter()
+                .flatten()
+                .map(|p| (p, RowChangeKind::Structural)),
+        );
         let mut repaired = 0usize;
         let mut dropped = 0usize;
         for src in dangling {
             if !self.graph.is_present(src) {
                 continue;
             }
-            touched_nodes.push(src);
             let fresh = self.sampler.targets(src, 1, rng)[0];
             let new_target = self.graph.nearest_present(fresh).filter(|&t| t != src);
-            match new_target {
+            let kind = match new_target {
                 Some(target) => {
                     if self.graph.redirect_long_link(src, position, target) {
                         repaired += 1;
+                        // The row keeps its length: one target swapped for another.
+                        RowChangeKind::LinkReplaced
                     } else {
                         dropped += 1;
+                        RowChangeKind::Structural
                     }
                 }
                 None => {
                     self.graph.remove_link(src, position, LinkKind::Long);
                     dropped += 1;
+                    RowChangeKind::Structural
                 }
-            }
+            };
+            kinds.push((src, kind));
         }
 
+        let mut touched_nodes: Vec<NodeId> = kinds.iter().map(|&(p, _)| p).collect();
         touched_nodes.sort_unstable();
         touched_nodes.dedup();
+        let mut delta = self.capture_delta(&kinds);
+        if self.capture_deltas {
+            delta.push_leave(position);
+        }
 
         Ok(LeaveReport {
             position,
             repaired_links: repaired,
             dropped_links: dropped,
             touched_nodes,
+            delta,
         })
     }
 
-    /// Asks `source` to redirect one of its long links towards `newcomer`. Returns `true`
-    /// if a link now points at the newcomer.
-    fn invite_redirect<R: Rng>(&mut self, source: NodeId, newcomer: NodeId, rng: &mut R) -> bool {
+    /// Snapshots the post-event state of every `(node, kind)` pair into a
+    /// [`ChurnDelta`] (merging duplicate roles with most-severe-kind-wins). Rows are
+    /// captured *after* the event settles, so a node touched several times within
+    /// one event carries its final row. Returns an empty delta when capture is off.
+    fn capture_delta(&self, kinds: &[(NodeId, RowChangeKind)]) -> ChurnDelta {
+        let mut delta = ChurnDelta::new();
+        if !self.capture_deltas {
+            return delta;
+        }
+        for &(p, kind) in kinds {
+            delta.record(
+                p,
+                kind,
+                self.graph.is_alive(p),
+                self.graph.usable_neighbors(p).map(|q| q as u32).collect(),
+            );
+        }
+        delta
+    }
+
+    /// Asks `source` to redirect one of its long links towards `newcomer`. Returns how
+    /// the source's row changed when a link now points at the newcomer (`None` when
+    /// the source kept its links): [`RowChangeKind::LinkReplaced`] for a
+    /// length-preserving redirect, [`RowChangeKind::Structural`] when a fresh link was
+    /// added instead.
+    fn invite_redirect<R: Rng>(
+        &mut self,
+        source: NodeId,
+        newcomer: NodeId,
+        rng: &mut R,
+    ) -> Option<RowChangeKind> {
         let geometry = self.graph.geometry();
         let new_distance = geometry.distance(source, newcomer);
         if new_distance == 0 {
-            return false;
+            return None;
         }
         let existing: Vec<(NodeId, u64, u64)> = self
             .graph
@@ -293,13 +383,15 @@ impl NetworkMaintainer {
             })
             .collect();
         match self.strategy.decide(&existing, new_distance, rng) {
-            ReplacementDecision::Keep => false,
+            ReplacementDecision::Keep => None,
             ReplacementDecision::Redirect { victim } => {
                 if victim == NodeId::MAX || !existing.iter().any(|&(t, _, _)| t == victim) {
                     self.graph.add_link(source, newcomer, LinkKind::Long);
-                    true
+                    Some(RowChangeKind::Structural)
+                } else if self.graph.redirect_long_link(source, victim, newcomer) {
+                    Some(RowChangeKind::LinkReplaced)
                 } else {
-                    self.graph.redirect_long_link(source, victim, newcomer)
+                    None
                 }
             }
         }
@@ -466,6 +558,81 @@ mod tests {
         let g = m.graph();
         assert!(g.links(0).iter().any(|l| !l.is_long() && l.target == 60));
         assert!(g.links(60).iter().any(|l| !l.is_long() && l.target == 0));
+    }
+
+    #[test]
+    fn reports_carry_row_diffs_matching_the_mutated_graph() {
+        let mut m = maintainer(200, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in (0..200).step_by(2) {
+            m.join(p, &mut rng).unwrap();
+        }
+        assert!(m.captures_deltas(), "capture is on by default");
+        let report = m.leave(100, &mut rng).unwrap();
+        // The delta covers exactly the touched set, logs the event, and every row
+        // matches the post-event graph.
+        let diffed: Vec<NodeId> = report.delta.changed_nodes().collect();
+        assert_eq!(diffed, report.touched_nodes);
+        assert_eq!(report.delta.leaves(), &[100]);
+        assert!(report.delta.joins().is_empty());
+        for rd in report.delta.rows() {
+            assert_eq!(rd.alive, m.graph().is_alive(rd.node), "alive {}", rd.node);
+            let expected: Vec<u32> = m
+                .graph()
+                .usable_neighbors(rd.node)
+                .map(|q| q as u32)
+                .collect();
+            assert_eq!(rd.row, expected, "row {}", rd.node);
+        }
+        // The departed node is a structural change with an empty row.
+        let hole = report
+            .delta
+            .rows()
+            .iter()
+            .find(|rd| rd.node == 100)
+            .expect("the departed node is diffed");
+        assert_eq!(hole.kind, RowChangeKind::Structural);
+        assert!(!hole.alive);
+        assert!(hole.row.is_empty());
+        // Repaired sources are link-replaced rows (one target swapped, same length).
+        if report.repaired_links > 0 {
+            assert!(
+                report
+                    .delta
+                    .rows()
+                    .iter()
+                    .any(|rd| rd.kind == RowChangeKind::LinkReplaced),
+                "repairs must classify as link-replaced: {:?}",
+                report.delta.rows()
+            );
+        }
+
+        let join = m.join(100, &mut rng).unwrap();
+        assert_eq!(join.delta.joins(), &[100]);
+        let newcomer = join
+            .delta
+            .rows()
+            .iter()
+            .find(|rd| rd.node == 100)
+            .expect("the newcomer is diffed");
+        assert_eq!(newcomer.kind, RowChangeKind::Structural);
+        assert!(newcomer.alive);
+        assert!(!newcomer.row.is_empty(), "the newcomer links up on arrival");
+    }
+
+    #[test]
+    fn disabled_capture_leaves_deltas_empty_but_touched_nodes_full() {
+        let mut m = maintainer(100, 3).delta_capture(false);
+        assert!(!m.captures_deltas());
+        let mut rng = StdRng::seed_from_u64(8);
+        for p in [10u64, 30, 20, 40] {
+            let report = m.join(p, &mut rng).unwrap();
+            assert!(report.delta.is_empty(), "capture off ⇒ empty delta");
+            assert!(!report.touched_nodes.is_empty());
+        }
+        let report = m.leave(20, &mut rng).unwrap();
+        assert!(report.delta.is_empty());
+        assert!(report.touched_nodes.contains(&20));
     }
 
     #[test]

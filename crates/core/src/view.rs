@@ -7,7 +7,7 @@
 //! graph and the router configuration — and is `Copy`, so every worker can hold its own.
 
 use crate::network::Network;
-use faultline_overlay::{FrozenRoutes, NodeId, OverlayGraph, PatchStats};
+use faultline_overlay::{ChurnDelta, FrozenRoutes, NodeId, OverlayGraph, PatchStats};
 use faultline_routing::{RouteResult, RouteScratch, Router};
 use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
@@ -150,6 +150,15 @@ impl FrozenView {
     /// instead of the O(nodes + links) of a full [`NetworkView::freeze`].
     pub fn apply_churn(&mut self, graph: &OverlayGraph, touched: &[NodeId]) -> PatchStats {
         self.routes.apply_churn(graph, touched)
+    }
+
+    /// Patches the snapshot in place from a typed [`ChurnDelta`] (the merged
+    /// maintainer report deltas of a churn epoch): diffed rows are written directly,
+    /// with **no** usable-neighbour recompute; see [`FrozenRoutes::apply_delta`] for
+    /// the slot-reuse and fallback semantics. `graph` is only read if the structural
+    /// blast radius forces the rebuild fallback.
+    pub fn apply_delta(&mut self, graph: &OverlayGraph, delta: &ChurnDelta) -> PatchStats {
+        self.routes.apply_delta(graph, delta)
     }
 
     /// Routes one message over the snapshot with an explicit per-query seed.

@@ -4,9 +4,25 @@
 //! the failure/churn layer runs. A shard therefore caches the outcome of routing from a
 //! *source bucket* to a *target bucket* — the granularity at which a production router
 //! would memoise next-hop decisions — and replays it for subsequent queries in the same
-//! bucket pair. Every entry remembers, as a bitmask, which buckets its route traversed;
-//! when churn mutates nodes, only entries whose masks intersect the mutated buckets are
-//! flushed. Between flushes a cached route may go stale (its nodes failed) — exactly the
+//! bucket pair. Invalidation comes in two granularities:
+//!
+//! * **Row-level** ([`RouteCache::invalidate_rows`]) — every entry remembers the exact
+//!   nodes its route visited (the rows the greedy walk read); churn expressed as a
+//!   typed row-diff ([`faultline_overlay::ChurnDelta`]) evicts precisely the entries
+//!   whose walk depends on a changed row. This check has **no false negatives** for
+//!   every fault strategy: an entry that survives is guaranteed to replay
+//!   bit-identically on the patched topology, because its walk read only unchanged
+//!   rows — walks that read anything more (a random-reroute recovery samples the
+//!   *global* alive set) are marked volatile at insert time and evicted by any
+//!   non-empty row invalidation.
+//! * **Bucket-level** ([`RouteCache::invalidate`]) — every entry also folds its
+//!   visited nodes into a 64-bucket bitmask; out-of-band mutations that cannot name
+//!   their exact blast radius (failure plans, manual `fail_node` sweeps) flush every
+//!   entry whose mask intersects the mutated buckets. Coarse: a handful of scattered
+//!   mutations dirties most buckets and flushes warm entries whose routes never
+//!   changed.
+//!
+//! Between flushes a cached route may go stale (its nodes failed) — exactly the
 //! staleness window a real route cache has, and the reason success rate under churn is
 //! an interesting measurement.
 
@@ -53,6 +69,47 @@ pub fn buckets_mask_u32(positions: &[u32], n: u64) -> u64 {
     mask_over(positions.iter().map(|&p| u64::from(p)), n)
 }
 
+/// A dense bitset over node ids, used as the dirty set for row-level invalidation.
+///
+/// Built once per invalidation from a churn delta's changed nodes; membership is one
+/// word-indexed load, so scanning every cached entry's visited-node list against it
+/// is a few nanoseconds per entry.
+#[derive(Debug, Clone, Default)]
+pub struct RowSet {
+    words: Vec<u64>,
+}
+
+impl RowSet {
+    /// An empty set over a space of `n` grid points.
+    #[must_use]
+    pub fn with_space(n: u64) -> Self {
+        Self {
+            words: vec![0u64; (n as usize).div_ceil(64)],
+        }
+    }
+
+    /// Marks a node dirty (out-of-range nodes are ignored).
+    pub fn insert(&mut self, node: u32) {
+        let word = (node / 64) as usize;
+        if word < self.words.len() {
+            self.words[word] |= 1u64 << (node % 64);
+        }
+    }
+
+    /// Whether a node is marked dirty.
+    #[must_use]
+    pub fn contains(&self, node: u32) -> bool {
+        let word = (node / 64) as usize;
+        word < self.words.len() && (self.words[word] >> (node % 64)) & 1 == 1
+    }
+
+    /// Whether no node is marked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
 /// A cached route digest: what routing from one bucket to another looked like when the
 /// cache entry was created.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +125,23 @@ pub struct CachedRoute {
     pub touched: u64,
 }
 
+/// One cache slot: the digest plus the exact nodes the creating walk visited (its row
+/// dependencies, endpoints included) and an LRU tick.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    route: CachedRoute,
+    /// Every node whose adjacency row or liveness the cached walk read. Row-level
+    /// invalidation evicts the entry iff one of these is dirty — unless the entry is
+    /// `volatile`, in which case any dirt evicts it.
+    deps: Box<[u32]>,
+    /// Whether the creating walk's outcome depends on state beyond its visited rows:
+    /// a random-reroute recovery rejection-samples the *global* alive set, so any
+    /// membership change can steer the replay even when no visited row changed.
+    /// Volatile entries are evicted by every non-empty row invalidation.
+    volatile: bool,
+    last_used: u64,
+}
+
 /// A per-shard LRU cache of [`CachedRoute`]s keyed by `(source bucket, target bucket)`.
 ///
 /// Recency is tracked with a monotonic tick per entry; eviction scans for the stalest
@@ -77,7 +151,7 @@ pub struct CachedRoute {
 pub struct RouteCache {
     capacity: usize,
     tick: u64,
-    entries: HashMap<(u64, u64), (CachedRoute, u64)>,
+    entries: HashMap<(u64, u64), CacheEntry>,
     hits: u64,
     misses: u64,
 }
@@ -105,10 +179,10 @@ impl RouteCache {
         }
         self.tick += 1;
         match self.entries.get_mut(&(source_bucket, target_bucket)) {
-            Some((route, last_used)) => {
-                *last_used = self.tick;
+            Some(entry) => {
+                entry.last_used = self.tick;
                 self.hits += 1;
-                Some(*route)
+                Some(entry.route)
             }
             None => {
                 self.misses += 1;
@@ -118,7 +192,20 @@ impl RouteCache {
     }
 
     /// Inserts a route digest, evicting the least-recently-used entry if full.
-    pub fn insert(&mut self, source_bucket: u64, target_bucket: u64, route: CachedRoute) {
+    ///
+    /// `deps` lists every node the creating walk visited (endpoints included) — the
+    /// rows whose change invalidates the digest; `volatile` marks a walk whose
+    /// outcome also read global membership state (a random-reroute recovery), which
+    /// row-level invalidation must evict on any change; see
+    /// [`RouteCache::invalidate_rows`].
+    pub fn insert(
+        &mut self,
+        source_bucket: u64,
+        target_bucket: u64,
+        route: CachedRoute,
+        deps: &[u32],
+        volatile: bool,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -129,14 +216,21 @@ impl RouteCache {
             if let Some(&stalest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, last_used))| *last_used)
+                .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(key, _)| key)
             {
                 self.entries.remove(&stalest);
             }
         }
-        self.entries
-            .insert((source_bucket, target_bucket), (route, self.tick));
+        self.entries.insert(
+            (source_bucket, target_bucket),
+            CacheEntry {
+                route,
+                deps: deps.into(),
+                volatile,
+                last_used: self.tick,
+            },
+        );
     }
 
     /// Drops every entry whose route traversed a bucket in `dirty_mask`. Returns the
@@ -144,8 +238,35 @@ impl RouteCache {
     pub fn invalidate(&mut self, dirty_mask: u64) -> usize {
         let before = self.entries.len();
         self.entries
-            .retain(|_, (route, _)| route.touched & dirty_mask == 0);
+            .retain(|_, entry| entry.route.touched & dirty_mask == 0);
         before - self.entries.len()
+    }
+
+    /// Drops every entry whose creating walk visited a node in `dirty` — plus every
+    /// [volatile](RouteCache::insert) entry, whose walk read global membership state
+    /// — row-level invalidation. Returns the number of entries flushed.
+    ///
+    /// Exact in the only direction that matters, for **every** fault strategy: an
+    /// entry is kept only when its walk read nothing that changed (all visited rows
+    /// clean, and no global-state read), so surviving digests replay bit-identically
+    /// on the patched topology.
+    pub fn invalidate_rows(&mut self, dirty: &RowSet) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, entry| {
+            !entry.volatile && !entry.deps.iter().any(|&node| dirty.contains(node))
+        });
+        before - self.entries.len()
+    }
+
+    /// Counts (without evicting) the entries the bucket-granular
+    /// [`RouteCache::invalidate`] would flush for `dirty_mask` — the old-mask
+    /// baseline the benchmark compares row-level invalidation against.
+    #[must_use]
+    pub fn stale_count(&self, dirty_mask: u64) -> usize {
+        self.entries
+            .values()
+            .filter(|entry| entry.route.touched & dirty_mask != 0)
+            .count()
     }
 
     /// Drops everything.
@@ -210,7 +331,7 @@ mod tests {
     fn get_insert_roundtrip_and_counters() {
         let mut cache = RouteCache::new(8);
         assert_eq!(cache.get(1, 2), None);
-        cache.insert(1, 2, route(0b110));
+        cache.insert(1, 2, route(0b110), &[1, 2], false);
         assert_eq!(cache.get(1, 2), Some(route(0b110)));
         assert_eq!(cache.hit_miss(), (1, 1));
     }
@@ -218,7 +339,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = RouteCache::new(0);
-        cache.insert(1, 2, route(1));
+        cache.insert(1, 2, route(1), &[], false);
         assert_eq!(cache.get(1, 2), None);
         assert_eq!(cache.hit_miss(), (0, 0));
         assert!(cache.is_empty());
@@ -227,10 +348,10 @@ mod tests {
     #[test]
     fn lru_evicts_the_stalest_entry() {
         let mut cache = RouteCache::new(2);
-        cache.insert(0, 1, route(1));
-        cache.insert(0, 2, route(1));
+        cache.insert(0, 1, route(1), &[], false);
+        cache.insert(0, 2, route(1), &[], false);
         assert!(cache.get(0, 1).is_some()); // refresh (0,1): (0,2) is now stalest
-        cache.insert(0, 3, route(1));
+        cache.insert(0, 3, route(1), &[], false);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(0, 2).is_none(), "stalest entry must be evicted");
         assert!(cache.get(0, 1).is_some());
@@ -240,12 +361,63 @@ mod tests {
     #[test]
     fn invalidation_flushes_only_touched_routes() {
         let mut cache = RouteCache::new(8);
-        cache.insert(0, 1, route(0b0011));
-        cache.insert(0, 2, route(0b1100));
+        cache.insert(0, 1, route(0b0011), &[0, 5], false);
+        cache.insert(0, 2, route(0b1100), &[40, 60], false);
+        assert_eq!(cache.stale_count(0b0001), 1);
         assert_eq!(cache.invalidate(0b0001), 1);
         assert!(cache.get(0, 1).is_none());
         assert!(cache.get(0, 2).is_some());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn row_level_invalidation_flushes_exactly_the_dependent_entries() {
+        let mut cache = RouteCache::new(8);
+        // Three entries whose walks visited disjoint node sets but (say) shared
+        // buckets: the bucket mask cannot tell them apart, the row set can.
+        cache.insert(0, 1, route(0b1), &[3, 7, 12], false);
+        cache.insert(0, 2, route(0b1), &[3, 20], false);
+        cache.insert(0, 3, route(0b1), &[40, 41], false);
+        let mut dirty = RowSet::with_space(64);
+        assert!(dirty.is_empty());
+        dirty.insert(7);
+        assert!(dirty.contains(7) && !dirty.contains(8));
+        assert_eq!(cache.invalidate_rows(&dirty), 1, "only the walk through 7");
+        assert!(cache.get(0, 1).is_none());
+        assert!(cache.get(0, 2).is_some());
+        assert!(cache.get(0, 3).is_some());
+        // A dirty node no surviving walk visited flushes nothing.
+        let mut clean = RowSet::with_space(64);
+        clean.insert(63);
+        assert_eq!(cache.invalidate_rows(&clean), 0);
+        // The bucket mask, by contrast, would have flushed every same-bucket entry.
+        assert_eq!(cache.stale_count(0b1), 2);
+    }
+
+    #[test]
+    fn volatile_entries_are_evicted_by_any_row_invalidation() {
+        let mut cache = RouteCache::new(8);
+        // A recovered walk under a randomised strategy: its digest depends on the
+        // global alive set, not just its visited rows.
+        cache.insert(0, 1, route(0b1), &[3, 7], true);
+        cache.insert(0, 2, route(0b1), &[3, 20], false);
+        let mut dirty = RowSet::with_space(64);
+        dirty.insert(40); // touches neither entry's deps
+        assert_eq!(
+            cache.invalidate_rows(&dirty),
+            1,
+            "the volatile entry must go even though its rows are clean"
+        );
+        assert!(cache.get(0, 1).is_none());
+        assert!(cache.get(0, 2).is_some());
+    }
+
+    #[test]
+    fn row_set_ignores_out_of_range_nodes() {
+        let mut set = RowSet::with_space(10);
+        set.insert(1000);
+        assert!(!set.contains(1000));
+        assert!(set.is_empty());
     }
 }

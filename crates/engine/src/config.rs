@@ -107,6 +107,42 @@ impl ByzantineConfig {
     }
 }
 
+/// How [`run_interleaved`](crate::QueryEngine::run_interleaved) maintains its
+/// persistent routing snapshot across churn epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMaintenance {
+    /// Patch the snapshot from the epoch's typed [`ChurnDelta`]
+    /// (maintainer-captured row diffs written directly; no usable-neighbour
+    /// recompute) — the default.
+    ///
+    /// [`ChurnDelta`]: faultline_overlay::ChurnDelta
+    #[default]
+    Delta,
+    /// Patch the snapshot from the flat touched-node list, recomputing every touched
+    /// row from the live graph
+    /// ([`FrozenRoutes::apply_churn`](faultline_overlay::FrozenRoutes::apply_churn))
+    /// — the PR 3 behaviour, kept as the delta layer's benchmark baseline.
+    TouchedList,
+    /// Recompile the snapshot from scratch every epoch — the pre-patching behaviour,
+    /// kept as the incremental layer's benchmark baseline.
+    Rebuild,
+}
+
+/// The adaptive snapshot-freeze policy (see
+/// [`EngineConfig::adaptive_freeze`] / [`EngineConfig::adaptive_freeze_auto`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+enum AdaptiveFreeze {
+    /// Always compile a snapshot for frozen-enabled batches.
+    #[default]
+    Off,
+    /// Skip the freeze when the previous batch's cache hit rate is at least this.
+    Fixed(f64),
+    /// Derive the skip decision from the engine's own measurements: skip when the
+    /// predicted miss volume times the measured per-miss kernel gain no longer
+    /// amortises the measured freeze cost.
+    Auto,
+}
+
 /// Configuration of a [`QueryEngine`](crate::QueryEngine).
 ///
 /// Built in the same builder style as `NetworkConfig`: start from
@@ -118,8 +154,9 @@ pub struct EngineConfig {
     cache_capacity: usize,
     max_hops: Option<u64>,
     frozen: bool,
-    incremental: bool,
-    adaptive_freeze: Option<f64>,
+    maintenance: SnapshotMaintenance,
+    row_invalidation: bool,
+    adaptive_freeze: AdaptiveFreeze,
     byzantine: Option<ByzantineConfig>,
 }
 
@@ -131,8 +168,9 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             max_hops: None,
             frozen: true,
-            incremental: true,
-            adaptive_freeze: None,
+            maintenance: SnapshotMaintenance::Delta,
+            row_invalidation: true,
+            adaptive_freeze: AdaptiveFreeze::Off,
             byzantine: None,
         }
     }
@@ -185,23 +223,51 @@ impl EngineConfig {
     /// Enables or disables incremental snapshot maintenance in
     /// [`run_interleaved`](crate::QueryEngine::run_interleaved) (default: enabled).
     ///
-    /// When enabled, the interleaved runner keeps one snapshot alive across epochs and
-    /// patches exactly the rows each epoch's churn touched
-    /// ([`FrozenView::apply_churn`](faultline_core::FrozenView::apply_churn)); when
-    /// disabled it recompiles the snapshot from scratch every epoch — the pre-patching
-    /// behaviour, kept as the benchmark baseline. Both produce identical epoch
-    /// reports; only the per-epoch maintenance cost differs.
+    /// `incremental(true)` selects [`SnapshotMaintenance::Delta`] (the default);
+    /// `incremental(false)` selects [`SnapshotMaintenance::Rebuild`] — the
+    /// pre-patching behaviour, kept as the benchmark baseline. Use
+    /// [`EngineConfig::maintenance`] to pick the touched-list patching mode
+    /// explicitly. Every mode produces identical epoch reports; only the per-epoch
+    /// maintenance cost differs.
     #[must_use]
     pub fn incremental(mut self, incremental: bool) -> Self {
-        self.incremental = incremental;
+        self.maintenance = if incremental {
+            SnapshotMaintenance::Delta
+        } else {
+            SnapshotMaintenance::Rebuild
+        };
         self
     }
 
-    /// Enables the adaptive snapshot policy: skip compiling (and maintaining) a
-    /// snapshot for any batch that starts with a cache hit rate of at least
-    /// `hit_rate_threshold`, because a near-fully-warm cache leaves the uncached
-    /// kernel too cold to amortise the build. Disabled by default (`None`): every
-    /// frozen-enabled batch gets a snapshot.
+    /// Selects how the interleaved runner maintains its persistent snapshot (default:
+    /// [`SnapshotMaintenance::Delta`]); see [`SnapshotMaintenance`].
+    #[must_use]
+    pub fn maintenance(mut self, maintenance: SnapshotMaintenance) -> Self {
+        self.maintenance = maintenance;
+        self
+    }
+
+    /// Enables or disables row-level cache invalidation in
+    /// [`run_interleaved`](crate::QueryEngine::run_interleaved) (default: enabled).
+    ///
+    /// When enabled, each epoch's churn delta evicts exactly the cache entries whose
+    /// cached walk visited a changed row
+    /// ([`QueryEngine::invalidate_delta`](crate::QueryEngine::invalidate_delta));
+    /// when disabled the runner falls back to the coarse bucket-bitmask flush
+    /// ([`QueryEngine::invalidate_nodes`](crate::QueryEngine::invalidate_nodes)) —
+    /// the PR 1–4 behaviour, kept as the benchmark baseline for warm-hit-rate
+    /// comparisons.
+    #[must_use]
+    pub fn row_invalidation(mut self, enabled: bool) -> Self {
+        self.row_invalidation = enabled;
+        self
+    }
+
+    /// Enables the adaptive snapshot policy with a **fixed** threshold: skip
+    /// compiling (and maintaining) a snapshot for any batch that starts with a cache
+    /// hit rate of at least `hit_rate_threshold`, because a near-fully-warm cache
+    /// leaves the uncached kernel too cold to amortise the build. Disabled by
+    /// default: every frozen-enabled batch gets a snapshot.
     ///
     /// Routing results are unaffected — live-graph and frozen routing are
     /// bit-identical for the deterministic strategies — only where the misses are
@@ -212,7 +278,22 @@ impl EngineConfig {
             (0.0..=1.0).contains(&hit_rate_threshold),
             "hit-rate threshold outside [0, 1]"
         );
-        self.adaptive_freeze = Some(hit_rate_threshold);
+        self.adaptive_freeze = AdaptiveFreeze::Fixed(hit_rate_threshold);
+        self
+    }
+
+    /// Enables the adaptive snapshot policy in **auto** mode: instead of a
+    /// hand-picked hit-rate threshold, the engine derives the skip decision from its
+    /// own running measurements — the freeze cost and the per-miss routing cost on
+    /// the frozen and live paths (the two sides of the ratio the
+    /// `snapshot_maintenance` benchmark section publishes). A batch skips its
+    /// snapshot when `predicted misses × measured per-miss gain < measured freeze
+    /// cost`. Query *outcomes* are unaffected (frozen and live routing are
+    /// bit-identical for the deterministic strategies); only where misses are routed
+    /// — and hence wall-clock — depends on the measurements.
+    #[must_use]
+    pub fn adaptive_freeze_auto(mut self) -> Self {
+        self.adaptive_freeze = AdaptiveFreeze::Auto;
         self
     }
 
@@ -249,13 +330,41 @@ impl EngineConfig {
     /// Whether interleaved runs patch one persistent snapshot instead of rebuilding.
     #[must_use]
     pub fn incremental_enabled(&self) -> bool {
-        self.incremental
+        self.maintenance != SnapshotMaintenance::Rebuild
     }
 
-    /// The adaptive-freeze hit-rate threshold, if the policy is enabled.
+    /// The configured snapshot-maintenance mode for interleaved runs.
+    #[must_use]
+    pub fn maintenance_mode(&self) -> SnapshotMaintenance {
+        self.maintenance
+    }
+
+    /// Whether interleaved runs invalidate the route cache at row granularity.
+    #[must_use]
+    pub fn row_invalidation_enabled(&self) -> bool {
+        self.row_invalidation
+    }
+
+    /// The adaptive-freeze hit-rate threshold, if the fixed-threshold policy is
+    /// enabled (`None` in both off and auto modes).
     #[must_use]
     pub fn adaptive_freeze_threshold(&self) -> Option<f64> {
-        self.adaptive_freeze
+        match self.adaptive_freeze {
+            AdaptiveFreeze::Fixed(threshold) => Some(threshold),
+            _ => None,
+        }
+    }
+
+    /// Whether the measurement-derived (auto) adaptive-freeze policy is enabled.
+    #[must_use]
+    pub fn adaptive_freeze_auto_enabled(&self) -> bool {
+        self.adaptive_freeze == AdaptiveFreeze::Auto
+    }
+
+    /// Whether any adaptive-freeze policy (fixed or auto) is enabled.
+    #[must_use]
+    pub fn adaptive_freeze_enabled(&self) -> bool {
+        self.adaptive_freeze != AdaptiveFreeze::Off
     }
 
     /// Opens the byzantine workload lane: every batch routes through redundant
@@ -307,7 +416,56 @@ mod tests {
             EngineConfig::default().incremental_enabled(),
             "incremental snapshot maintenance is the default"
         );
+        assert_eq!(
+            EngineConfig::default().maintenance_mode(),
+            SnapshotMaintenance::Delta,
+            "delta patching is the default maintenance mode"
+        );
+        assert!(
+            EngineConfig::default().row_invalidation_enabled(),
+            "row-level cache invalidation is the default"
+        );
         assert_eq!(EngineConfig::default().adaptive_freeze_threshold(), None);
+        assert!(!EngineConfig::default().adaptive_freeze_enabled());
+    }
+
+    #[test]
+    fn maintenance_and_invalidation_knobs() {
+        let config = EngineConfig::default()
+            .maintenance(SnapshotMaintenance::TouchedList)
+            .row_invalidation(false);
+        assert_eq!(config.maintenance_mode(), SnapshotMaintenance::TouchedList);
+        assert!(
+            config.incremental_enabled(),
+            "touched-list patching is still incremental"
+        );
+        assert!(!config.row_invalidation_enabled());
+        // The boolean shorthand maps onto the enum.
+        assert_eq!(
+            EngineConfig::default()
+                .incremental(false)
+                .maintenance_mode(),
+            SnapshotMaintenance::Rebuild
+        );
+        assert_eq!(
+            EngineConfig::default()
+                .incremental(false)
+                .incremental(true)
+                .maintenance_mode(),
+            SnapshotMaintenance::Delta
+        );
+    }
+
+    #[test]
+    fn adaptive_freeze_modes_are_distinguishable() {
+        let fixed = EngineConfig::default().adaptive_freeze(0.9);
+        assert_eq!(fixed.adaptive_freeze_threshold(), Some(0.9));
+        assert!(fixed.adaptive_freeze_enabled());
+        assert!(!fixed.adaptive_freeze_auto_enabled());
+        let auto = EngineConfig::default().adaptive_freeze_auto();
+        assert_eq!(auto.adaptive_freeze_threshold(), None);
+        assert!(auto.adaptive_freeze_enabled());
+        assert!(auto.adaptive_freeze_auto_enabled());
     }
 
     #[test]

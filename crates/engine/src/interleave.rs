@@ -9,10 +9,12 @@
 //! recovery are visible in the trajectory.
 
 use crate::batch::QueryBatch;
+use crate::config::SnapshotMaintenance;
 use crate::run::QueryEngine;
 use crate::stats::BatchReport;
 use faultline_core::{FrozenView, Network};
 use faultline_failure::{ChurnEvent, ChurnSchedule};
+use faultline_overlay::ChurnDelta;
 use faultline_sim::{seed_for_trial, trial_rng};
 use rand::Rng;
 use std::time::Instant;
@@ -109,12 +111,21 @@ pub struct SnapshotWork {
     /// epoch after an adaptive skip, and every epoch when incremental maintenance is
     /// disabled).
     pub rebuild_nanos: u64,
-    /// Nanoseconds spent patching the snapshot with the epoch's churn blast radius.
+    /// Nanoseconds spent patching the snapshot with the epoch's churn blast radius
+    /// (delta-apply time in the default mode, touched-list recompute time in
+    /// [`SnapshotMaintenance::TouchedList`]).
     pub patch_nanos: u64,
     /// Adjacency rows the patch rewrote.
     pub rows_patched: usize,
+    /// Rows rewritten in place (no tombstone, no overflow growth) — the slot-reuse
+    /// win of the delta layer; subset of `rows_patched`.
+    pub rows_in_place: usize,
     /// Whether patching triggered a compaction back to a dense CSR.
     pub compacted: bool,
+    /// Whether the patch abandoned itself mid-way because the epoch's structural
+    /// blast radius crossed the rebuild threshold (graceful degradation, not the
+    /// scheduled `rebuild_nanos` recompile).
+    pub fallback_rebuild: bool,
     /// Whether the epoch ran without any snapshot (frozen path disabled, or the
     /// adaptive policy judged the cache warm enough to skip it).
     pub skipped: bool,
@@ -139,8 +150,17 @@ pub struct EpochReport {
     pub joins: usize,
     /// Leave events applied after the batch.
     pub leaves: usize,
-    /// Cached routes flushed by this epoch's churn.
+    /// Cached routes flushed by this epoch's churn (row-level eviction by default;
+    /// the bucket-mask flush when [`EngineConfig::row_invalidation`] is off).
+    ///
+    /// [`EngineConfig::row_invalidation`]: crate::EngineConfig::row_invalidation
     pub flushed_routes: usize,
+    /// Cached routes the old bucket-granular mask *would* have flushed for the same
+    /// churn (counted before eviction) — the per-epoch baseline that makes the
+    /// row-level win visible without a second run.
+    pub bucket_stale_routes: usize,
+    /// Distinct rows the epoch's churn delta changed (the row-level dirty set).
+    pub rows_changed: usize,
     /// Alive nodes once the epoch's churn settled.
     pub alive_after: u64,
     /// Byzantine nodes once the epoch's churn settled (0 on honest runs): leaves of
@@ -216,6 +236,49 @@ impl InterleavedReport {
         self.epochs.iter().filter(|e| e.snapshot.compacted).count()
     }
 
+    /// Number of epochs whose patch fell back to an in-place rebuild (structural
+    /// blast radius crossed the threshold) — the cadence the CI gate table prints.
+    #[must_use]
+    pub fn rebuild_fallbacks(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| e.snapshot.fallback_rebuild)
+            .count()
+    }
+
+    /// Cache hit fraction over the *warm* epochs (epoch 0 always starts cold, so it
+    /// is excluded; `0.0` when fewer than two epochs ran). The number row-level
+    /// invalidation is designed to raise: finer eviction keeps more of each epoch's
+    /// cache warm through churn.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let (hits, queries) = self
+            .epochs
+            .iter()
+            .skip(1)
+            .fold((0usize, 0usize), |(h, q), e| {
+                (h + e.batch.cache_hits(), q + e.batch.queries())
+            });
+        if queries > 0 {
+            hits as f64 / queries as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Cached routes flushed by churn, summed over all epochs.
+    #[must_use]
+    pub fn total_flushed_routes(&self) -> usize {
+        self.epochs.iter().map(|e| e.flushed_routes).sum()
+    }
+
+    /// Cached routes the bucket-granular mask would have flushed, summed over all
+    /// epochs (see [`EpochReport::bucket_stale_routes`]).
+    #[must_use]
+    pub fn total_bucket_stale_routes(&self) -> usize {
+        self.epochs.iter().map(|e| e.bucket_stale_routes).sum()
+    }
+
     fn mean_nonzero<I: Iterator<Item = u64>>(values: I) -> f64 {
         let (mut sum, mut count) = (0u64, 0u64);
         for v in values.filter(|&v| v > 0) {
@@ -239,21 +302,27 @@ impl InterleavedReport {
                 format!(
                     concat!(
                         "{{\"epoch\":{},\"joins\":{},\"leaves\":{},",
-                        "\"flushed_routes\":{},\"alive_after\":{},\"byzantine_after\":{},",
+                        "\"flushed_routes\":{},\"bucket_stale_routes\":{},",
+                        "\"rows_changed\":{},\"alive_after\":{},\"byzantine_after\":{},",
                         "\"snapshot\":{{\"rebuild_ns\":{},\"patch_ns\":{},",
-                        "\"rows_patched\":{},\"compacted\":{},\"skipped\":{}}},",
+                        "\"rows_patched\":{},\"rows_in_place\":{},\"compacted\":{},",
+                        "\"fallback_rebuild\":{},\"skipped\":{}}},",
                         "\"batch\":{}}}"
                     ),
                     e.epoch,
                     e.joins,
                     e.leaves,
                     e.flushed_routes,
+                    e.bucket_stale_routes,
+                    e.rows_changed,
                     e.alive_after,
                     e.byzantine_after,
                     e.snapshot.rebuild_nanos,
                     e.snapshot.patch_nanos,
                     e.snapshot.rows_patched,
+                    e.snapshot.rows_in_place,
                     e.snapshot.compacted,
+                    e.snapshot.fallback_rebuild,
                     e.snapshot.skipped,
                     e.batch.to_json()
                 )
@@ -282,14 +351,25 @@ impl QueryEngine {
     /// at any thread count.
     ///
     /// One compiled snapshot is kept alive across epochs and **incrementally patched**
-    /// with each epoch's maintainer blast radius (`touched_nodes`) instead of being
-    /// recompiled per batch — O(touched · ℓ) per epoch instead of O(nodes + links).
-    /// [`EngineConfig::incremental`](crate::EngineConfig::incremental) `(false)`
-    /// restores the rebuild-per-epoch baseline (identical epoch reports, different
-    /// maintenance cost), and the adaptive policy
-    /// ([`EngineConfig::adaptive_freeze`](crate::EngineConfig::adaptive_freeze)) drops
-    /// the snapshot entirely for epochs whose cache is warm enough to starve the
-    /// uncached path. Per-epoch maintenance work is reported in
+    /// instead of recompiled per batch — O(touched · ℓ) per epoch instead of
+    /// O(nodes + links). By default each epoch's maintainer report deltas are merged
+    /// into one typed [`ChurnDelta`] and applied via
+    /// [`FrozenView::apply_delta`](faultline_core::FrozenView::apply_delta) (diffed
+    /// rows written directly, no recompute);
+    /// [`EngineConfig::maintenance`](crate::EngineConfig::maintenance) selects the
+    /// touched-list recompute
+    /// ([`SnapshotMaintenance::TouchedList`]) or the rebuild-per-epoch baseline
+    /// ([`SnapshotMaintenance::Rebuild`], also
+    /// [`EngineConfig::incremental`](crate::EngineConfig::incremental) `(false)`) —
+    /// identical epoch reports, different maintenance cost. The same delta drives
+    /// row-level cache invalidation
+    /// ([`QueryEngine::invalidate_delta`](crate::QueryEngine::invalidate_delta);
+    /// [`EngineConfig::row_invalidation`](crate::EngineConfig::row_invalidation)
+    /// `(false)` restores the bucket-mask flush), and the adaptive policy
+    /// ([`EngineConfig::adaptive_freeze`](crate::EngineConfig::adaptive_freeze) /
+    /// [`EngineConfig::adaptive_freeze_auto`](crate::EngineConfig::adaptive_freeze_auto))
+    /// drops the snapshot entirely for epochs whose cache is warm enough to starve
+    /// the uncached path. Per-epoch maintenance work is reported in
     /// [`EpochReport::snapshot`].
     pub fn run_interleaved(
         &mut self,
@@ -305,11 +385,12 @@ impl QueryEngine {
         let mut snapshot: Option<FrozenView> = None;
         for epoch in 0..epochs {
             let mut work = SnapshotWork::default();
-            if self.snapshot_worthwhile() {
+            if self.snapshot_worthwhile(queries_per_epoch) {
                 if snapshot.is_none() {
                     let started = Instant::now();
                     snapshot = Some(self.note_snapshot_built(self.routing_view(network).freeze()));
                     work.rebuild_nanos = started.elapsed().as_nanos() as u64;
+                    self.observe_freeze_nanos(work.rebuild_nanos as f64);
                 }
             } else {
                 // Frozen path disabled or adaptively skipped: route misses (if any)
@@ -349,16 +430,19 @@ impl QueryEngine {
                 &mut churn_rng,
             );
             let mut touched = Vec::with_capacity(schedule.len());
+            let mut epoch_delta = ChurnDelta::new();
             let (mut joins, mut leaves) = (0usize, 0usize);
             for event in schedule.events() {
                 // Joins and leaves mutate link tables beyond the churned position (ring
-                // splicing, link redirection, dangling-link repair); the reports list
-                // every affected node so invalidation covers the full blast radius.
+                // splicing, link redirection, dangling-link repair); the reports carry
+                // both the flat touched set and the typed row diffs, so invalidation
+                // and snapshot patching cover the full blast radius at row precision.
                 match *event {
                     ChurnEvent::Join(p) => {
                         if let Ok(report) = network.join(p, &mut churn_rng) {
                             joins += 1;
                             touched.extend(report.touched_nodes);
+                            epoch_delta.absorb(report.delta);
                             if conscripting {
                                 // A join either conscripts the newcomer or clears any
                                 // stale membership at its (reused) label — a fresh
@@ -374,25 +458,45 @@ impl QueryEngine {
                         if let Ok(report) = network.leave(p, &mut churn_rng) {
                             leaves += 1;
                             touched.extend(report.touched_nodes);
+                            epoch_delta.absorb(report.delta);
                             // A departing adversary loses its position.
                             self.adversary_churn(p, false, false);
                         }
                     }
                 }
             }
-            let flushed_routes = self.invalidate_nodes(&touched, n);
+            // What the coarse mask would have flushed (counted before evicting), then
+            // the actual eviction: row-level from the delta by default, the bucket
+            // mask when the baseline is requested.
+            let bucket_stale_routes = self.stale_by_buckets(&touched, n);
+            let flushed_routes = if self.config().row_invalidation_enabled() {
+                self.invalidate_delta(&epoch_delta, n)
+            } else {
+                self.invalidate_nodes(&touched, n)
+            };
 
-            // Publish the next epoch's routes: patch the touched rows in place, or
+            // Publish the next epoch's routes: patch the changed rows in place, or
             // drop the snapshot so the next epoch recompiles (rebuild baseline).
             if let Some(live) = snapshot.as_mut() {
-                if self.config().incremental_enabled() {
-                    let started = Instant::now();
-                    let stats = live.apply_churn(network.graph(), &touched);
-                    work.patch_nanos = started.elapsed().as_nanos() as u64;
-                    work.rows_patched = stats.rows_patched;
-                    work.compacted = stats.compacted;
-                } else {
-                    snapshot = None;
+                let patch = |live: &mut FrozenView| match self.config().maintenance_mode() {
+                    SnapshotMaintenance::Delta => {
+                        Some(live.apply_delta(network.graph(), &epoch_delta))
+                    }
+                    SnapshotMaintenance::TouchedList => {
+                        Some(live.apply_churn(network.graph(), &touched))
+                    }
+                    SnapshotMaintenance::Rebuild => None,
+                };
+                let started = Instant::now();
+                match patch(live) {
+                    Some(stats) => {
+                        work.patch_nanos = started.elapsed().as_nanos() as u64;
+                        work.rows_patched = stats.rows_patched;
+                        work.rows_in_place = stats.rows_in_place;
+                        work.compacted = stats.compacted;
+                        work.fallback_rebuild = stats.rebuilt;
+                    }
+                    None => snapshot = None,
                 }
             }
 
@@ -402,6 +506,8 @@ impl QueryEngine {
                 joins,
                 leaves,
                 flushed_routes,
+                bucket_stale_routes,
+                rows_changed: epoch_delta.len(),
                 alive_after: network.alive_count(),
                 byzantine_after: self
                     .adversaries()

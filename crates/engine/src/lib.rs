@@ -18,18 +18,25 @@
 //!   inlined distance, per-worker scratch buffers, counter-based per-query RNG); the
 //!   live-graph walk remains available via [`EngineConfig::frozen`] as the baseline.
 //! * **Route caching** — a per-shard LRU keyed by `(source bucket, target bucket)`
-//!   ([`RouteCache`]). Entries remember the buckets their route traversed, so when the
-//!   failure/churn layer mutates nodes, exactly the entries whose routes touched the
-//!   mutated buckets are flushed ([`QueryEngine::invalidate_nodes`]).
+//!   ([`RouteCache`]). Entries remember both the exact nodes their walk visited (row
+//!   dependencies) and a coarse bucket mask. Churn expressed as a typed
+//!   [`ChurnDelta`] evicts precisely the entries whose cached walk depends on a
+//!   changed row ([`QueryEngine::invalidate_delta`] — survivors replay
+//!   bit-identically on the patched topology); out-of-band mutations fall back to
+//!   the bucket-mask flush ([`QueryEngine::invalidate_nodes`]).
 //! * **Live-churn interleaving** — [`QueryEngine::run_interleaved`] alternates routing
 //!   epochs with `faultline_failure` churn events and the Section 5 maintenance
 //!   heuristic (`Network::join`/`leave`), measuring throughput and success rate *while*
 //!   the network repairs itself — the paper's fault-tolerance claim at traffic scale.
-//!   One snapshot persists across epochs and is **incrementally patched** with each
-//!   epoch's maintainer blast radius (O(touched · ℓ) instead of an O(nodes + links)
-//!   recompile); [`EngineConfig::incremental`] restores the rebuild baseline and
-//!   [`EngineConfig::adaptive_freeze`] skips snapshot work when the cache is warm
-//!   enough to starve the uncached path.
+//!   One snapshot persists across epochs and is **incrementally patched** from each
+//!   epoch's merged [`ChurnDelta`] — maintainer-captured row diffs written straight
+//!   into the snapshot, O(changed rows) with no usable-neighbour recompute;
+//!   [`EngineConfig::maintenance`] selects the touched-list recompute or
+//!   rebuild-per-epoch baselines ([`SnapshotMaintenance`]), and
+//!   [`EngineConfig::adaptive_freeze`] / [`EngineConfig::adaptive_freeze_auto`]
+//!   skip snapshot work when the cache is warm enough to starve the uncached path
+//!   (auto derives its threshold from the engine's own freeze-cost and per-miss
+//!   measurements).
 //! * **Byzantine workload lane** — [`EngineConfig::byzantine`] opens an adversarial
 //!   traffic class: a [`ByzantineConfig`] names the corrupted nodes (a sampled
 //!   fraction or an explicit [`ByzantineSet`]) and every lookup issues up to
@@ -72,11 +79,16 @@ mod run;
 mod stats;
 
 pub use batch::QueryBatch;
-pub use cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, NUM_BUCKETS};
-pub use config::{ByzantineConfig, ByzantineMembership, EngineConfig};
+pub use cache::{
+    bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, RowSet, NUM_BUCKETS,
+};
+pub use config::{ByzantineConfig, ByzantineMembership, EngineConfig, SnapshotMaintenance};
 pub use interleave::{ChurnMix, EpochReport, InterleavedReport, SnapshotWork};
 pub use run::QueryEngine;
 pub use stats::{AdversarySplit, BatchReport, QueryOutcome};
 
 // Re-exported so byzantine-lane callers need no direct `faultline_routing` dependency.
 pub use faultline_routing::ByzantineSet;
+// Re-exported so churn-delta callers (`QueryEngine::invalidate_delta`, maintenance
+// mode selection) need no direct `faultline_overlay` dependency.
+pub use faultline_overlay::{ChurnDelta, RowChangeKind, RowDelta};

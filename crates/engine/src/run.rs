@@ -1,11 +1,11 @@
 //! The [`QueryEngine`]: sharded, parallel batch execution.
 
 use crate::batch::QueryBatch;
-use crate::cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache};
+use crate::cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, RowSet};
 use crate::config::{ByzantineMembership, EngineConfig};
 use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network, NetworkView};
-use faultline_overlay::NodeId;
+use faultline_overlay::{ChurnDelta, NodeId};
 use faultline_routing::{ByzantineSet, RedundantRouter, RouteScratch};
 use faultline_sim::seed_for_trial;
 use rand::rngs::{SmallRng, StdRng};
@@ -33,10 +33,44 @@ pub struct QueryEngine {
     /// the adaptive snapshot policy reads it to predict the next batch's miss volume.
     last_hit_rate: Option<f64>,
     snapshots_built: u64,
+    /// EWMA of measured snapshot-compile cost in nanoseconds (None before the first
+    /// timed freeze). One side of the auto adaptive-freeze ratio.
+    freeze_nanos_est: Option<f64>,
+    /// EWMA of per-miss routing cost through the frozen kernel (ns/query).
+    frozen_miss_nanos_est: Option<f64>,
+    /// EWMA of per-miss routing cost over the live graph (ns/query) — measured
+    /// whenever a batch runs without a snapshot (frozen disabled or adaptively
+    /// skipped). The other side of the auto ratio.
+    live_miss_nanos_est: Option<f64>,
     /// Resolved adversary membership (None until the byzantine lane first routes over
     /// a network, or forever on honest engines). Churn epochs mutate it: departing
     /// Byzantine nodes shrink it, joining nodes are marked (or cleared) by the mix.
     adversaries: Option<ByzantineSet>,
+}
+
+/// Assumed live-over-frozen per-miss cost ratio used by the auto adaptive-freeze
+/// policy before it has measured the live path itself (the frozen kernel's measured
+/// uncached speedup hovers between 4x and 5x — see `frozen_speedup` in
+/// `BENCH_engine.json`; assuming the low end keeps the bootstrap conservative).
+const ASSUMED_FROZEN_GAIN: f64 = 4.0;
+
+/// The auto adaptive-freeze decision: is compiling a snapshot worth it for a batch
+/// expected to route `expected_misses` queries through it?
+///
+/// `freeze_nanos` and `frozen_miss_nanos` are the engine's measured freeze cost and
+/// per-miss frozen-kernel cost; `live_miss_nanos` is the measured per-miss live-graph
+/// cost when available (the engine only measures it after its first skip, so the
+/// bootstrap substitutes `frozen × ASSUMED_FROZEN_GAIN`). The freeze pays off when
+/// the misses' aggregate saving covers the compile.
+fn freeze_pays_off(
+    freeze_nanos: f64,
+    frozen_miss_nanos: f64,
+    live_miss_nanos: Option<f64>,
+    expected_misses: f64,
+) -> bool {
+    let live = live_miss_nanos.unwrap_or(frozen_miss_nanos * ASSUMED_FROZEN_GAIN);
+    let gain_per_miss = (live - frozen_miss_nanos).max(0.0);
+    expected_misses * gain_per_miss >= freeze_nanos
 }
 
 /// Per-batch byzantine apparatus shared (read-only) by every shard worker.
@@ -63,6 +97,9 @@ impl QueryEngine {
             caches,
             last_hit_rate: None,
             snapshots_built: 0,
+            freeze_nanos_est: None,
+            frozen_miss_nanos_est: None,
+            live_miss_nanos_est: None,
             adversaries: None,
         }
     }
@@ -97,8 +134,11 @@ impl QueryEngine {
     /// Flushes cache entries whose routes traversed the buckets of any listed node.
     /// Returns the number of entries dropped.
     ///
-    /// Call this whenever the topology changes out-of-band (failure plans, manual
-    /// `fail_node` calls); the interleaved runner calls it after every churn step.
+    /// This is the coarse, bucket-granular hammer: call it whenever the topology
+    /// changes out-of-band (failure plans, manual `fail_node` calls) and no typed
+    /// delta exists to name the exact changed rows. The interleaved runner uses the
+    /// row-level [`QueryEngine::invalidate_delta`] instead (unless
+    /// [`EngineConfig::row_invalidation`] is off).
     pub fn invalidate_nodes(&mut self, nodes: &[NodeId], n: u64) -> usize {
         if nodes.is_empty() {
             return 0;
@@ -107,6 +147,45 @@ impl QueryEngine {
         self.caches
             .iter_mut()
             .map(|cache| cache.invalidate(mask))
+            .sum()
+    }
+
+    /// Flushes exactly the cache entries whose cached walk visited a row the delta
+    /// changed (endpoints included) — row-level invalidation. Returns the number of
+    /// entries dropped.
+    ///
+    /// Surviving entries are guaranteed fresh, under every fault strategy: their
+    /// walks read only unchanged rows (walks that read global membership state — a
+    /// random-reroute recovery — are marked volatile at insert time and always
+    /// evicted here), so replaying them on the patched topology reproduces the
+    /// cached digest bit-for-bit. The delta must cover every changed row, which the
+    /// maintainer's report deltas do by construction.
+    pub fn invalidate_delta(&mut self, delta: &ChurnDelta, n: u64) -> usize {
+        if delta.rows().is_empty() {
+            return 0;
+        }
+        let mut dirty = RowSet::with_space(n);
+        for node in delta.changed_nodes() {
+            dirty.insert(node as u32);
+        }
+        self.caches
+            .iter_mut()
+            .map(|cache| cache.invalidate_rows(&dirty))
+            .sum()
+    }
+
+    /// Counts (without evicting) the cache entries the bucket-granular mask for
+    /// `nodes` would flush — the old-scheme baseline reported alongside row-level
+    /// invalidation in interleaved epoch reports.
+    #[must_use]
+    pub fn stale_by_buckets(&self, nodes: &[NodeId], n: u64) -> usize {
+        if nodes.is_empty() {
+            return 0;
+        }
+        let mask = buckets_mask(nodes, n);
+        self.caches
+            .iter()
+            .map(|cache| cache.stale_count(mask))
             .sum()
     }
 
@@ -129,6 +208,22 @@ impl QueryEngine {
     pub(crate) fn note_snapshot_built(&mut self, view: FrozenView) -> FrozenView {
         self.snapshots_built += 1;
         view
+    }
+
+    /// Feeds a measured snapshot-compile time into the auto adaptive-freeze estimate.
+    pub(crate) fn observe_freeze_nanos(&mut self, nanos: f64) {
+        self.freeze_nanos_est = Some(ewma(self.freeze_nanos_est, nanos));
+    }
+
+    /// Feeds a batch's measured per-miss routing cost into the frozen or live
+    /// estimate (whichever path the misses actually took).
+    fn observe_miss_nanos(&mut self, frozen: bool, nanos: f64) {
+        let estimate = if frozen {
+            &mut self.frozen_miss_nanos_est
+        } else {
+            &mut self.live_miss_nanos_est
+        };
+        *estimate = Some(ewma(*estimate, nanos));
     }
 
     /// The routing view the engine's batches run over (hop-budget override applied).
@@ -200,13 +295,32 @@ impl QueryEngine {
         }
     }
 
-    /// Whether the next batch should be routed through a compiled snapshot: the fast
-    /// path must be enabled, and — when the adaptive policy is on — the previous
-    /// batch's cache hit rate must sit below the configured threshold (a near-fully
-    /// warm cache leaves too few misses to amortise snapshot work).
-    pub(crate) fn snapshot_worthwhile(&self) -> bool {
+    /// Whether the next batch — expected to run `upcoming_queries` lookups — should
+    /// be routed through a compiled snapshot: the fast path must be enabled, and the
+    /// adaptive policy (if any) must judge the freeze worthwhile. The fixed policy
+    /// compares the previous batch's cache hit rate against its threshold (a
+    /// near-fully warm cache leaves too few misses to amortise snapshot work); the
+    /// auto policy compares predicted miss volume × measured per-miss gain against
+    /// the measured freeze cost, and always freezes until it has measured both.
+    pub(crate) fn snapshot_worthwhile(&self, upcoming_queries: usize) -> bool {
         if !self.config.frozen_enabled() {
             return false;
+        }
+        if self.config.adaptive_freeze_auto_enabled() {
+            return match (self.freeze_nanos_est, self.frozen_miss_nanos_est) {
+                (Some(freeze), Some(frozen_miss)) => {
+                    let hit_rate = self.last_hit_rate.unwrap_or(0.0);
+                    let expected_misses = upcoming_queries as f64 * (1.0 - hit_rate);
+                    freeze_pays_off(
+                        freeze,
+                        frozen_miss,
+                        self.live_miss_nanos_est,
+                        expected_misses,
+                    )
+                }
+                // Bootstrap: freeze until both sides of the ratio are measured.
+                _ => true,
+            };
         }
         match (self.config.adaptive_freeze_threshold(), self.last_hit_rate) {
             (Some(threshold), Some(rate)) => rate < threshold,
@@ -221,9 +335,12 @@ impl QueryEngine {
     /// every cache miss in the batch (skipped entirely when the adaptive policy
     /// predicts the cache will absorb the batch).
     pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
-        let frozen = self.snapshot_worthwhile().then(|| {
+        let frozen = self.snapshot_worthwhile(batch.len()).then(|| {
             self.snapshots_built += 1;
-            self.routing_view(network).freeze()
+            let started = Instant::now();
+            let view = self.routing_view(network).freeze();
+            self.observe_freeze_nanos(started.elapsed().as_nanos() as f64);
+            view
         });
         self.run_batch_with_snapshot(network, batch, frozen.as_ref())
     }
@@ -360,7 +477,28 @@ impl QueryEngine {
         if caching && !is_byzantine && report.queries() > 0 {
             self.last_hit_rate = Some(report.cache_hits() as f64 / report.queries() as f64);
         }
+        // Feed the auto adaptive-freeze policy: mean per-miss routing cost on
+        // whichever path (frozen kernel or live graph) this batch's misses took.
+        if !is_byzantine {
+            let (sum, count) = report
+                .outcomes()
+                .iter()
+                .filter(|o| !o.cached && o.attempts > 0)
+                .fold((0u64, 0u64), |(s, c), o| (s + o.nanos, c + 1));
+            if count > 0 {
+                self.observe_miss_nanos(frozen.is_some(), sum as f64 / count as f64);
+            }
+        }
         report
+    }
+}
+
+/// Exponential moving average with α = 1/2: responsive to drift (a network that
+/// doubled in size after churn) while damping single-batch timer noise.
+fn ewma(previous: Option<f64>, observation: f64) -> f64 {
+    match previous {
+        Some(prev) => (prev + observation) / 2.0,
+        None => observation,
     }
 }
 
@@ -400,12 +538,15 @@ fn route_one(
     }
     let seed = seed_for_trial(batch_seed, index as u64);
     let endpoint_bits = (1 << source_bucket) | (1 << target_bucket);
+    // The visited-node list (the walk's row dependencies) and the touched-bucket
+    // mask only matter to a cache entry; both are skipped on the uncached hot path.
+    let mut deps: Vec<u32> = Vec::new();
     let (delivered, hops, recoveries, touched) = match frozen {
         Some(snapshot) => {
             let result = snapshot.route_seeded(source, target, seed, scratch);
-            // The touched mask only matters to a cache entry; skip the fold on the
-            // uncached hot path.
             let touched = if cache.enabled() {
+                deps.reserve_exact(scratch.path().len() + 2);
+                deps.extend_from_slice(scratch.path());
                 buckets_mask_u32(scratch.path(), n) | endpoint_bits
             } else {
                 endpoint_bits
@@ -420,7 +561,11 @@ fn route_one(
         None => {
             let result = view.route_seeded(source, target, seed);
             let touched = match &result.path {
-                Some(path) => buckets_mask(path, n) | endpoint_bits,
+                Some(path) => {
+                    deps.reserve_exact(path.len() + 2);
+                    deps.extend(path.iter().map(|&p| p as u32));
+                    buckets_mask(path, n) | endpoint_bits
+                }
                 None => endpoint_bits,
             };
             (
@@ -431,6 +576,22 @@ fn route_one(
             )
         }
     };
+    if cache.enabled() {
+        // The endpoints are dependencies even when the walk never reached them (a
+        // failed lookup's digest goes stale the moment its target's liveness flips);
+        // duplicates are harmless to the linear invalidation scan.
+        deps.push(source as u32);
+        deps.push(target as u32);
+    }
+    // A random-reroute recovery samples the global alive set: the digest depends on
+    // membership state no row-dependency list can capture, so row-level invalidation
+    // must always evict it. Terminate never recovers; backtrack recovers along
+    // visited rows only.
+    let volatile = recoveries > 0
+        && matches!(
+            view.router().strategy(),
+            faultline_routing::FaultStrategy::RandomReroute { .. }
+        );
     cache.insert(
         source_bucket,
         target_bucket,
@@ -440,6 +601,8 @@ fn route_one(
             recoveries,
             touched,
         },
+        &deps,
+        volatile,
     );
     QueryOutcome {
         source,
@@ -645,6 +808,47 @@ mod tests {
         assert!(!report.outcomes()[0].delivered);
         assert!(!report.outcomes()[1].delivered);
         assert!(report.outcomes()[2].delivered);
+    }
+
+    #[test]
+    fn freeze_pays_off_weighs_miss_volume_against_compile_cost() {
+        // 1 ms freeze, 200 ns/miss frozen vs 1000 ns/miss live: break-even at 1250
+        // misses.
+        assert!(!freeze_pays_off(1_000_000.0, 200.0, Some(1_000.0), 1_000.0));
+        assert!(freeze_pays_off(1_000_000.0, 200.0, Some(1_000.0), 2_000.0));
+        // No live measurement yet: the bootstrap assumes a conservative 4x gain
+        // (200 → 800 ns/miss, gain 600): break-even at ~1667 misses.
+        assert!(!freeze_pays_off(1_000_000.0, 200.0, None, 1_500.0));
+        assert!(freeze_pays_off(1_000_000.0, 200.0, None, 2_000.0));
+        // A live path measured no slower than the frozen one leaves nothing to win.
+        assert!(!freeze_pays_off(1.0, 500.0, Some(400.0), 1_000_000.0));
+    }
+
+    #[test]
+    fn delta_invalidation_flushes_only_dependent_entries() {
+        use faultline_overlay::{ChurnDelta, RowChangeKind};
+        let net = network(1 << 9, 23);
+        let mut engine = QueryEngine::new(EngineConfig::default().threads(1));
+        let batch = QueryBatch::uniform(&net, 3_000, 11);
+        engine.run_batch(&net, &batch);
+        let populated = engine.cached_routes();
+        assert!(populated > 0);
+        // An empty delta flushes nothing.
+        assert_eq!(engine.invalidate_delta(&ChurnDelta::new(), net.len()), 0);
+        assert_eq!(engine.cached_routes(), populated);
+        // A delta naming one changed row flushes exactly the entries whose walks
+        // visited it — and the coarse bucket mask would have flushed at least as
+        // many (node 0's whole bucket).
+        let bucket_stale = engine.stale_by_buckets(&[0], net.len());
+        let mut delta = ChurnDelta::new();
+        delta.record(0, RowChangeKind::Structural, true, vec![1]);
+        let flushed = engine.invalidate_delta(&delta, net.len());
+        assert!(flushed > 0, "node 0 is on some cached walk");
+        assert!(
+            flushed <= bucket_stale,
+            "row-level eviction ({flushed}) can never exceed the bucket mask ({bucket_stale})"
+        );
+        assert_eq!(engine.cached_routes(), populated - flushed);
     }
 
     #[test]

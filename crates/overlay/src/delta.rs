@@ -1,0 +1,226 @@
+//! [`ChurnDelta`]: typed row-level diffs of maintainer churn.
+//!
+//! The Section 5 maintainer localises every join and leave to an O(ℓ) neighbourhood,
+//! but a flat "touched nodes" list throws that precision away: every downstream
+//! consumer has to re-derive *what* changed at each touched node. A `ChurnDelta`
+//! keeps the precision — for every node whose state changed it carries the node's
+//! **new usable-neighbour row** (the exact slice a compiled [`FrozenRoutes`]
+//! snapshot stores), its liveness after the change, and a [`RowChangeKind`]
+//! classification — plus the join/leave events themselves. Consumers:
+//!
+//! * [`FrozenRoutes::apply_delta`] writes the diffed rows straight into the
+//!   snapshot, skipping the usable-neighbour recompute entirely;
+//! * the query engine's route cache evicts exactly the entries whose cached walk
+//!   depends on a changed row, instead of flushing whole metric-space buckets.
+//!
+//! Deltas merge: an epoch's delta is the event deltas folded together with
+//! latest-row-wins semantics, so each row appears once with its epoch-end content.
+//!
+//! [`FrozenRoutes`]: crate::FrozenRoutes
+//! [`FrozenRoutes::apply_delta`]: crate::FrozenRoutes::apply_delta
+
+use crate::NodeId;
+
+/// How a node's compiled routing row changed, from the maintainer's point of view.
+///
+/// The variants are ordered by severity: merging two changes to the same node keeps
+/// the more severe classification (`LivenessOnly < LinkReplaced < Structural`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum RowChangeKind {
+    /// Only the liveness bit flipped; the usable-neighbour row itself is unchanged.
+    LivenessOnly,
+    /// An existing link's target was swapped for another (the Section 5 redirect):
+    /// the row keeps its length, so a snapshot can overwrite the old slot in place.
+    LinkReplaced,
+    /// Row membership changed — the node entered or left the overlay, a ring splice
+    /// rewired it, or a link was added or dropped outright.
+    Structural,
+}
+
+/// One node's row diff: its usable-neighbour row and liveness *after* the change.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RowDelta {
+    /// The node whose row changed.
+    pub node: NodeId,
+    /// Classification of the change (most severe across merged events).
+    pub kind: RowChangeKind,
+    /// Whether the node is alive after the change.
+    pub alive: bool,
+    /// The node's usable-neighbour row after the change, in snapshot (`u32`) width
+    /// and per-node link order — exactly what [`crate::FrozenRoutes::neighbors`]
+    /// must return once the delta is applied.
+    pub row: Vec<u32>,
+}
+
+/// Accumulated row-level churn diffs: per-node row deltas (sorted by node, one entry
+/// per node with latest-wins content) plus the join/leave event log that produced
+/// them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChurnDelta {
+    /// Row diffs, sorted by node id, at most one per node.
+    rows: Vec<RowDelta>,
+    /// Positions that joined, in event order (a label can repeat across an epoch).
+    joins: Vec<NodeId>,
+    /// Positions that left, in event order.
+    leaves: Vec<NodeId>,
+}
+
+impl ChurnDelta {
+    /// An empty delta.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The row diffs, sorted by node id (one entry per node).
+    #[must_use]
+    pub fn rows(&self) -> &[RowDelta] {
+        &self.rows
+    }
+
+    /// Positions that joined, in event order.
+    #[must_use]
+    pub fn joins(&self) -> &[NodeId] {
+        &self.joins
+    }
+
+    /// Positions that left, in event order.
+    #[must_use]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of distinct nodes with a recorded row diff.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the delta carries no row diffs and no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.joins.is_empty() && self.leaves.is_empty()
+    }
+
+    /// Number of rows classified [`RowChangeKind::Structural`].
+    #[must_use]
+    pub fn structural_rows(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.kind == RowChangeKind::Structural)
+            .count()
+    }
+
+    /// The nodes with a recorded row diff, ascending.
+    pub fn changed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.rows.iter().map(|r| r.node)
+    }
+
+    /// Logs a join event (does not record a row; use [`ChurnDelta::record`]).
+    pub fn push_join(&mut self, position: NodeId) {
+        self.joins.push(position);
+    }
+
+    /// Logs a leave event.
+    pub fn push_leave(&mut self, position: NodeId) {
+        self.leaves.push(position);
+    }
+
+    /// Records (or merges) one node's row diff. A later record for the same node
+    /// replaces the row and liveness (latest wins) and keeps the most severe
+    /// classification seen.
+    pub fn record(&mut self, node: NodeId, kind: RowChangeKind, alive: bool, row: Vec<u32>) {
+        match self.rows.binary_search_by_key(&node, |r| r.node) {
+            Ok(i) => {
+                let existing = &mut self.rows[i];
+                existing.kind = existing.kind.max(kind);
+                existing.alive = alive;
+                existing.row = row;
+            }
+            Err(i) => self.rows.insert(
+                i,
+                RowDelta {
+                    node,
+                    kind,
+                    alive,
+                    row,
+                },
+            ),
+        }
+    }
+
+    /// Folds another delta into this one: later rows win, kinds take the maximum,
+    /// event logs concatenate. `other` must describe churn that happened *after*
+    /// everything already merged here (event order is the merge order).
+    pub fn absorb(&mut self, other: ChurnDelta) {
+        for r in other.rows {
+            self.record(r.node, r.kind, r.alive, r.row);
+        }
+        self.joins.extend(other.joins);
+        self.leaves.extend(other.leaves);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_rows_sorted_and_unique() {
+        let mut d = ChurnDelta::new();
+        d.record(9, RowChangeKind::LinkReplaced, true, vec![1, 2]);
+        d.record(3, RowChangeKind::Structural, true, vec![4]);
+        d.record(9, RowChangeKind::LivenessOnly, false, vec![1]);
+        let nodes: Vec<NodeId> = d.changed_nodes().collect();
+        assert_eq!(nodes, vec![3, 9]);
+        assert_eq!(d.len(), 2);
+        // Latest row and liveness win; the most severe kind sticks.
+        let nine = &d.rows()[1];
+        assert_eq!(nine.row, vec![1]);
+        assert!(!nine.alive);
+        assert_eq!(nine.kind, RowChangeKind::LinkReplaced);
+    }
+
+    #[test]
+    fn kinds_order_by_severity() {
+        assert!(RowChangeKind::LivenessOnly < RowChangeKind::LinkReplaced);
+        assert!(RowChangeKind::LinkReplaced < RowChangeKind::Structural);
+    }
+
+    #[test]
+    fn absorb_merges_rows_and_event_logs() {
+        let mut epoch = ChurnDelta::new();
+        epoch.push_join(5);
+        epoch.record(5, RowChangeKind::Structural, true, vec![6]);
+        epoch.record(6, RowChangeKind::LinkReplaced, true, vec![5, 7]);
+
+        let mut event = ChurnDelta::new();
+        event.push_leave(5);
+        event.record(5, RowChangeKind::Structural, false, vec![]);
+        event.record(8, RowChangeKind::LivenessOnly, true, vec![9]);
+
+        epoch.absorb(event);
+        assert_eq!(epoch.joins(), &[5]);
+        assert_eq!(epoch.leaves(), &[5]);
+        assert_eq!(epoch.len(), 3);
+        assert_eq!(epoch.structural_rows(), 1);
+        let five = &epoch.rows()[0];
+        assert_eq!(five.node, 5);
+        assert!(!five.alive);
+        assert!(five.row.is_empty());
+    }
+
+    #[test]
+    fn empty_delta_reports_empty() {
+        let mut d = ChurnDelta::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        d.push_join(1);
+        assert!(
+            !d.is_empty(),
+            "an event log alone makes the delta non-empty"
+        );
+    }
+}

@@ -19,36 +19,66 @@
 //!
 //! A snapshot is plain owned data (`Send + Sync`), shared freely across worker threads.
 //! Between full rebuilds it can be **incrementally patched**: churn only touches O(ℓ)
-//! adjacency rows per event, so [`FrozenRoutes::apply_churn`] rewrites exactly those
-//! rows into an overflow region (tombstoning their dense slots) instead of recompiling
-//! the world, and a periodic [`FrozenRoutes::compact`] folds the overflow back into a
-//! dense CSR once tombstones accumulate. A patched snapshot is always logically
-//! identical to a from-scratch [`OverlayGraph::freeze`], and a compacted one is
-//! bit-identical.
+//! adjacency rows per event, so instead of recompiling the world the snapshot rewrites
+//! exactly those rows — preferably straight from a typed [`ChurnDelta`] of
+//! maintainer-captured row diffs ([`FrozenRoutes::apply_delta`], no recompute at all),
+//! or by re-deriving a flat touched-node list from the graph
+//! ([`FrozenRoutes::apply_churn`]). Rows whose new content fits the existing slot
+//! (link redirects keep their length) are overwritten **in place**; only structural,
+//! length-changing rows go to the overflow region with their dense slot tombstoned,
+//! and a periodic [`FrozenRoutes::compact`] folds the overflow back into a dense CSR
+//! once tombstones accumulate. A patched snapshot is always logically identical to a
+//! from-scratch [`OverlayGraph::freeze`], and a compacted one is bit-identical.
 
+use crate::delta::ChurnDelta;
 use crate::graph::OverlayGraph;
 use crate::NodeId;
 
 /// Sentinel in the row-redirect table: the row still lives in the dense CSR arrays.
 const DENSE_ROW: u32 = u32::MAX;
 
-/// Compact once more than `1/TOMBSTONE_DENOM` of all rows are tombstoned.
-const TOMBSTONE_DENOM: usize = 8;
+/// Compact once more than `1/TOMBSTONE_DENOM` of all rows are tombstoned, and fall
+/// back to an in-place rebuild when a single patch call *creates* that many new
+/// tombstones on its own.
+///
+/// Only **structural** rows (length-changing, needing a fresh overflow record) ever
+/// tombstone — link-replaced and liveness-only changes are written in place — so the
+/// threshold can sit higher than PR 3's `1/8`: at `1/4` the patch-win regime covers
+/// the light-sustained-churn workloads incremental maintenance exists for, while a
+/// genuinely structural blast radius still degrades gracefully to a rebuild.
+const TOMBSTONE_DENOM: usize = 4;
 
-/// What one [`FrozenRoutes::apply_churn`] call did.
+/// What one [`FrozenRoutes::apply_churn`] / [`FrozenRoutes::apply_delta`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PatchStats {
-    /// Adjacency rows whose content changed and were rewritten into the overflow region.
+    /// Adjacency rows whose content changed and were rewritten (in place or into the
+    /// overflow region).
     pub rows_patched: usize,
+    /// Changed rows written **in place** (same-length dense overwrite, or a shrinking
+    /// row reusing its overflow record) — no tombstone, no overflow growth. Subset of
+    /// [`PatchStats::rows_patched`].
+    pub rows_in_place: usize,
     /// Touched rows whose usable-neighbour set turned out unchanged (no write needed).
     pub rows_unchanged: usize,
     /// Nodes whose alive bit flipped.
     pub alive_flips: usize,
     /// Whether this call ended in a compaction back to a dense CSR.
     pub compacted: bool,
-    /// Whether the blast radius was so large that the call recompiled the dense CSR
-    /// outright (buffer-reusing equivalent of a fresh `freeze()`) instead of patching.
+    /// Whether the structural blast radius was so large that the call recompiled the
+    /// dense CSR outright (buffer-reusing equivalent of a fresh `freeze()`) instead
+    /// of patching.
     pub rebuilt: bool,
+}
+
+/// How [`FrozenRoutes::patch_row`] wrote one changed row.
+enum RowPatch {
+    /// The stored row already matched; nothing written.
+    Unchanged,
+    /// Overwritten in place (no tombstone, no overflow growth).
+    InPlace,
+    /// Appended to the overflow region; `tombstoned` is `true` when the row's dense
+    /// slot was tombstoned by this write (first time the row leaves the dense CSR).
+    Moved { tombstoned: bool },
 }
 
 /// A compiled routing snapshot: CSR adjacency over usable neighbours plus an alive
@@ -138,14 +168,18 @@ impl FrozenRoutes {
     /// (`fail_node` sweeps and friends) invalidate in-neighbour rows this method is
     /// never told about — rebuild instead.
     ///
-    /// Changed rows are rewritten into the overflow region and their dense slots
-    /// tombstoned; once tombstones exceed 1/8 of all rows (or the overflow region
-    /// outgrows half the dense adjacency), the snapshot is automatically
-    /// [compacted](FrozenRoutes::compact) back to a dense CSR. An epoch whose blast
-    /// radius alone would cross that threshold skips the patch-then-compact detour
-    /// and recompiles the dense arrays directly (reusing the existing buffers) —
-    /// incremental maintenance degrades gracefully to rebuild cost under extreme
-    /// churn instead of paying for both.
+    /// Changed rows are written in place when the new row fits the existing slot
+    /// (same-length dense overwrite, or a shrinking row reusing its overflow record);
+    /// only **structural** rows — those whose length grew past their slot — are
+    /// appended to the overflow region with their dense slots tombstoned. Once
+    /// tombstones exceed `1/4` of all rows (or the overflow region outgrows half the
+    /// dense adjacency), the snapshot is automatically
+    /// [compacted](FrozenRoutes::compact) back to a dense CSR. A call whose
+    /// structural blast radius alone crosses that threshold abandons the
+    /// patch-then-compact detour mid-way and recompiles the dense arrays directly
+    /// (reusing the existing buffers) — incremental maintenance degrades gracefully
+    /// to rebuild cost under extreme churn instead of paying for both. Liveness-only
+    /// and link-replaced touches never count against the fallback.
     ///
     /// # Panics
     ///
@@ -153,12 +187,7 @@ impl FrozenRoutes {
     /// if a touched node is outside the space, or if the overflow region exceeds the
     /// `u32` CSR range.
     pub fn apply_churn(&mut self, graph: &OverlayGraph, touched: &[NodeId]) -> PatchStats {
-        assert_eq!(graph.len(), self.n, "graph and snapshot sizes differ");
-        assert_eq!(
-            graph.geometry().is_ring(),
-            self.ring,
-            "graph and snapshot geometries differ"
-        );
+        self.check_graph(graph);
         let mut stats = PatchStats::default();
         // Maintainer blast radii overlap heavily (ring neighbours, repeated repair
         // sources); deduplicate so each row is recomputed once per call.
@@ -168,13 +197,8 @@ impl FrozenRoutes {
         if let Some(&max) = unique.last() {
             assert!(max < self.n, "touched node {max} outside the frozen space");
         }
-        if (self.tombstones as usize + unique.len()) * TOMBSTONE_DENOM > self.n as usize {
-            self.rebuild_from(graph);
-            stats.rebuilt = true;
-            stats.compacted = true;
-            return stats;
-        }
         let mut alive_dirty = false;
+        let mut new_tombstones = 0usize;
         let mut row = Vec::new();
         for &p in &unique {
             let i = p as usize;
@@ -188,29 +212,163 @@ impl FrozenRoutes {
 
             row.clear();
             row.extend(graph.usable_neighbors(p).map(|q| q as u32));
-            if row.as_slice() == self.neighbors(p) {
-                stats.rows_unchanged += 1;
-                continue;
+            if self.patch_one(p, &row, &mut stats, &mut new_tombstones) {
+                self.rebuild_from(graph);
+                stats.rebuilt = true;
+                stats.compacted = true;
+                return stats;
             }
-            if self.row_redirect.is_empty() {
-                // `resize` reuses whatever capacity the last compaction left behind.
-                self.row_redirect.resize(self.n as usize, DENSE_ROW);
-            }
-            if self.row_redirect[i] == DENSE_ROW {
-                self.tombstones += 1;
-            }
-            let start = self.overflow.len();
-            assert!(
-                start + 1 + row.len() <= DENSE_ROW as usize,
-                "overflow region exceeds u32 CSR range"
-            );
-            self.overflow
-                .push(u32::try_from(row.len()).expect("row length exceeds u32"));
-            self.overflow.extend_from_slice(&row);
-            self.row_redirect[i] = start as u32;
-            stats.rows_patched += 1;
         }
 
+        self.finish_patch(alive_dirty, &mut stats);
+        stats
+    }
+
+    /// Patches the snapshot in place from a typed [`ChurnDelta`], writing each diffed
+    /// row directly — **no usable-neighbour recompute**: the maintainer already
+    /// captured every changed row, so this is a straight memcmp-and-write per row
+    /// (the memcmp skips rows a later event changed back).
+    ///
+    /// The delta must cover every node whose usable-neighbour row or alive state
+    /// changed since the snapshot was built or last patched — exactly what the union
+    /// of an epoch's maintainer report deltas contains — with latest-wins merge
+    /// semantics ([`ChurnDelta::absorb`]) so each row carries its final content.
+    /// `graph` is only read if the structural blast radius forces the in-place
+    /// rebuild fallback (and, in debug builds, to assert every diffed row matches
+    /// the live topology).
+    ///
+    /// Slot reuse, tombstoning, the structural-only rebuild fallback and the
+    /// compaction policy are shared with [`FrozenRoutes::apply_churn`]; only the row
+    /// source differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different geometry than the snapshot was frozen from,
+    /// if a diffed node is outside the space, or if the overflow region exceeds the
+    /// `u32` CSR range.
+    pub fn apply_delta(&mut self, graph: &OverlayGraph, delta: &ChurnDelta) -> PatchStats {
+        self.check_graph(graph);
+        let mut stats = PatchStats::default();
+        if let Some(last) = delta.rows().last() {
+            assert!(
+                last.node < self.n,
+                "diffed node {} outside the frozen space",
+                last.node
+            );
+        }
+        let mut alive_dirty = false;
+        let mut new_tombstones = 0usize;
+        for rd in delta.rows() {
+            let p = rd.node;
+            let i = p as usize;
+            debug_assert_eq!(
+                rd.row,
+                graph
+                    .usable_neighbors(p)
+                    .map(|q| q as u32)
+                    .collect::<Vec<_>>(),
+                "delta row for node {p} does not match the live graph"
+            );
+            debug_assert_eq!(rd.alive, graph.is_alive(p), "delta liveness for node {p}");
+
+            if rd.alive != self.is_alive(p) {
+                self.alive_words[i / 64] ^= 1u64 << (i % 64);
+                stats.alive_flips += 1;
+                alive_dirty = true;
+            }
+            if self.patch_one(p, &rd.row, &mut stats, &mut new_tombstones) {
+                self.rebuild_from(graph);
+                stats.rebuilt = true;
+                stats.compacted = true;
+                return stats;
+            }
+        }
+
+        self.finish_patch(alive_dirty, &mut stats);
+        stats
+    }
+
+    /// Shared per-row patch step: writes `row` for node `p`, updates `stats`, and
+    /// returns `true` when this call's own structural tombstones crossed the rebuild
+    /// threshold (the caller must fall back to [`FrozenRoutes::rebuild_from`]).
+    fn patch_one(
+        &mut self,
+        p: NodeId,
+        row: &[u32],
+        stats: &mut PatchStats,
+        new_tombstones: &mut usize,
+    ) -> bool {
+        match self.patch_row(p, row) {
+            RowPatch::Unchanged => stats.rows_unchanged += 1,
+            RowPatch::InPlace => {
+                stats.rows_patched += 1;
+                stats.rows_in_place += 1;
+            }
+            RowPatch::Moved { tombstoned } => {
+                stats.rows_patched += 1;
+                if tombstoned {
+                    *new_tombstones += 1;
+                }
+            }
+        }
+        *new_tombstones * TOMBSTONE_DENOM > self.offsets.len() - 1
+    }
+
+    /// Writes one row wherever it fits best; see [`RowPatch`].
+    fn patch_row(&mut self, p: NodeId, row: &[u32]) -> RowPatch {
+        let i = p as usize;
+        if !self.row_redirect.is_empty() && self.row_redirect[i] != DENSE_ROW {
+            let start = self.row_redirect[i] as usize;
+            let len = self.overflow[start] as usize;
+            if row == &self.overflow[start + 1..start + 1 + len] {
+                return RowPatch::Unchanged;
+            }
+            if row.len() <= len {
+                // Reuse the record: a shrinking row leaves garbage tail words that the
+                // next compaction discards.
+                self.overflow[start] = row.len() as u32;
+                self.overflow[start + 1..start + 1 + row.len()].copy_from_slice(row);
+                return RowPatch::InPlace;
+            }
+            self.append_overflow_record(i, row);
+            return RowPatch::Moved { tombstoned: false };
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        if row == &self.neighbors[lo..hi] {
+            return RowPatch::Unchanged;
+        }
+        if row.len() == hi - lo {
+            // Link-replaced rows keep their length: overwrite the dense slot directly.
+            // The result is exactly what a fresh `freeze()` would store, so no
+            // tombstone and no overflow growth.
+            self.neighbors[lo..hi].copy_from_slice(row);
+            return RowPatch::InPlace;
+        }
+        if self.row_redirect.is_empty() {
+            // `resize` reuses whatever capacity the last compaction left behind.
+            self.row_redirect.resize(self.n as usize, DENSE_ROW);
+        }
+        self.tombstones += 1;
+        self.append_overflow_record(i, row);
+        RowPatch::Moved { tombstoned: true }
+    }
+
+    /// Appends `[len, row...]` to the overflow region and points row `i` at it.
+    fn append_overflow_record(&mut self, i: usize, row: &[u32]) {
+        let start = self.overflow.len();
+        assert!(
+            start + 1 + row.len() <= DENSE_ROW as usize,
+            "overflow region exceeds u32 CSR range"
+        );
+        self.overflow
+            .push(u32::try_from(row.len()).expect("row length exceeds u32"));
+        self.overflow.extend_from_slice(row);
+        self.row_redirect[i] = start as u32;
+    }
+
+    /// Common patch epilogue: refresh the sorted alive list and compact if warranted.
+    fn finish_patch(&mut self, alive_dirty: bool, stats: &mut PatchStats) {
         // The sorted alive list is refreshed in one bitset sweep rather than per-node
         // `Vec::insert`/`remove` memmoves (an epoch can flip hundreds of bits).
         if alive_dirty {
@@ -229,7 +387,16 @@ impl FrozenRoutes {
             self.compact();
             stats.compacted = true;
         }
-        stats
+    }
+
+    /// Asserts `graph` describes the same space this snapshot was frozen from.
+    fn check_graph(&self, graph: &OverlayGraph) {
+        assert_eq!(graph.len(), self.n, "graph and snapshot sizes differ");
+        assert_eq!(
+            graph.geometry().is_ring(),
+            self.ring,
+            "graph and snapshot geometries differ"
+        );
     }
 
     /// Whether tombstone or overflow growth warrants folding back to a dense CSR.
@@ -558,20 +725,55 @@ mod tests {
     }
 
     #[test]
-    fn a_heavy_blast_radius_falls_back_to_an_in_place_rebuild() {
+    fn a_heavy_structural_blast_radius_falls_back_to_an_in_place_rebuild() {
         let mut g = chain_graph(32);
         let mut frozen = g.freeze();
-        // Touch 1/4 of all rows: patch-then-compact can never beat recompiling.
-        let touched: Vec<NodeId> = (0..8).collect();
-        for p in 0..8u64 {
+        // Shrink 12 of 32 rows (structural: every row loses a link): the call's own
+        // tombstones cross the 1/4 threshold mid-way, so patch-then-compact can never
+        // beat recompiling.
+        let touched: Vec<NodeId> = (0..12).collect();
+        for p in 0..12u64 {
             g.fail_link(p, p + 1);
         }
         let stats = frozen.apply_churn(&g, &touched);
-        assert!(stats.rebuilt, "8 of 32 rows must cross the 1/8 threshold");
+        assert!(stats.rebuilt, "12 of 32 rows must cross the 1/4 threshold");
         assert!(stats.compacted);
         assert_eq!(frozen.patched_rows(), 0);
         assert_eq!(frozen.overflow_len(), 0);
         assert_eq!(frozen, g.freeze(), "in-place rebuild is bit-identical");
+    }
+
+    #[test]
+    fn liveness_only_and_link_replaced_touches_never_trip_the_rebuild_fallback() {
+        // A ring where every row keeps its length: rewiring half the space is pure
+        // in-place overwrites, so no tombstones accumulate and no rebuild (or
+        // compaction) ever triggers — the compaction-threshold cliff the flat touched
+        // list used to hit.
+        let n = 32u64;
+        let mut g = OverlayGraph::fully_populated(Geometry::ring(n));
+        for p in 0..n {
+            g.add_link(p, (p + 1) % n, LinkKind::Long);
+        }
+        let mut frozen = g.freeze();
+        // Redirect every even node's long link: same row length, new target.
+        let touched: Vec<NodeId> = (0..n).step_by(2).collect();
+        for &p in &touched {
+            g.redirect_long_link(p, (p + 1) % n, (p + 2) % n);
+        }
+        let stats = frozen.apply_churn(&g, &touched);
+        assert_eq!(stats.rows_patched, touched.len());
+        assert_eq!(
+            stats.rows_in_place,
+            touched.len(),
+            "same-length rewrites must all land in place"
+        );
+        assert!(!stats.rebuilt && !stats.compacted);
+        assert_eq!(frozen.patched_rows(), 0, "no tombstones were created");
+        assert_eq!(frozen.overflow_len(), 0);
+        patched_equals_fresh(&g, &frozen);
+        // In-place dense overwrites keep the snapshot bit-identical to a fresh
+        // freeze without any compaction step.
+        assert_eq!(frozen, g.freeze());
     }
 
     #[test]

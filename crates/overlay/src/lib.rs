@@ -13,8 +13,14 @@
 //! * [`FrozenRoutes`] — a compiled CSR routing snapshot (usable-neighbour adjacency,
 //!   alive bitset, inlined distance); the traversal structure the query engine's
 //!   uncached hot path runs on. Snapshots are built once per routing epoch and then
-//!   *patched* through churn ([`FrozenRoutes::apply_churn`]): changed rows go to an
-//!   overflow region, tombstoned dense slots are periodically compacted away.
+//!   *patched* through churn: preferably from a typed [`ChurnDelta`] of row-level
+//!   diffs ([`FrozenRoutes::apply_delta`] writes diffed rows directly, reusing slots
+//!   in place when the new row fits), or by recomputing a flat touched-node list
+//!   ([`FrozenRoutes::apply_churn`]); length-changing rows go to an overflow region,
+//!   and tombstoned dense slots are periodically compacted away.
+//! * [`ChurnDelta`] — the typed churn diff itself: per-node `old row → new row`
+//!   changes classified as liveness-only / link-replaced / structural, plus the
+//!   join/leave event log, produced by `faultline-construction`'s maintainer.
 //! * [`stats`] — link-length histograms and degree statistics used by the Figure 5
 //!   reproduction and by the construction-quality tests.
 //!
@@ -39,12 +45,14 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod delta;
 mod frozen;
 mod graph;
 mod link;
 pub mod stats;
 
 pub use builder::{build_paper_overlay, GraphBuilder};
+pub use delta::{ChurnDelta, RowChangeKind, RowDelta};
 pub use frozen::{FrozenRoutes, PatchStats};
 pub use graph::{NodeRecord, OverlayGraph};
 pub use link::{Link, LinkKind};
