@@ -7,15 +7,21 @@
 //! Under `--quick` (the CI smoke run) it also acts as a regression gate: the run
 //! fails if the frozen-kernel speedup, the incremental snapshot-maintenance speedup,
 //! the typed-delta patch speedup, the rebuild-fallback-free fraction, the
-//! adversarial throughput or the adversarial success rate falls below a floor (each
-//! overridable — `ENGINE_SMOKE_MIN_FROZEN_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_SPEEDUP`,
+//! adversarial throughput, the adversarial success rate or the telemetry overhead
+//! ratio falls below a floor (each overridable —
+//! `ENGINE_SMOKE_MIN_FROZEN_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_SPEEDUP`,
 //! `ENGINE_SMOKE_MIN_DELTA_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE`,
-//! `ENGINE_SMOKE_MIN_BYZANTINE_QPS`, `ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS` — for
-//! unusual machines). All gate readings, plus the snapshot compaction/rebuild
-//! cadence, are appended to `$GITHUB_STEP_SUMMARY` when that file is available, so a
-//! failing run is diagnosable from the job page without opening the log.
+//! `ENGINE_SMOKE_MIN_BYZANTINE_QPS`, `ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS`,
+//! `ENGINE_SMOKE_MIN_TELEMETRY_RATIO` — for unusual machines). All gate readings,
+//! the snapshot compaction/rebuild cadence, and the per-phase telemetry breakdown
+//! are appended to `$GITHUB_STEP_SUMMARY` when that file is available, so a failing
+//! run is diagnosable from the job page without opening the log.
+//!
+//! `--metrics PATH` additionally writes the full human-readable telemetry dump
+//! (phase histograms, per-shard cache table, event-ring counts) to `PATH`.
 
 use faultline_bench::{engine_run, BenchArgs};
+use faultline_engine::{MetricsSnapshot, Phase};
 use std::io::Write;
 
 /// `--quick` floor for `headline.frozen_speedup`: the CSR kernel has measured ~4.8x
@@ -54,6 +60,12 @@ const MIN_BYZANTINE_QPS: f64 = 150_000.0;
 /// (measured 0.6486): any drop means the redundancy machinery itself changed, not
 /// the machine.
 const MIN_BYZANTINE_SUCCESS: f64 = 0.55;
+
+/// `--quick` floor for `headline.telemetry_overhead_ratio` (instrumented warm-cache
+/// throughput over the telemetry-disabled baseline on bit-identical batches).
+/// Telemetry is relaxed atomics plus one clock read per phase; it must stay within
+/// 5% of free, or the instrumentation has crept onto the per-query hot path.
+const MIN_TELEMETRY_RATIO: f64 = 0.95;
 
 fn threshold(env: &str, default: f64) -> f64 {
     match std::env::var(env) {
@@ -113,10 +125,14 @@ impl CadenceRow {
     }
 }
 
-/// Appends the gate table and the compaction/rebuild cadence to
-/// `$GITHUB_STEP_SUMMARY` (best-effort: skipped silently outside GitHub Actions,
-/// warned about if the file cannot be written).
-fn write_step_summary(readings: &[GateReading], cadence: &[CadenceRow]) {
+/// Appends the gate table, the compaction/rebuild cadence, and the per-phase
+/// telemetry breakdown to `$GITHUB_STEP_SUMMARY` (best-effort: skipped silently
+/// outside GitHub Actions, warned about if the file cannot be written).
+fn write_step_summary(
+    readings: &[GateReading],
+    cadence: &[CadenceRow],
+    telemetry: &MetricsSnapshot,
+) {
     let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
         return;
     };
@@ -147,6 +163,29 @@ fn write_step_summary(readings: &[GateReading], cadence: &[CadenceRow]) {
             row.rows_patched,
         ));
     }
+    table.push_str(
+        "\n### Telemetry phase breakdown\n\n| phase | count | total ms | p50 µs | p99 µs |\n|---|---|---|---|---|\n",
+    );
+    for phase in Phase::ALL {
+        let h = telemetry.phase(phase);
+        table.push_str(&format!(
+            "| `{}` | {} | {:.2} | {:.1} | {:.1} |\n",
+            phase.name(),
+            h.count(),
+            h.sum() as f64 / 1e6,
+            h.quantile(0.5) / 1e3,
+            h.quantile(0.99) / 1e3,
+        ));
+    }
+    table.push_str(&format!(
+        "\nevents recorded: {} ({} dropped); max-skew shard: {}\n",
+        telemetry.events().len(),
+        telemetry.events_dropped(),
+        telemetry.max_skew_shard().map_or_else(
+            || "n/a".to_string(),
+            |(shard, rate)| format!("#{shard} at {rate:.4} hit rate")
+        ),
+    ));
     match std::fs::OpenOptions::new()
         .append(true)
         .create(true)
@@ -195,6 +234,16 @@ fn main() {
         }
     }
 
+    if let Some(metrics_path) = &args.metrics {
+        match std::fs::write(metrics_path, report.telemetry.to_string()) {
+            Ok(()) => println!("wrote {metrics_path}"),
+            Err(error) => {
+                eprintln!("failed to write {metrics_path}: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if args.quick {
         let readings = [
             GateReading {
@@ -236,12 +285,18 @@ fn main() {
                 floor: threshold("ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS", MIN_BYZANTINE_SUCCESS),
                 env: "ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS",
             },
+            GateReading {
+                name: "telemetry_overhead_ratio",
+                value: report.telemetry_overhead_ratio,
+                floor: threshold("ENGINE_SMOKE_MIN_TELEMETRY_RATIO", MIN_TELEMETRY_RATIO),
+                env: "ENGINE_SMOKE_MIN_TELEMETRY_RATIO",
+            },
         ];
         let cadence = [
             CadenceRow::of("maintenance (delta)", &report.maintenance_patch),
             CadenceRow::of("maintenance (touched-list)", &report.maintenance_touched),
         ];
-        write_step_summary(&readings, &cadence);
+        write_step_summary(&readings, &cadence, &report.telemetry);
         let mut regressed = false;
         for reading in &readings {
             if reading.passed() {

@@ -13,7 +13,9 @@
 ///   baked into each binary, not explicit flags).
 /// * `--quick` — a CI-sized smoke configuration: small enough to finish in seconds in
 ///   release builds, large enough to catch throughput-path regressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// * `--metrics PATH` — write the human-readable telemetry dump (phase histograms,
+///   per-shard cache table, event counts) to `PATH` after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of grid points, if given on the command line.
     pub nodes: Option<u64>,
@@ -29,6 +31,8 @@ pub struct BenchArgs {
     pub paper_scale: bool,
     /// Run the CI smoke configuration.
     pub quick: bool,
+    /// Path to write the human-readable telemetry dump to, if given.
+    pub metrics: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -41,6 +45,7 @@ impl Default for BenchArgs {
             seed: 2002,
             paper_scale: false,
             quick: false,
+            metrics: None,
         }
     }
 }
@@ -56,7 +61,7 @@ impl BenchArgs {
             Err(message) => {
                 eprintln!("{message}");
                 eprintln!(
-                    "usage: [--nodes N] [--links L] [--trials T] [--messages M] [--seed S] [--paper-scale] [--quick]"
+                    "usage: [--nodes N] [--links L] [--trials T] [--messages M] [--seed S] [--paper-scale] [--quick] [--metrics PATH]"
                 );
                 std::process::exit(2);
             }
@@ -86,6 +91,7 @@ impl BenchArgs {
                 "--seed" => out.seed = parse_number(&grab("--seed")?)?,
                 "--paper-scale" => out.paper_scale = true,
                 "--quick" => out.quick = true,
+                "--metrics" => out.metrics = Some(grab("--metrics")?),
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
@@ -182,6 +188,14 @@ mod tests {
         let args = parse(&["--quick"]);
         assert!(args.quick);
         assert!(!parse(&[]).quick);
+    }
+
+    #[test]
+    fn metrics_flag_takes_a_path() {
+        let args = parse(&["--metrics", "telemetry.txt"]);
+        assert_eq!(args.metrics.as_deref(), Some("telemetry.txt"));
+        assert_eq!(parse(&[]).metrics, None);
+        assert!(BenchArgs::try_parse(vec!["--metrics".to_string()]).is_err());
     }
 
     #[test]

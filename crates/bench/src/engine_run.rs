@@ -7,18 +7,37 @@
 //! `BENCH_engine.json` so future PRs have a throughput/latency trajectory to compare
 //! against.
 
+use faultline_core::routing::RouteScratch;
 use faultline_core::{ConstructionMode, Network, NetworkConfig};
 use faultline_engine::{
-    BatchReport, ByzantineConfig, ChurnMix, EngineConfig, InterleavedReport, QueryBatch,
-    QueryEngine, SnapshotMaintenance,
+    BatchReport, ByzantineConfig, ChurnMix, EngineConfig, InterleavedReport, MetricsSnapshot,
+    Phase, QueryBatch, QueryEngine, SnapshotMaintenance,
 };
+use faultline_sim::Summary;
+use faultline_theory::{bfs_distances, UNREACHABLE};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Corruption levels the byzantine phase sweeps (fraction of alive nodes corrupted).
 /// The middle level (15%) is the one the `byzantine_throughput` headline and the CI
 /// perf gate read.
 pub const BYZANTINE_LEVELS: [f64; 3] = [0.05, 0.15, 0.30];
+
+/// Sampled sources for the routing-stretch measurement (one exact BFS each).
+pub const STRETCH_SOURCES: usize = 16;
+
+/// Sampled targets per stretch source (`STRETCH_SOURCES × STRETCH_TARGETS` ≈ 256
+/// pairs total — enough for stable p50/p99 ratios, cheap enough that the BFS ground
+/// truth stays a rounding error next to the query batches).
+pub const STRETCH_TARGETS: usize = 16;
+
+/// Extra alternating instrumented/bare warm-batch pairs behind the
+/// `telemetry_overhead_ratio` reading. A single warm batch lasts tens of
+/// milliseconds — short enough that one scheduler hiccup swings its throughput 2x
+/// in either direction, which would make the CI floor flaky. Alternating the two
+/// engines cancels clock drift, and keeping the *best* reading per side converges
+/// on each engine's true ceiling (noise only ever subtracts throughput).
+pub const TELEMETRY_OVERHEAD_ROUNDS: usize = 3;
 
 /// Configuration of the engine throughput experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +96,117 @@ impl EngineBenchConfig {
     }
 }
 
+/// Sampled routing stretch: greedy frozen-kernel hops over exact BFS shortest-path
+/// hops, on the pristine overlay. The paper's O(log²n/ℓ) delivery-time bounds are
+/// stretch statements in disguise; this turns them into a measured headline.
+#[derive(Debug, Clone, Copy)]
+pub struct StretchReport {
+    /// Node pairs sampled (`STRETCH_SOURCES × STRETCH_TARGETS`).
+    pub pairs_requested: usize,
+    /// Pairs that produced a ratio: distinct endpoints, BFS-reachable, delivered.
+    pub pairs_measured: usize,
+    /// Distribution of `greedy hops ÷ exact hops` over measured pairs (`None` when
+    /// nothing measured — degenerate overlays only).
+    pub summary: Option<Summary>,
+}
+
+impl StretchReport {
+    /// Median stretch (`0.0` when nothing measured — a missing measurement must
+    /// read as a regression, not a perfect ratio).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.summary.map_or(0.0, |s| s.median)
+    }
+
+    /// 99th-percentile stretch (`0.0` when nothing measured).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.summary.map_or(0.0, |s| s.p99)
+    }
+
+    /// Mean stretch (`0.0` when nothing measured).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.summary.map_or(0.0, |s| s.mean)
+    }
+
+    /// Worst sampled stretch (`0.0` when nothing measured).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.summary.map_or(0.0, |s| s.max)
+    }
+
+    /// Renders the stretch section as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"pairs_requested\":{},\"pairs_measured\":{},",
+                "\"p50\":{:.3},\"p99\":{:.3},\"mean\":{:.3},\"max\":{:.3}}}"
+            ),
+            self.pairs_requested,
+            self.pairs_measured,
+            self.p50(),
+            self.p99(),
+            self.mean(),
+            self.max(),
+        )
+    }
+}
+
+/// Measures sampled routing stretch over a frozen snapshot of `network`: for each
+/// sampled source one exact BFS over the snapshot's usable-neighbour adjacency
+/// (the ground truth), then the greedy frozen kernel routes to each sampled target
+/// and the delivered hop count is divided by the BFS optimum.
+#[must_use]
+pub fn measure_stretch(network: &Network, seed: u64) -> StretchReport {
+    let frozen = network.view().freeze();
+    let routes = frozen.routes();
+    let alive = routes.alive_sorted();
+    let pairs_requested = STRETCH_SOURCES * STRETCH_TARGETS;
+    if alive.len() < 2 {
+        return StretchReport {
+            pairs_requested,
+            pairs_measured: 0,
+            summary: None,
+        };
+    }
+    let n = u32::try_from(routes.len()).expect("grid fits u32 at bench scale");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = RouteScratch::new();
+    let mut ratios = Vec::with_capacity(pairs_requested);
+    for source_index in 0..STRETCH_SOURCES {
+        let source = alive[rng.gen_range(0..alive.len())];
+        // BFS over the same directed usable-neighbour rows the greedy kernel walks,
+        // so the ratio isolates routing quality from topology damage.
+        let exact = bfs_distances(n, source, |p| {
+            routes.neighbors(u64::from(p)).iter().copied()
+        });
+        for target_index in 0..STRETCH_TARGETS {
+            let target = alive[rng.gen_range(0..alive.len())];
+            let optimal = exact[target as usize];
+            if target == source || optimal == 0 || optimal == UNREACHABLE {
+                continue;
+            }
+            let pair = (source_index * STRETCH_TARGETS + target_index) as u64;
+            let result = frozen.route_seeded(
+                u64::from(source),
+                u64::from(target),
+                seed ^ (pair << 17),
+                &mut scratch,
+            );
+            if result.is_delivered() {
+                ratios.push(result.hops as f64 / f64::from(optimal));
+            }
+        }
+    }
+    StretchReport {
+        pairs_requested,
+        pairs_measured: ratios.len(),
+        summary: Summary::of(ratios),
+    }
+}
+
 /// One corruption level of the byzantine phase.
 #[derive(Debug, Clone)]
 pub struct ByzantineLevel {
@@ -103,6 +233,23 @@ pub struct EngineBenchReport {
     pub cached_cold: BatchReport,
     /// A fresh batch against the now-warm cache (steady-state hit rate).
     pub cached_warm: BatchReport,
+    /// The identical cold+warm cached pair on an engine with telemetry disabled
+    /// (`EngineConfig::telemetry(false)`): the overhead baseline. Only the warm
+    /// batch is kept (results are bit-identical by the zero-observer-effect
+    /// contract; only the clock differs).
+    pub cached_warm_bare: BatchReport,
+    /// Headline: best instrumented warm-cache throughput over the best
+    /// telemetry-disabled throughput, from [`TELEMETRY_OVERHEAD_ROUNDS`]
+    /// alternating warm-batch pairs (`1.0` = free, below `1.0` = overhead; the CI
+    /// gate floors this at 0.95).
+    pub telemetry_overhead_ratio: f64,
+    /// Sampled routing stretch on the pristine overlay (greedy hops ÷ exact BFS
+    /// hops over the frozen snapshot's own adjacency).
+    pub stretch: StretchReport,
+    /// Telemetry snapshot of the cached engine after the cold batch, the warm
+    /// batch, and the churn-interleaved epochs: per-phase wall-time histograms,
+    /// the per-shard cache table, and the structural event ring.
+    pub telemetry: MetricsSnapshot,
     /// The byzantine phase: the same uncached frozen-kernel workload with a sampled
     /// adversary set at each [`BYZANTINE_LEVELS`] corruption level, every lookup
     /// issuing up to `byzantine_redundancy` diversified walks. `uncached_frozen` is
@@ -211,6 +358,18 @@ impl EngineBenchReport {
     #[must_use]
     pub fn cache_row_hit_rate(&self) -> f64 {
         self.cache_row.warm_hit_rate()
+    }
+
+    /// Headline: median sampled routing stretch (greedy hops ÷ exact BFS hops).
+    #[must_use]
+    pub fn stretch_p50(&self) -> f64 {
+        self.stretch.p50()
+    }
+
+    /// Headline: 99th-percentile sampled routing stretch.
+    #[must_use]
+    pub fn stretch_p99(&self) -> f64 {
+        self.stretch.p99()
     }
 
     /// The byzantine level the headline and the CI gate read: the middle
@@ -404,6 +563,30 @@ impl EngineBenchReport {
         )
     }
 
+    /// The `telemetry` JSON section: instrumentation overhead ratio, the sampled
+    /// stretch distribution, the per-epoch phase breakdown of the churn-interleaved
+    /// run, and the full metrics snapshot (phase histograms, per-shard cache table,
+    /// event-ring counts).
+    #[must_use]
+    fn telemetry_json(&self) -> String {
+        let epoch_phases: Vec<String> = self
+            .interleaved
+            .epochs()
+            .iter()
+            .map(|e| e.phases.to_json())
+            .collect();
+        format!(
+            concat!(
+                "{{\"overhead_ratio\":{:.4},\"stretch\":{},",
+                "\"epoch_phases\":[{}],\"metrics\":{}}}"
+            ),
+            self.telemetry_overhead_ratio,
+            self.stretch.to_json(),
+            epoch_phases.join(","),
+            self.telemetry.to_json(),
+        )
+    }
+
     /// Renders the full report as a JSON object.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -415,7 +598,9 @@ impl EngineBenchReport {
                 "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2},",
                 "\"snapshot_patch_speedup\":{:.2},\"delta_patch_speedup\":{:.2},",
                 "\"cache_row_hit_rate\":{:.6},\"byzantine_throughput\":{:.1},",
-                "\"byzantine_success_rate\":{:.6}}},",
+                "\"byzantine_success_rate\":{:.6},\"stretch_p50\":{:.3},",
+                "\"stretch_p99\":{:.3},\"telemetry_overhead_ratio\":{:.4}}},",
+                "\"telemetry\":{},",
                 "\"snapshot_maintenance\":{},\"cache_invalidation\":{},\"byzantine\":{},",
                 "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
                 "\"interleaved\":{}}}"
@@ -437,6 +622,10 @@ impl EngineBenchReport {
             self.cache_row_hit_rate(),
             self.byzantine_throughput(),
             self.byzantine_success_rate(),
+            self.stretch_p50(),
+            self.stretch_p99(),
+            self.telemetry_overhead_ratio,
+            self.telemetry_json(),
             self.snapshot_maintenance_json(),
             self.cache_invalidation_json(),
             self.byzantine_json(),
@@ -460,6 +649,10 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         .construction(ConstructionMode::incremental_default());
     let mut network = Network::build(&network_config, &mut rng);
 
+    // Sampled routing stretch on the pristine overlay: exact BFS ground truth per
+    // sampled source, greedy frozen-kernel hops per sampled pair.
+    let stretch = measure_stretch(&network, config.seed ^ 0x57E7);
+
     let batch = QueryBatch::uniform(&network, config.queries, config.seed ^ 0xBA7C);
     let mut uncached_engine = QueryEngine::new(
         EngineConfig::default()
@@ -480,6 +673,33 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
     let cached_cold = cached_engine.run_batch(&network, &batch);
     let warm_batch = QueryBatch::uniform(&network, config.queries, config.seed ^ 0x3A9D);
     let cached_warm = cached_engine.run_batch(&network, &warm_batch);
+
+    // Telemetry overhead baseline: the identical cold+warm pair on an engine with
+    // instrumentation compiled down to a single branch per site. Results are
+    // bit-identical (zero observer effect); only throughput may differ, and the CI
+    // gate floors the instrumented/bare ratio at 0.95.
+    let mut bare_engine = QueryEngine::new(
+        EngineConfig::default()
+            .threads(config.threads)
+            .telemetry(false),
+    );
+    let _bare_cold = bare_engine.run_batch(&network, &batch);
+    let cached_warm_bare = bare_engine.run_batch(&network, &warm_batch);
+    // Replaying the warm batch only moves LRU recency ticks, never cache contents,
+    // so the extra rounds cannot perturb anything measured after them.
+    let mut best_instrumented = cached_warm.queries_per_sec();
+    let mut best_bare = cached_warm_bare.queries_per_sec();
+    for _ in 0..TELEMETRY_OVERHEAD_ROUNDS {
+        let on = cached_engine.run_batch(&network, &warm_batch);
+        best_instrumented = best_instrumented.max(on.queries_per_sec());
+        let off = bare_engine.run_batch(&network, &warm_batch);
+        best_bare = best_bare.max(off.queries_per_sec());
+    }
+    let telemetry_overhead_ratio = if best_bare > 0.0 {
+        best_instrumented / best_bare
+    } else {
+        0.0
+    };
 
     // Byzantine phase, on the still-pristine overlay (before churn mutates it): the
     // uncached frozen-kernel workload with a sampled adversary set per corruption
@@ -523,6 +743,11 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         churn,
         config.seed ^ 0xC09A,
     );
+
+    // Snapshot the cached engine's telemetry after everything it ran: the cold and
+    // warm batches plus the interleaved epochs above. Per-epoch phase deltas are in
+    // the `InterleavedReport`; this is the cumulative view.
+    let telemetry = cached_engine.telemetry().snapshot();
 
     // Snapshot-maintenance comparison at light sustained churn: three identically
     // seeded networks and engines walk the exact same trajectory — one patching its
@@ -589,6 +814,10 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         uncached_frozen,
         cached_cold,
         cached_warm,
+        cached_warm_bare,
+        telemetry_overhead_ratio,
+        stretch,
+        telemetry,
         byzantine,
         interleaved,
         maintenance_patch,
@@ -632,6 +861,28 @@ pub fn print(report: &EngineBenchReport) {
     println!(
         "frozen snapshot speedup on the uncached path: {:.2}x",
         report.frozen_speedup()
+    );
+    println!(
+        "routing stretch ({}/{} pairs): p50 {:.2}, p99 {:.2}, mean {:.2} (greedy hops / BFS-optimal hops)",
+        report.stretch.pairs_measured,
+        report.stretch.pairs_requested,
+        report.stretch_p50(),
+        report.stretch_p99(),
+        report.stretch.mean(),
+    );
+    let phases = report.telemetry.phase_totals();
+    let skew = report.telemetry.max_skew_shard().map_or_else(
+        || "n/a".to_string(),
+        |(shard, rate)| format!("#{shard} at {rate:.4} hit rate"),
+    );
+    println!(
+        "telemetry: {:.3}x of bare warm throughput, {} events ({} dropped), freeze {:.1} ms, shard work {:.1} ms, max-skew shard {}",
+        report.telemetry_overhead_ratio,
+        report.telemetry.events().len(),
+        report.telemetry.events_dropped(),
+        phases.get(Phase::Freeze) as f64 / 1e6,
+        phases.get(Phase::BatchShard) as f64 / 1e6,
+        skew,
     );
     println!(
         "byzantine ({} walks/lookup, uncached frozen kernel):",
@@ -803,9 +1054,63 @@ mod tests {
             "\"contested_queries\"",
             "\"uncached_frozen\"",
             "\"interleaved\"",
+            "\"stretch_p50\"",
+            "\"stretch_p99\"",
+            "\"telemetry_overhead_ratio\"",
+            "\"telemetry\"",
+            "\"overhead_ratio\"",
+            "\"pairs_measured\"",
+            "\"epoch_phases\"",
+            "\"batch_shard_ns\"",
+            "\"metrics\"",
+            "\"phases\"",
+            "\"shards\"",
+            "\"events\"",
         ] {
             assert!(json.contains(field), "missing {field}");
         }
+    }
+
+    #[test]
+    fn stretch_and_telemetry_sections_are_sane() {
+        let report = run(&tiny());
+        // Stretch: greedy can never beat exact BFS, and at this scale most sampled
+        // pairs must measure.
+        assert!(report.stretch.pairs_measured > STRETCH_SOURCES * STRETCH_TARGETS / 2);
+        assert!(report.stretch_p50() >= 1.0, "greedy cannot beat BFS");
+        assert!(report.stretch_p99() >= report.stretch_p50());
+        assert!(report.stretch.max() >= report.stretch_p99());
+        // The bare pair is bit-identical (zero observer effect), so the ratio is a
+        // pure clock comparison and must be positive.
+        assert_eq!(
+            report.cached_warm_bare.delivered(),
+            report.cached_warm.delivered(),
+            "telemetry must not change results"
+        );
+        assert_eq!(
+            report.cached_warm_bare.cache_hits(),
+            report.cached_warm.cache_hits(),
+            "telemetry must not change cache behaviour"
+        );
+        assert!(report.telemetry_overhead_ratio > 0.0);
+        // The snapshot saw the cold batch, the warm batch, and the interleaved
+        // epochs: shard traffic, freeze timings, and shard spans must all be there.
+        let merged = report.telemetry.merged_shards();
+        assert!(merged.requests() > 0, "cache counters must record traffic");
+        assert!(report.telemetry.phase(Phase::Freeze).count() > 0);
+        assert!(report.telemetry.phase(Phase::BatchShard).count() > 0);
+        // Churn epochs flush routes, so invalidation spans must have fired too.
+        assert!(report.telemetry.phase(Phase::Invalidate).count() > 0);
+        // Every interleaved epoch carries its own phase delta, and the per-epoch
+        // shard work sums back under the cumulative reading.
+        let epoch_shard_ns: u64 = report
+            .interleaved
+            .epochs()
+            .iter()
+            .map(|e| e.phases.get(Phase::BatchShard))
+            .sum();
+        assert!(epoch_shard_ns > 0);
+        assert!(report.telemetry.phase_totals().get(Phase::BatchShard) >= epoch_shard_ns);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::network::Network;
 use faultline_overlay::{ChurnDelta, FrozenRoutes, NodeId, OverlayGraph, PatchStats};
 use faultline_routing::{RouteResult, RouteScratch, Router};
+use faultline_telemetry::Telemetry;
 use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
 
@@ -152,6 +153,18 @@ impl FrozenView {
         self.routes.apply_churn(graph, touched)
     }
 
+    /// [`FrozenView::apply_churn`] with telemetry: times the patch (and any
+    /// triggered compaction) and records fallback/compaction events; see
+    /// [`FrozenRoutes::apply_churn_with`].
+    pub fn apply_churn_with(
+        &mut self,
+        graph: &OverlayGraph,
+        touched: &[NodeId],
+        telemetry: &Telemetry,
+    ) -> PatchStats {
+        self.routes.apply_churn_with(graph, touched, telemetry)
+    }
+
     /// Patches the snapshot in place from a typed [`ChurnDelta`] (the merged
     /// maintainer report deltas of a churn epoch): diffed rows are written directly,
     /// with **no** usable-neighbour recompute; see [`FrozenRoutes::apply_delta`] for
@@ -159,6 +172,18 @@ impl FrozenView {
     /// blast radius forces the rebuild fallback.
     pub fn apply_delta(&mut self, graph: &OverlayGraph, delta: &ChurnDelta) -> PatchStats {
         self.routes.apply_delta(graph, delta)
+    }
+
+    /// [`FrozenView::apply_delta`] with telemetry: times the patch (and any
+    /// triggered compaction) and records fallback/compaction events; see
+    /// [`FrozenRoutes::apply_delta_with`].
+    pub fn apply_delta_with(
+        &mut self,
+        graph: &OverlayGraph,
+        delta: &ChurnDelta,
+        telemetry: &Telemetry,
+    ) -> PatchStats {
+        self.routes.apply_delta_with(graph, delta, telemetry)
     }
 
     /// Routes one message over the snapshot with an explicit per-query seed.

@@ -158,6 +158,7 @@ pub struct EngineConfig {
     row_invalidation: bool,
     adaptive_freeze: AdaptiveFreeze,
     byzantine: Option<ByzantineConfig>,
+    telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +173,7 @@ impl Default for EngineConfig {
             row_invalidation: true,
             adaptive_freeze: AdaptiveFreeze::Off,
             byzantine: None,
+            telemetry: true,
         }
     }
 }
@@ -367,6 +369,26 @@ impl EngineConfig {
         self.adaptive_freeze != AdaptiveFreeze::Off
     }
 
+    /// Enables or disables the engine's telemetry subsystem (default: enabled).
+    ///
+    /// When enabled, the engine records per-phase wall-time histograms, per-shard
+    /// cache counters, and a bounded event ring, all exposed through
+    /// [`QueryEngine::telemetry`](crate::QueryEngine::telemetry). Recording is
+    /// lock-free (relaxed atomics off the query path) and never touches routing
+    /// randomness, so results are bit-identical either way; disabling it turns every
+    /// instrumentation point into a single branch for overhead-critical runs.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Whether the telemetry subsystem records (see [`EngineConfig::telemetry`]).
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+
     /// Opens the byzantine workload lane: every batch routes through redundant
     /// diversified walks that survive the configured adversary set. See
     /// [`ByzantineConfig`].
@@ -427,6 +449,11 @@ mod tests {
         );
         assert_eq!(EngineConfig::default().adaptive_freeze_threshold(), None);
         assert!(!EngineConfig::default().adaptive_freeze_enabled());
+        assert!(
+            EngineConfig::default().telemetry_enabled(),
+            "telemetry is on by default"
+        );
+        assert!(!EngineConfig::default().telemetry(false).telemetry_enabled());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use faultline_core::{FrozenView, Network};
 use faultline_failure::{ChurnEvent, ChurnSchedule};
 use faultline_overlay::ChurnDelta;
 use faultline_sim::{seed_for_trial, trial_rng};
+use faultline_telemetry::{Phase, PhaseNanos};
 use rand::Rng;
 use std::time::Instant;
 
@@ -168,6 +169,13 @@ pub struct EpochReport {
     pub byzantine_after: usize,
     /// Snapshot maintenance (rebuild / patch / skip) performed this epoch.
     pub snapshot: SnapshotWork,
+    /// Telemetry wall-time attributed to each engine phase *during this epoch* (the
+    /// difference of two cumulative [`Telemetry::phase_totals`] readings; all zeros
+    /// when telemetry is disabled). `BatchShard` sums per-worker shard time, so it
+    /// can exceed the epoch's wall clock on multi-threaded runs.
+    ///
+    /// [`Telemetry::phase_totals`]: faultline_telemetry::Telemetry::phase_totals
+    pub phases: PhaseNanos,
 }
 
 /// The full interleaved trajectory.
@@ -307,7 +315,7 @@ impl InterleavedReport {
                         "\"snapshot\":{{\"rebuild_ns\":{},\"patch_ns\":{},",
                         "\"rows_patched\":{},\"rows_in_place\":{},\"compacted\":{},",
                         "\"fallback_rebuild\":{},\"skipped\":{}}},",
-                        "\"batch\":{}}}"
+                        "\"phases\":{},\"batch\":{}}}"
                     ),
                     e.epoch,
                     e.joins,
@@ -324,6 +332,7 @@ impl InterleavedReport {
                     e.snapshot.compacted,
                     e.snapshot.fallback_rebuild,
                     e.snapshot.skipped,
+                    e.phases.to_json(),
                     e.batch.to_json()
                 )
             })
@@ -384,6 +393,10 @@ impl QueryEngine {
         let mut reports = Vec::with_capacity(epochs);
         let mut snapshot: Option<FrozenView> = None;
         for epoch in 0..epochs {
+            // Stamp ring events with the epoch, and bracket the epoch's phase
+            // totals so the report carries a per-epoch breakdown.
+            self.telemetry().set_epoch(epoch as u64);
+            let phases_before = self.telemetry().phase_totals();
             let mut work = SnapshotWork::default();
             if self.snapshot_worthwhile(queries_per_epoch) {
                 if snapshot.is_none() {
@@ -391,6 +404,8 @@ impl QueryEngine {
                     snapshot = Some(self.note_snapshot_built(self.routing_view(network).freeze()));
                     work.rebuild_nanos = started.elapsed().as_nanos() as u64;
                     self.observe_freeze_nanos(work.rebuild_nanos as f64);
+                    self.telemetry()
+                        .record_phase(Phase::Freeze, work.rebuild_nanos);
                 }
             } else {
                 // Frozen path disabled or adaptively skipped: route misses (if any)
@@ -480,10 +495,10 @@ impl QueryEngine {
             if let Some(live) = snapshot.as_mut() {
                 let patch = |live: &mut FrozenView| match self.config().maintenance_mode() {
                     SnapshotMaintenance::Delta => {
-                        Some(live.apply_delta(network.graph(), &epoch_delta))
+                        Some(live.apply_delta_with(network.graph(), &epoch_delta, self.telemetry()))
                     }
                     SnapshotMaintenance::TouchedList => {
-                        Some(live.apply_churn(network.graph(), &touched))
+                        Some(live.apply_churn_with(network.graph(), &touched, self.telemetry()))
                     }
                     SnapshotMaintenance::Rebuild => None,
                 };
@@ -513,6 +528,10 @@ impl QueryEngine {
                     .adversaries()
                     .map_or(0, faultline_routing::ByzantineSet::len),
                 snapshot: work,
+                phases: self
+                    .telemetry()
+                    .phase_totals()
+                    .saturating_sub(&phases_before),
             });
         }
         InterleavedReport { epochs: reports }

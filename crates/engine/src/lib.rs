@@ -50,6 +50,19 @@
 //!   [`BatchReport`] splits honest-vs-contested success/hop/latency percentiles.
 //! * **Percentile stats** — every batch reports p50/p95/p99 hop and per-query wall-time
 //!   ladders plus queries/sec, exportable as JSON for the benchmark trajectory.
+//!   Latency percentiles come from log-bucketed histograms ([`LatencyDigest`]) that
+//!   carry the batch's measurement floor and quantization share, so sub-resolution
+//!   readings are visible as clock artifacts instead of masquerading as precise.
+//! * **Telemetry** — the engine records per-phase wall-time histograms (`freeze`,
+//!   `apply_delta`/`apply_churn`, `invalidate`, per-shard `batch_shard`, `compact`),
+//!   per-shard cache counters (hits/misses/evictions/occupancy), and a bounded ring
+//!   of epoch-stamped structural events (compactions, rebuild fallbacks, cache
+//!   evictions/invalidations, adversary convictions). Recording is lock-free relaxed
+//!   atomics off the deterministic path — instrumented and uninstrumented runs
+//!   produce bit-identical results. Snapshot via
+//!   [`QueryEngine::telemetry`]`().snapshot()`; disable with
+//!   [`EngineConfig::telemetry`]`(false)`, which turns every instrumentation point
+//!   into a single branch.
 //!
 //! # Example
 //!
@@ -85,10 +98,15 @@ pub use cache::{
 pub use config::{ByzantineConfig, ByzantineMembership, EngineConfig, SnapshotMaintenance};
 pub use interleave::{ChurnMix, EpochReport, InterleavedReport, SnapshotWork};
 pub use run::QueryEngine;
-pub use stats::{AdversarySplit, BatchReport, QueryOutcome};
+pub use stats::{AdversarySplit, BatchReport, LatencyDigest, QueryOutcome};
 
 // Re-exported so byzantine-lane callers need no direct `faultline_routing` dependency.
 pub use faultline_routing::ByzantineSet;
 // Re-exported so churn-delta callers (`QueryEngine::invalidate_delta`, maintenance
 // mode selection) need no direct `faultline_overlay` dependency.
 pub use faultline_overlay::{ChurnDelta, RowChangeKind, RowDelta};
+// Re-exported so telemetry consumers (`QueryEngine::telemetry`, per-epoch phase
+// breakdowns) need no direct `faultline_telemetry` dependency.
+pub use faultline_telemetry::{
+    Event, EventKind, MetricsSnapshot, Phase, PhaseNanos, ShardCounters, Telemetry,
+};

@@ -8,6 +8,7 @@ use faultline_core::{FrozenView, Network, NetworkView};
 use faultline_overlay::{ChurnDelta, NodeId};
 use faultline_routing::{ByzantineSet, RedundantRouter, RouteScratch};
 use faultline_sim::seed_for_trial;
+use faultline_telemetry::{EventKind, Phase, Telemetry};
 use rand::rngs::{SmallRng, StdRng};
 use rand::SeedableRng;
 use std::time::Instant;
@@ -46,6 +47,14 @@ pub struct QueryEngine {
     /// a network, or forever on honest engines). Churn epochs mutate it: departing
     /// Byzantine nodes shrink it, joining nodes are marked (or cleared) by the mix.
     adversaries: Option<ByzantineSet>,
+    /// The engine's telemetry handle: per-phase histograms, per-shard cache cells,
+    /// and the event ring. Disabled (inert) when `EngineConfig::telemetry(false)`.
+    telemetry: Telemetry,
+}
+
+/// Clamps a count into an event-ring payload.
+fn saturate_u32(value: u64) -> u32 {
+    u32::try_from(value).unwrap_or(u32::MAX)
 }
 
 /// Assumed live-over-frozen per-miss cost ratio used by the auto adaptive-freeze
@@ -88,8 +97,17 @@ impl QueryEngine {
             .num_threads(config.thread_count())
             .build()
             .expect("thread pool construction cannot fail");
+        let telemetry = if config.telemetry_enabled() {
+            Telemetry::new(config.shard_count())
+        } else {
+            Telemetry::disabled()
+        };
         let caches = (0..config.shard_count())
-            .map(|_| RouteCache::new(config.cache_capacity_entries()))
+            .map(|index| {
+                let mut cache = RouteCache::new(config.cache_capacity_entries());
+                cache.attach(telemetry.shard(index));
+                cache
+            })
             .collect();
         Self {
             config,
@@ -101,7 +119,16 @@ impl QueryEngine {
             frozen_miss_nanos_est: None,
             live_miss_nanos_est: None,
             adversaries: None,
+            telemetry,
         }
+    }
+
+    /// The engine's telemetry handle: snapshot it for per-phase time histograms,
+    /// per-shard cache counters, and the structural event ring. Inert (empty
+    /// snapshots) when the config disabled telemetry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The engine's configuration.
@@ -143,11 +170,16 @@ impl QueryEngine {
         if nodes.is_empty() {
             return 0;
         }
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span(Phase::Invalidate);
         let mask = buckets_mask(nodes, n);
-        self.caches
+        let flushed: usize = self
+            .caches
             .iter_mut()
             .map(|cache| cache.invalidate(mask))
-            .sum()
+            .sum();
+        telemetry.event(EventKind::CacheInvalidation, saturate_u32(flushed as u64));
+        flushed
     }
 
     /// Flushes exactly the cache entries whose cached walk visited a row the delta
@@ -164,14 +196,19 @@ impl QueryEngine {
         if delta.rows().is_empty() {
             return 0;
         }
+        let telemetry = self.telemetry.clone();
+        let _span = telemetry.span(Phase::Invalidate);
         let mut dirty = RowSet::with_space(n);
         for node in delta.changed_nodes() {
             dirty.insert(node as u32);
         }
-        self.caches
+        let flushed: usize = self
+            .caches
             .iter_mut()
             .map(|cache| cache.invalidate_rows(&dirty))
-            .sum()
+            .sum();
+        telemetry.event(EventKind::CacheInvalidation, saturate_u32(flushed as u64));
+        flushed
     }
 
     /// Counts (without evicting) the cache entries the bucket-granular mask for
@@ -289,6 +326,8 @@ impl QueryEngine {
         if let Some(set) = self.adversaries.as_mut() {
             if joined && conscript {
                 set.insert(node);
+                self.telemetry
+                    .event(EventKind::AdversaryConviction, saturate_u32(node));
             } else {
                 set.remove(node);
             }
@@ -339,7 +378,9 @@ impl QueryEngine {
             self.snapshots_built += 1;
             let started = Instant::now();
             let view = self.routing_view(network).freeze();
-            self.observe_freeze_nanos(started.elapsed().as_nanos() as f64);
+            let nanos = started.elapsed().as_nanos() as u64;
+            self.observe_freeze_nanos(nanos as f64);
+            self.telemetry.record_phase(Phase::Freeze, nanos);
             view
         });
         self.run_batch_with_snapshot(network, batch, frozen.as_ref())
@@ -410,6 +451,8 @@ impl QueryEngine {
         }
 
         let mut shard_outputs: Vec<Vec<(usize, QueryOutcome)>> = vec![Vec::new(); shard_count];
+        let telemetry_handle = self.telemetry.clone();
+        let telemetry = &telemetry_handle;
         let started = Instant::now();
         self.pool.scope(|scope| {
             let jobs = self
@@ -422,6 +465,9 @@ impl QueryEngine {
                     continue;
                 }
                 scope.spawn(move |_| {
+                    // Wall time this shard's worker spent on its slice of the batch
+                    // (recording only bumps atomics, never the routing RNG stream).
+                    let _shard_span = telemetry.span(Phase::BatchShard);
                     // One scratch per shard worker: buffers are reused across every
                     // query the shard routes, so the frozen kernel never allocates.
                     // Path recording only matters to cache invalidation masks (the
@@ -457,6 +503,9 @@ impl QueryEngine {
                         };
                         output.push((index, outcome));
                     }
+                    // One batched telemetry publication per shard per batch: the
+                    // per-query cache paths bump plain counters only.
+                    cache.publish_telemetry();
                 });
             }
         });

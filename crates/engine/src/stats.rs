@@ -2,6 +2,7 @@
 
 use faultline_overlay::NodeId;
 use faultline_sim::Summary;
+use faultline_telemetry::Histogram;
 use std::time::Duration;
 
 /// The outcome of one query in a batch.
@@ -43,6 +44,86 @@ pub struct QueryOutcome {
     pub nanos: u64,
 }
 
+/// Histogram-backed per-query latency percentiles, with the clock-granularity
+/// caveats made explicit.
+///
+/// Per-query wall times are dominated by readings near the platform timer's
+/// resolution (a cache hit takes tens of nanoseconds; many clocks cannot
+/// distinguish 0 from 58ns). Sorting raw samples reports those quantization
+/// artifacts as precise percentiles. This digest instead feeds the readings
+/// through a log-bucketed [`Histogram`] (≤6.25% relative bucket error, which is
+/// honest about what a nanosecond timer can resolve) and carries the
+/// measurement floor alongside the percentiles so a quantized p50 is visibly a
+/// floor artifact rather than a latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyDigest {
+    /// Median per-query wall time (ns), log-bucket resolution.
+    pub p50: u64,
+    /// 95th-percentile per-query wall time (ns).
+    pub p95: u64,
+    /// 99th-percentile per-query wall time (ns).
+    pub p99: u64,
+    /// The batch's measurement floor: the smallest non-zero per-query reading,
+    /// which sub-resolution readings were clamped to (see [`QueryOutcome::nanos`]).
+    /// `0` when nothing in the batch measured above the timer's resolution.
+    pub floor_ns: u64,
+    /// Fraction of queries whose reading sits at (or was clamped to) the floor —
+    /// the share of the batch the timer could not actually resolve.
+    pub sub_resolution_share: f64,
+    /// `true` when the majority of readings sit at the floor, i.e. the p50 is a
+    /// clock-granularity artifact (an upper bound), not a measured latency.
+    pub quantized: bool,
+}
+
+impl LatencyDigest {
+    /// Builds the digest over an iterator of per-query nanosecond readings.
+    /// `None` for an empty iterator.
+    fn over(readings: impl Iterator<Item = u64> + Clone) -> Option<Self> {
+        let histogram = Histogram::new();
+        let mut floor = u64::MAX;
+        let (mut total, mut at_floor) = (0usize, 0usize);
+        for nanos in readings.clone() {
+            histogram.record(nanos);
+            total += 1;
+            if nanos > 0 {
+                floor = floor.min(nanos);
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        let floor = if floor == u64::MAX { 0 } else { floor };
+        for nanos in readings {
+            if nanos <= floor {
+                at_floor += 1;
+            }
+        }
+        let snapshot = histogram.snapshot();
+        let share = at_floor as f64 / total as f64;
+        Some(Self {
+            p50: snapshot.quantile(0.50).round() as u64,
+            p95: snapshot.quantile(0.95).round() as u64,
+            p99: snapshot.quantile(0.99).round() as u64,
+            floor_ns: floor,
+            sub_resolution_share: share,
+            quantized: share >= 0.5,
+        })
+    }
+
+    /// Renders the digest as a JSON object (the `latency_ns` section of a batch
+    /// report).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"p50\":{},\"p95\":{},\"p99\":{},\"floor_ns\":{},",
+                "\"sub_resolution_share\":{:.4},\"quantized\":{}}}"
+            ),
+            self.p50, self.p95, self.p99, self.floor_ns, self.sub_resolution_share, self.quantized,
+        )
+    }
+}
+
 /// Success/hop/latency digest of one side of a batch's honest-vs-contested split
 /// (see [`BatchReport::adversary_split`]).
 #[derive(Debug, Clone)]
@@ -55,8 +136,9 @@ pub struct AdversarySplit {
     pub success_rate: f64,
     /// Hop percentiles over delivered lookups on this side (winning-walk hops).
     pub hops: Option<Summary>,
-    /// Per-query wall-time percentiles (ns) over all lookups on this side.
-    pub latency: Option<Summary>,
+    /// Histogram-backed per-query wall-time percentiles (ns) over all lookups on
+    /// this side.
+    pub latency: Option<LatencyDigest>,
 }
 
 /// Aggregate report for one executed batch.
@@ -161,10 +243,20 @@ impl BatchReport {
         )
     }
 
-    /// Per-query wall-time summary in nanoseconds, over all lookups.
+    /// Per-query wall-time summary in nanoseconds, over all lookups. Kept for its
+    /// mean/count/CI fields; for percentiles prefer
+    /// [`BatchReport::latency_digest`], which is honest about clock granularity.
     #[must_use]
     pub fn latency_summary(&self) -> Option<Summary> {
         Summary::of(self.outcomes.iter().map(|o| o.nanos as f64))
+    }
+
+    /// Histogram-backed per-query latency percentiles with the measurement floor
+    /// and quantization share made explicit (see [`LatencyDigest`]). `None` for an
+    /// empty batch.
+    #[must_use]
+    pub fn latency_digest(&self) -> Option<LatencyDigest> {
+        LatencyDigest::over(self.outcomes.iter().map(|o| o.nanos))
     }
 
     /// Whether this batch ran on the byzantine lane (redundant walks over an
@@ -232,7 +324,7 @@ impl BatchReport {
                 delivered as f64 / side.len() as f64
             },
             hops: Summary::of(side.iter().filter(|o| o.delivered).map(|o| o.hops as f64)),
-            latency: Summary::of(side.iter().map(|o| o.nanos as f64)),
+            latency: LatencyDigest::over(side.iter().map(|o| o.nanos)),
         }
     }
 
@@ -242,7 +334,14 @@ impl BatchReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let hops = self.hop_summary();
-        let latency = self.latency_summary();
+        let latency = self.latency_digest().unwrap_or(LatencyDigest {
+            p50: 0,
+            p95: 0,
+            p99: 0,
+            floor_ns: 0,
+            sub_resolution_share: 0.0,
+            quantized: false,
+        });
         let quantiles =
             |s: &Option<Summary>, f: fn(&Summary) -> f64| -> f64 { s.as_ref().map_or(0.0, f) };
         let adversary = if self.byzantine {
@@ -251,14 +350,14 @@ impl BatchReport {
                     concat!(
                         "{{\"queries\":{},\"success_rate\":{:.6},",
                         "\"hops_p50\":{:.1},\"hops_p99\":{:.1},",
-                        "\"latency_p50_ns\":{:.0},\"latency_p99_ns\":{:.0}}}"
+                        "\"latency_p50_ns\":{},\"latency_p99_ns\":{}}}"
                     ),
                     split.queries,
                     split.success_rate,
                     quantiles(&split.hops, |s| s.median),
                     quantiles(&split.hops, |s| s.p99),
-                    quantiles(&split.latency, |s| s.median),
-                    quantiles(&split.latency, |s| s.p99),
+                    split.latency.map_or(0, |d| d.p50),
+                    split.latency.map_or(0, |d| d.p99),
                 )
             };
             format!(
@@ -283,7 +382,7 @@ impl BatchReport {
                 "\"cache_hits\":{},\"threads\":{},\"wall_ms\":{:.3},",
                 "\"queries_per_sec\":{:.1},",
                 "\"hops\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\"mean\":{:.3}}},",
-                "\"latency_ns\":{{\"p50\":{:.0},\"p95\":{:.0},\"p99\":{:.0}}}{}}}"
+                "\"latency_ns\":{}{}}}"
             ),
             self.queries(),
             self.delivered(),
@@ -296,9 +395,7 @@ impl BatchReport {
             quantiles(&hops, |s| s.p95),
             quantiles(&hops, |s| s.p99),
             quantiles(&hops, |s| s.mean),
-            quantiles(&latency, |s| s.median),
-            quantiles(&latency, |s| s.p95),
-            quantiles(&latency, |s| s.p99),
+            latency.to_json(),
             adversary,
         )
     }
@@ -368,6 +465,64 @@ mod tests {
         unmeasured.nanos = 0;
         let report = BatchReport::with_mode(vec![unmeasured], Duration::from_millis(1), 1, false);
         assert_eq!(report.outcomes()[0].nanos, 0);
+    }
+
+    #[test]
+    fn latency_digest_flags_quantized_batches_and_tracks_the_floor() {
+        // Three sub-resolution readings clamp to the 40ns floor, joining the one
+        // genuine 40ns reading: 4 of 5 samples sit at the floor, so the median is
+        // a clock-granularity artifact and the digest must say so.
+        let mut outcomes = vec![outcome(true, 1, true); 3];
+        for o in &mut outcomes {
+            o.nanos = 0;
+        }
+        let mut measured = outcome(true, 2, false);
+        measured.nanos = 40;
+        let mut slowest = outcome(true, 3, false);
+        slowest.nanos = 10_000;
+        outcomes.push(measured);
+        outcomes.push(slowest);
+        let report = BatchReport::with_mode(outcomes, Duration::from_millis(1), 1, false);
+        let digest = report.latency_digest().unwrap();
+        assert_eq!(digest.floor_ns, 40);
+        assert!((digest.sub_resolution_share - 0.8).abs() < 1e-9);
+        assert!(digest.quantized, "4/5 readings at the floor");
+        assert!(
+            (40..=42).contains(&digest.p50),
+            "p50 {} must sit at the floor bucket",
+            digest.p50
+        );
+        assert!(
+            (9_000..=10_000).contains(&digest.p99),
+            "p99 {} must land within log-bucket error of 10µs",
+            digest.p99
+        );
+        let json = digest.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for field in [
+            "\"floor_ns\":40",
+            "\"sub_resolution_share\":0.8000",
+            "\"quantized\":true",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        // A batch of well-separated measured readings is not quantized.
+        let outcomes: Vec<QueryOutcome> = [100u64, 300, 900, 2_700, 8_100]
+            .iter()
+            .map(|&nanos| {
+                let mut o = outcome(true, 1, false);
+                o.nanos = nanos;
+                o
+            })
+            .collect();
+        let report = BatchReport::with_mode(outcomes, Duration::from_millis(1), 1, false);
+        let digest = report.latency_digest().unwrap();
+        assert_eq!(digest.floor_ns, 100);
+        assert!(!digest.quantized);
+        assert!((digest.sub_resolution_share - 0.2).abs() < 1e-9);
+        // Empty batches have no digest.
+        let empty = BatchReport::with_mode(vec![], Duration::from_millis(1), 1, false);
+        assert!(empty.latency_digest().is_none());
     }
 
     #[test]

@@ -33,9 +33,15 @@
 use crate::delta::ChurnDelta;
 use crate::graph::OverlayGraph;
 use crate::NodeId;
+use faultline_telemetry::{EventKind, Phase, Telemetry};
 
 /// Sentinel in the row-redirect table: the row still lives in the dense CSR arrays.
 const DENSE_ROW: u32 = u32::MAX;
+
+/// Clamps a count into a 32-bit telemetry event payload.
+fn saturate_u32(value: usize) -> u32 {
+    u32::try_from(value).unwrap_or(u32::MAX)
+}
 
 /// Compact once more than `1/TOMBSTONE_DENOM` of all rows are tombstoned, and fall
 /// back to an in-place rebuild when a single patch call *creates* that many new
@@ -187,6 +193,19 @@ impl FrozenRoutes {
     /// if a touched node is outside the space, or if the overflow region exceeds the
     /// `u32` CSR range.
     pub fn apply_churn(&mut self, graph: &OverlayGraph, touched: &[NodeId]) -> PatchStats {
+        self.apply_churn_with(graph, touched, &Telemetry::disabled())
+    }
+
+    /// [`FrozenRoutes::apply_churn`] with telemetry: the call is timed under
+    /// [`Phase::ApplyChurn`] (any triggered compaction under [`Phase::Compact`]),
+    /// and a rebuild fallback or compaction lands on the event ring.
+    pub fn apply_churn_with(
+        &mut self,
+        graph: &OverlayGraph,
+        touched: &[NodeId],
+        telemetry: &Telemetry,
+    ) -> PatchStats {
+        let _span = telemetry.span(Phase::ApplyChurn);
         self.check_graph(graph);
         let mut stats = PatchStats::default();
         // Maintainer blast radii overlap heavily (ring neighbours, repeated repair
@@ -214,13 +233,14 @@ impl FrozenRoutes {
             row.extend(graph.usable_neighbors(p).map(|q| q as u32));
             if self.patch_one(p, &row, &mut stats, &mut new_tombstones) {
                 self.rebuild_from(graph);
+                telemetry.event(EventKind::RebuildFallback, saturate_u32(unique.len()));
                 stats.rebuilt = true;
                 stats.compacted = true;
                 return stats;
             }
         }
 
-        self.finish_patch(alive_dirty, &mut stats);
+        self.finish_patch(alive_dirty, &mut stats, telemetry);
         stats
     }
 
@@ -247,6 +267,19 @@ impl FrozenRoutes {
     /// if a diffed node is outside the space, or if the overflow region exceeds the
     /// `u32` CSR range.
     pub fn apply_delta(&mut self, graph: &OverlayGraph, delta: &ChurnDelta) -> PatchStats {
+        self.apply_delta_with(graph, delta, &Telemetry::disabled())
+    }
+
+    /// [`FrozenRoutes::apply_delta`] with telemetry: the call is timed under
+    /// [`Phase::ApplyDelta`] (any triggered compaction under [`Phase::Compact`]),
+    /// and a rebuild fallback or compaction lands on the event ring.
+    pub fn apply_delta_with(
+        &mut self,
+        graph: &OverlayGraph,
+        delta: &ChurnDelta,
+        telemetry: &Telemetry,
+    ) -> PatchStats {
+        let _span = telemetry.span(Phase::ApplyDelta);
         self.check_graph(graph);
         let mut stats = PatchStats::default();
         if let Some(last) = delta.rows().last() {
@@ -278,13 +311,14 @@ impl FrozenRoutes {
             }
             if self.patch_one(p, &rd.row, &mut stats, &mut new_tombstones) {
                 self.rebuild_from(graph);
+                telemetry.event(EventKind::RebuildFallback, saturate_u32(delta.rows().len()));
                 stats.rebuilt = true;
                 stats.compacted = true;
                 return stats;
             }
         }
 
-        self.finish_patch(alive_dirty, &mut stats);
+        self.finish_patch(alive_dirty, &mut stats, telemetry);
         stats
     }
 
@@ -368,7 +402,7 @@ impl FrozenRoutes {
     }
 
     /// Common patch epilogue: refresh the sorted alive list and compact if warranted.
-    fn finish_patch(&mut self, alive_dirty: bool, stats: &mut PatchStats) {
+    fn finish_patch(&mut self, alive_dirty: bool, stats: &mut PatchStats, telemetry: &Telemetry) {
         // The sorted alive list is refreshed in one bitset sweep rather than per-node
         // `Vec::insert`/`remove` memmoves (an epoch can flip hundreds of bits).
         if alive_dirty {
@@ -384,7 +418,7 @@ impl FrozenRoutes {
         }
 
         if self.should_compact() {
-            self.compact();
+            self.compact_with(telemetry);
             stats.compacted = true;
         }
     }
@@ -436,9 +470,18 @@ impl FrozenRoutes {
     /// same topology would produce (rows are rebuilt in node order, so `offsets` and
     /// `neighbors` come out bit-identical). A no-op on an unpatched snapshot.
     pub fn compact(&mut self) {
+        self.compact_with(&Telemetry::disabled());
+    }
+
+    /// [`FrozenRoutes::compact`] with telemetry: a real compaction (not the dense
+    /// no-op) is timed under [`Phase::Compact`] and recorded on the event ring with
+    /// the number of tombstoned rows it folded back as the payload.
+    pub fn compact_with(&mut self, telemetry: &Telemetry) {
         if self.row_redirect.is_empty() {
             return;
         }
+        let _span = telemetry.span(Phase::Compact);
+        telemetry.event(EventKind::Compaction, self.tombstones);
         let n = self.n as usize;
         // The old arrays are read through `self.neighbors(p)` while the new ones are
         // built, so the CSR pair needs fresh storage for one compaction; the redirect
@@ -817,6 +860,59 @@ mod tests {
             compactions > 0,
             "tombstoning half the rows must cross the 1/8 threshold"
         );
+    }
+
+    #[test]
+    fn telemetry_variants_record_phases_and_events_without_changing_results() {
+        let tel = Telemetry::new(1);
+
+        // A light patch: timed under ApplyChurn, no events.
+        let mut g = chain_graph(64);
+        let mut frozen = g.freeze();
+        g.fail_link(1, 0);
+        let stats = frozen.apply_churn_with(&g, &[1, 2], &tel);
+        assert_eq!(stats.rows_patched, 1);
+        patched_equals_fresh(&g, &frozen);
+
+        // A heavy structural blast radius: rebuild fallback hits the event ring.
+        let mut g2 = chain_graph(32);
+        let mut frozen2 = g2.freeze();
+        for p in 0..12u64 {
+            g2.fail_link(p, p + 1);
+        }
+        let touched: Vec<NodeId> = (0..12).collect();
+        let stats2 = frozen2.apply_churn_with(&g2, &touched, &tel);
+        assert!(stats2.rebuilt);
+        assert_eq!(frozen2, g2.freeze());
+
+        // An explicit compaction: timed under Compact, one event with the
+        // tombstone count as payload.
+        let mut g3 = chain_graph(64);
+        let mut frozen3 = g3.freeze();
+        g3.remove_node(5);
+        g3.remove_link(4, 5, LinkKind::Ring);
+        g3.remove_link(6, 5, LinkKind::Ring);
+        frozen3.apply_churn_with(&g3, &[4, 5, 6], &tel);
+        let tombstoned = frozen3.patched_rows() as u32;
+        assert!(tombstoned > 0);
+        frozen3.compact_with(&tel);
+        assert_eq!(frozen3, g3.freeze());
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.phase(Phase::ApplyChurn).count(), 3);
+        assert_eq!(snap.phase(Phase::Compact).count(), 1);
+        assert_eq!(snap.event_count(EventKind::RebuildFallback), 1);
+        assert_eq!(snap.event_count(EventKind::Compaction), 1);
+        let compaction = snap
+            .events()
+            .iter()
+            .find(|e| e.kind == EventKind::Compaction)
+            .expect("compaction event recorded");
+        assert_eq!(compaction.payload, tombstoned);
+
+        // A dense no-op compaction records nothing.
+        frozen3.compact_with(&tel);
+        assert_eq!(tel.snapshot().phase(Phase::Compact).count(), 1);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Cache-line-padded atomic metric cells.
+//!
+//! A shard's hit/miss counters are bumped from exactly one worker thread at a time,
+//! but neighbouring shards' counters are bumped concurrently — without padding they
+//! would share cache lines and every increment would bounce the line between cores.
+//! `#[repr(align(64))]` gives each cell its own line for the price of a few bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count, padded to its own cache line.
+///
+/// All operations use relaxed ordering: counters carry no synchronisation duty —
+/// readers only ever see them through [`crate::Telemetry::snapshot`], after the
+/// work that bumped them has been joined.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins level reading (cache occupancy, live set sizes), padded like
+/// [`Counter`].
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_occupy_a_full_cache_line() {
+        assert_eq!(std::mem::size_of::<Counter>(), 64);
+        assert_eq!(std::mem::align_of::<Counter>(), 64);
+        assert_eq!(std::mem::size_of::<Gauge>(), 64);
+        assert_eq!(std::mem::align_of::<Gauge>(), 64);
+    }
+
+    #[test]
+    fn counter_counts_and_gauge_overwrites() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

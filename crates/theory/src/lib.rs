@@ -12,6 +12,9 @@
 //! * [`chain`] — a Monte-Carlo simulator of the idealised greedy Markov chain analysed in
 //!   Section 4.2 (fresh `Δ` link sets at every step, target at 0), used to sanity-check the
 //!   lower-bound machinery against measured behaviour.
+//! * [`oracle`] — an exact BFS shortest-path oracle over any caller-supplied adjacency,
+//!   the ground truth behind the benchmark's sampled routing-stretch measurement
+//!   (greedy hops ÷ optimal hops).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +23,9 @@
 pub mod bounds;
 pub mod chain;
 pub mod kuw;
+pub mod oracle;
 
 pub use bounds::{BoundKind, ModelBounds, Table1Row};
 pub use chain::{ChainEstimate, GreedyChain, OffsetDistribution};
 pub use kuw::{kuw_upper_bound, kuw_upper_bound_discrete};
+pub use oracle::{bfs_distances, hop_distance, UNREACHABLE};

@@ -1,0 +1,154 @@
+//! Exact shortest-path oracle: breadth-first hop distances over any adjacency.
+//!
+//! The paper's routing guarantees are all *stretch* statements in disguise: greedy
+//! routing over ℓ long-range links takes O(log²n / ℓ) hops where an omniscient
+//! router would take the unweighted shortest path. Measuring that ratio needs
+//! ground truth, and ground truth needs exact BFS — no sampling, no greedy bias.
+//!
+//! The oracle is adjacency-generic: callers hand it a closure yielding each node's
+//! out-neighbours, so the same code measures the live overlay graph, a frozen CSR
+//! snapshot, or a synthetic test graph, and this crate stays free of overlay
+//! dependencies. Directedness is respected (the overlay's usable-neighbour rows are
+//! directed once nodes fail), and unreachable nodes report [`UNREACHABLE`].
+
+/// Hop distance reported for nodes BFS never reached (also: dead sources).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Exact hop distances from `source` to every node in `0..n`, by breadth-first
+/// search over the `neighbors` adjacency oracle.
+///
+/// `neighbors(p)` must yield the out-neighbours of `p`; out-of-range neighbours
+/// (`>= n`) are ignored rather than panicking, so callers can pass raw adjacency
+/// rows without pre-filtering. The returned vector has length `n`, with
+/// `distance[source] == 0` and [`UNREACHABLE`] for nodes no directed path reaches.
+///
+/// O(n + edges) time, O(n) space — cheap enough to run per sampled source at bench
+/// scale, far too slow to run per query (which is the point of the greedy router).
+#[must_use]
+pub fn bfs_distances<N, I>(n: u32, source: u32, neighbors: N) -> Vec<u32>
+where
+    N: Fn(u32) -> I,
+    I: IntoIterator<Item = u32>,
+{
+    let mut distance = vec![UNREACHABLE; n as usize];
+    if source >= n {
+        return distance;
+    }
+    distance[source as usize] = 0;
+    let mut frontier = std::collections::VecDeque::with_capacity(64);
+    frontier.push_back(source);
+    while let Some(node) = frontier.pop_front() {
+        let next = distance[node as usize] + 1;
+        for neighbor in neighbors(node) {
+            if neighbor < n && distance[neighbor as usize] == UNREACHABLE {
+                distance[neighbor as usize] = next;
+                frontier.push_back(neighbor);
+            }
+        }
+    }
+    distance
+}
+
+/// Exact hop distance from `source` to `target` (`None` when no directed path
+/// exists), with early exit as soon as the target is settled.
+#[must_use]
+pub fn hop_distance<N, I>(n: u32, source: u32, target: u32, neighbors: N) -> Option<u32>
+where
+    N: Fn(u32) -> I,
+    I: IntoIterator<Item = u32>,
+{
+    if source >= n || target >= n {
+        return None;
+    }
+    if source == target {
+        return Some(0);
+    }
+    let mut distance = vec![UNREACHABLE; n as usize];
+    distance[source as usize] = 0;
+    let mut frontier = std::collections::VecDeque::with_capacity(64);
+    frontier.push_back(source);
+    while let Some(node) = frontier.pop_front() {
+        let next = distance[node as usize] + 1;
+        for neighbor in neighbors(node) {
+            if neighbor == target {
+                return Some(next);
+            }
+            if neighbor < n && distance[neighbor as usize] == UNREACHABLE {
+                distance[neighbor as usize] = next;
+                frontier.push_back(neighbor);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Directed ring: p → p+1 (mod n).
+    fn ring(n: u32) -> impl Fn(u32) -> Vec<u32> {
+        move |p| vec![(p + 1) % n]
+    }
+
+    #[test]
+    fn ring_distances_are_exact() {
+        let d = bfs_distances(8, 2, ring(8));
+        assert_eq!(d[2], 0);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[1], 7, "directed ring: going back costs n-1 hops");
+        assert_eq!(hop_distance(8, 2, 1, ring(8)), Some(7));
+        assert_eq!(hop_distance(8, 5, 5, ring(8)), Some(0));
+    }
+
+    #[test]
+    fn shortcuts_beat_the_ring() {
+        // Ring plus one long link 0 → 4: BFS must take it.
+        let adj = |p: u32| {
+            let mut next = vec![(p + 1) % 8];
+            if p == 0 {
+                next.push(4);
+            }
+            next
+        };
+        assert_eq!(bfs_distances(8, 0, adj)[5], 2, "0 → 4 → 5");
+        assert_eq!(hop_distance(8, 0, 5, adj), Some(2));
+    }
+
+    #[test]
+    fn unreachable_and_out_of_range_are_handled() {
+        // Two disconnected directed edges: 0 → 1, 2 → 3.
+        let adj = |p: u32| match p {
+            0 => vec![1],
+            2 => vec![3],
+            _ => vec![],
+        };
+        let d = bfs_distances(4, 0, adj);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(hop_distance(4, 0, 3, adj), None);
+        // Out-of-range endpoints and neighbours never panic.
+        assert_eq!(hop_distance(4, 9, 0, adj), None);
+        assert!(bfs_distances(4, 9, adj).iter().all(|&d| d == UNREACHABLE));
+        let spiky = |_: u32| vec![1_000_000u32];
+        assert_eq!(bfs_distances(2, 0, spiky)[1], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_and_early_exit_agree() {
+        // Dense-ish arbitrary graph: p → {p+1, 2p mod n}.
+        let n = 64;
+        let adj = move |p: u32| vec![(p + 1) % n, (2 * p) % n];
+        for source in [0u32, 7, 33] {
+            let d = bfs_distances(n, source, adj);
+            for target in 0..n {
+                let expected = (d[target as usize] != UNREACHABLE).then(|| d[target as usize]);
+                assert_eq!(
+                    hop_distance(n, source, target, adj),
+                    expected,
+                    "{source} → {target}"
+                );
+            }
+        }
+    }
+}
