@@ -7,15 +7,19 @@
 //! Under `--quick` (the CI smoke run) it also acts as a regression gate: the run
 //! fails if the frozen-kernel speedup, the incremental snapshot-maintenance speedup,
 //! the typed-delta patch speedup, the rebuild-fallback-free fraction, the
-//! adversarial throughput, the adversarial success rate or the telemetry overhead
-//! ratio falls below a floor (each overridable —
+//! adversarial throughput, the adversarial success rate, the telemetry overhead
+//! ratio, the oracle-grounded survival rate or the failure-epoch
+//! rebuild-free fraction falls below a floor, or the heal-recovery latency rises
+//! above its ceiling (each overridable —
 //! `ENGINE_SMOKE_MIN_FROZEN_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_SPEEDUP`,
 //! `ENGINE_SMOKE_MIN_DELTA_SPEEDUP`, `ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE`,
 //! `ENGINE_SMOKE_MIN_BYZANTINE_QPS`, `ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS`,
-//! `ENGINE_SMOKE_MIN_TELEMETRY_RATIO` — for unusual machines). All gate readings,
-//! the snapshot compaction/rebuild cadence, and the per-phase telemetry breakdown
-//! are appended to `$GITHUB_STEP_SUMMARY` when that file is available, so a failing
-//! run is diagnosable from the job page without opening the log.
+//! `ENGINE_SMOKE_MIN_TELEMETRY_RATIO`, `ENGINE_SMOKE_MIN_SURVIVAL`,
+//! `ENGINE_SMOKE_MIN_FAILURE_REBUILD_FREE`, `ENGINE_SMOKE_MAX_HEAL_RECOVERY_US` —
+//! for unusual machines). All gate readings, the snapshot compaction/rebuild
+//! cadence, and the per-phase telemetry breakdown are appended to
+//! `$GITHUB_STEP_SUMMARY` when that file is available, so a failing run is
+//! diagnosable from the job page without opening the log.
 //!
 //! `--metrics PATH` additionally writes the full human-readable telemetry dump
 //! (phase histograms, per-shard cache table, event-ring counts) to `PATH`.
@@ -67,6 +71,28 @@ const MIN_BYZANTINE_SUCCESS: f64 = 0.55;
 /// 5% of free, or the instrumentation has crept onto the per-query hot path.
 const MIN_TELEMETRY_RATIO: f64 = 0.95;
 
+/// `--quick` floor for `headline.survival_rate` (worst-scenario delivered fraction
+/// of oracle-survivable queries under correlated regional and partition damage).
+/// The run is fully seeded, so this reading is deterministic: the oracle excludes
+/// genuinely disconnected pairs from the denominator, which means anything the
+/// floor catches is a *routing* failure on a provably connected pair — backtrack
+/// recovery or the diversified-retry machinery regressed, not the topology.
+const MIN_SURVIVAL: f64 = 0.99;
+
+/// `--quick` floor for the fraction of failure-scenario epochs that patched the
+/// snapshot without a structural rebuild fallback. Correlated damage at
+/// `W = n/128` tombstones well under the `n/4` fallback threshold; a single
+/// rebuild means either the width sizing or the structural-row gating regressed.
+const MIN_FAILURE_REBUILD_FREE: f64 = 1.0;
+
+/// `--quick` ceiling for `headline.heal_recovery_us` (mean wall time of a heal
+/// event: delta capture, snapshot row-patching, row-level cache eviction). A heal
+/// touches O(region · ℓ) rows — tens of microseconds at smoke scale, measured
+/// ~2 ms at the default scale — so a generous ceiling still catches the
+/// structural cliff this gate exists for: heals degrading to full rebuilds or
+/// full-cache flushes, which jump this reading by orders of magnitude.
+const MAX_HEAL_RECOVERY_US: f64 = 50_000.0;
+
 fn threshold(env: &str, default: f64) -> f64 {
     match std::env::var(env) {
         Ok(raw) => raw.parse().unwrap_or_else(|_| {
@@ -78,17 +104,51 @@ fn threshold(env: &str, default: f64) -> f64 {
 }
 
 /// One perf-gate reading: a headline value checked against a (possibly overridden)
-/// floor.
+/// bound — a floor the value must stay at or above, or (for latency-style
+/// readings, `ceiling: true`) a ceiling it must stay at or below.
 struct GateReading {
     name: &'static str,
     value: f64,
-    floor: f64,
+    bound: f64,
+    ceiling: bool,
     env: &'static str,
 }
 
 impl GateReading {
+    fn floor(name: &'static str, value: f64, default: f64, env: &'static str) -> Self {
+        Self {
+            name,
+            value,
+            bound: threshold(env, default),
+            ceiling: false,
+            env,
+        }
+    }
+
+    fn ceiling(name: &'static str, value: f64, default: f64, env: &'static str) -> Self {
+        Self {
+            name,
+            value,
+            bound: threshold(env, default),
+            ceiling: true,
+            env,
+        }
+    }
+
     fn passed(&self) -> bool {
-        self.value >= self.floor
+        if self.ceiling {
+            self.value <= self.bound
+        } else {
+            self.value >= self.bound
+        }
+    }
+
+    fn bound_kind(&self) -> &'static str {
+        if self.ceiling {
+            "ceiling"
+        } else {
+            "floor"
+        }
     }
 }
 
@@ -137,15 +197,16 @@ fn write_step_summary(
         return;
     };
     let mut table = String::from(
-        "## Engine perf gate (`--quick`)\n\n| reading | value | floor | status |\n|---|---|---|---|\n",
+        "## Engine perf gate (`--quick`)\n\n| reading | value | bound | status |\n|---|---|---|---|\n",
     );
     for r in readings {
         table.push_str(&format!(
-            "| `{}` ({}) | {:.4} | {:.4} | {} |\n",
+            "| `{}` ({}) | {:.4} | {} {:.4} | {} |\n",
             r.name,
             r.env,
             r.value,
-            r.floor,
+            r.bound_kind(),
+            r.bound,
             if r.passed() { "✅ pass" } else { "❌ FAIL" },
         ));
     }
@@ -221,6 +282,10 @@ fn main() {
     config.queries = args.messages_or(config.queries as u64, 1 << 20) as usize;
     config.epochs = args.trials_or(config.epochs as u64, 10) as usize;
     config.seed = args.seed;
+    // Re-derive the correlated-failure width from the (possibly overridden) node
+    // count: `n / 128` keeps one failure delta well under the snapshot's `n / 4`
+    // structural rebuild threshold at any scale.
+    config.failure_region_width = (config.nodes / 128).max(4);
 
     let report = engine_run::run(&config);
     engine_run::print(&report);
@@ -246,69 +311,95 @@ fn main() {
 
     if args.quick {
         let readings = [
-            GateReading {
-                name: "frozen_speedup",
-                value: report.frozen_speedup(),
-                floor: threshold("ENGINE_SMOKE_MIN_FROZEN_SPEEDUP", MIN_FROZEN_SPEEDUP),
-                env: "ENGINE_SMOKE_MIN_FROZEN_SPEEDUP",
-            },
-            GateReading {
-                name: "snapshot_patch_speedup",
-                value: report.snapshot_patch_speedup(),
-                floor: threshold("ENGINE_SMOKE_MIN_PATCH_SPEEDUP", MIN_PATCH_SPEEDUP),
-                env: "ENGINE_SMOKE_MIN_PATCH_SPEEDUP",
-            },
-            GateReading {
-                name: "delta_patch_speedup",
-                value: report.delta_patch_speedup(),
-                floor: threshold("ENGINE_SMOKE_MIN_DELTA_SPEEDUP", MIN_DELTA_SPEEDUP),
-                env: "ENGINE_SMOKE_MIN_DELTA_SPEEDUP",
-            },
-            GateReading {
-                name: "patch_rebuild_free",
-                value: report.patch_rebuild_free(),
-                floor: threshold(
-                    "ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE",
-                    MIN_PATCH_REBUILD_FREE,
-                ),
-                env: "ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE",
-            },
-            GateReading {
-                name: "byzantine_throughput",
-                value: report.byzantine_throughput(),
-                floor: threshold("ENGINE_SMOKE_MIN_BYZANTINE_QPS", MIN_BYZANTINE_QPS),
-                env: "ENGINE_SMOKE_MIN_BYZANTINE_QPS",
-            },
-            GateReading {
-                name: "byzantine_success_rate",
-                value: report.byzantine_success_rate(),
-                floor: threshold("ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS", MIN_BYZANTINE_SUCCESS),
-                env: "ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS",
-            },
-            GateReading {
-                name: "telemetry_overhead_ratio",
-                value: report.telemetry_overhead_ratio,
-                floor: threshold("ENGINE_SMOKE_MIN_TELEMETRY_RATIO", MIN_TELEMETRY_RATIO),
-                env: "ENGINE_SMOKE_MIN_TELEMETRY_RATIO",
-            },
+            GateReading::floor(
+                "frozen_speedup",
+                report.frozen_speedup(),
+                MIN_FROZEN_SPEEDUP,
+                "ENGINE_SMOKE_MIN_FROZEN_SPEEDUP",
+            ),
+            GateReading::floor(
+                "snapshot_patch_speedup",
+                report.snapshot_patch_speedup(),
+                MIN_PATCH_SPEEDUP,
+                "ENGINE_SMOKE_MIN_PATCH_SPEEDUP",
+            ),
+            GateReading::floor(
+                "delta_patch_speedup",
+                report.delta_patch_speedup(),
+                MIN_DELTA_SPEEDUP,
+                "ENGINE_SMOKE_MIN_DELTA_SPEEDUP",
+            ),
+            GateReading::floor(
+                "patch_rebuild_free",
+                report.patch_rebuild_free(),
+                MIN_PATCH_REBUILD_FREE,
+                "ENGINE_SMOKE_MIN_PATCH_REBUILD_FREE",
+            ),
+            GateReading::floor(
+                "byzantine_throughput",
+                report.byzantine_throughput(),
+                MIN_BYZANTINE_QPS,
+                "ENGINE_SMOKE_MIN_BYZANTINE_QPS",
+            ),
+            GateReading::floor(
+                "byzantine_success_rate",
+                report.byzantine_success_rate(),
+                MIN_BYZANTINE_SUCCESS,
+                "ENGINE_SMOKE_MIN_BYZANTINE_SUCCESS",
+            ),
+            GateReading::floor(
+                "telemetry_overhead_ratio",
+                report.telemetry_overhead_ratio,
+                MIN_TELEMETRY_RATIO,
+                "ENGINE_SMOKE_MIN_TELEMETRY_RATIO",
+            ),
+            GateReading::floor(
+                "survival_rate",
+                report.survival_rate(),
+                MIN_SURVIVAL,
+                "ENGINE_SMOKE_MIN_SURVIVAL",
+            ),
+            GateReading::floor(
+                "failure_rebuild_free",
+                report.failure_rebuild_free(),
+                MIN_FAILURE_REBUILD_FREE,
+                "ENGINE_SMOKE_MIN_FAILURE_REBUILD_FREE",
+            ),
+            GateReading::ceiling(
+                "heal_recovery_us",
+                report.heal_recovery_us(),
+                MAX_HEAL_RECOVERY_US,
+                "ENGINE_SMOKE_MAX_HEAL_RECOVERY_US",
+            ),
         ];
         let cadence = [
             CadenceRow::of("maintenance (delta)", &report.maintenance_patch),
             CadenceRow::of("maintenance (touched-list)", &report.maintenance_touched),
+            CadenceRow::of("resilience (regional)", &report.resilience_regional),
+            CadenceRow::of("resilience (partition)", &report.resilience_partition),
         ];
         write_step_summary(&readings, &cadence, &report.telemetry);
         let mut regressed = false;
         for reading in &readings {
             if reading.passed() {
                 println!(
-                    "smoke gate: {} {:.4} >= floor {:.4}",
-                    reading.name, reading.value, reading.floor
+                    "smoke gate: {} {:.4} {} {} {:.4}",
+                    reading.name,
+                    reading.value,
+                    if reading.ceiling { "<=" } else { ">=" },
+                    reading.bound_kind(),
+                    reading.bound
                 );
             } else {
                 regressed = true;
                 eprintln!(
-                    "perf regression: {} {:.4} below the {:.4} floor (override with {})",
-                    reading.name, reading.value, reading.floor, reading.env
+                    "perf regression: {} {:.4} {} the {:.4} {} (override with {})",
+                    reading.name,
+                    reading.value,
+                    if reading.ceiling { "above" } else { "below" },
+                    reading.bound,
+                    reading.bound_kind(),
+                    reading.env
                 );
             }
         }

@@ -10,9 +10,10 @@
 use faultline_core::routing::RouteScratch;
 use faultline_core::{ConstructionMode, Network, NetworkConfig};
 use faultline_engine::{
-    BatchReport, ByzantineConfig, ChurnMix, EngineConfig, InterleavedReport, MetricsSnapshot,
-    Phase, QueryBatch, QueryEngine, SnapshotMaintenance,
+    BatchReport, ByzantineConfig, ChurnMix, EngineConfig, FailureSchedule, InterleavedReport,
+    MetricsSnapshot, Phase, QueryBatch, QueryEngine, SnapshotMaintenance,
 };
+use faultline_routing::FaultStrategy;
 use faultline_sim::Summary;
 use faultline_theory::{bfs_distances, UNREACHABLE};
 use rand::rngs::StdRng;
@@ -69,6 +70,13 @@ pub struct EngineBenchConfig {
     pub cache_churn_fraction: f64,
     /// Diversified walks per lookup in the byzantine phase (the redundancy factor).
     pub byzantine_redundancy: u32,
+    /// Width of the correlated region crashed per failure epoch in the resilience
+    /// phase. Sized ≈ `nodes / 128` so one failure delta stays well under the
+    /// snapshot's structural rebuild threshold (a region of width `W` tombstones
+    /// roughly `W · ℓ` rows — victims plus their in-neighbours — and a patch call
+    /// falls back to a rebuild past `nodes / 4` tombstones). The two-sided
+    /// partition scenario uses `W / 2` per side for the same total blast radius.
+    pub failure_region_width: u64,
     /// Master seed.
     pub seed: u64,
 }
@@ -91,8 +99,16 @@ impl EngineBenchConfig {
             maintenance_churn_fraction: 0.01,
             cache_churn_fraction: 0.001,
             byzantine_redundancy: ByzantineConfig::DEFAULT_REDUNDANCY,
+            failure_region_width: 1 << 7,
             seed: 2002,
         }
+    }
+
+    /// The correlated-region width used per side of the two-sided partition
+    /// scenario (half the regional width, floored at one node).
+    #[must_use]
+    pub fn partition_side_width(&self) -> u64 {
+        (self.failure_region_width / 2).max(1)
     }
 }
 
@@ -280,6 +296,20 @@ pub struct EngineBenchReport {
     /// coarser eviction — the warm-hit-rate baseline of the `cache_invalidation`
     /// section.
     pub cache_bucket: InterleavedReport,
+    /// Resilience phase, regional scenario: failure epochs alternating one
+    /// correlated region crash of `failure_region_width` nodes with a heal, on a
+    /// backtrack-routing overlay under trickle churn. Every epoch classifies its
+    /// queries against the connectivity oracle, so the survival rate counts only
+    /// pairs the damaged topology could have served.
+    pub resilience_regional: InterleavedReport,
+    /// Resilience phase, partition scenario: two antipodal regions of
+    /// `partition_side_width` nodes crash together each failure epoch, then heal —
+    /// the correlated two-sided damage a single-region scenario cannot express.
+    pub resilience_partition: InterleavedReport,
+    /// Sampled routing stretch on the regional scenario's overlay *after* its last
+    /// failure epoch (damaged or healed depending on epoch parity) — the
+    /// post-failure counterpart of `stretch`, over whatever topology survived.
+    pub stretch_after_failures: StretchReport,
 }
 
 impl EngineBenchReport {
@@ -370,6 +400,71 @@ impl EngineBenchReport {
     #[must_use]
     pub fn stretch_p99(&self) -> f64 {
         self.stretch.p99()
+    }
+
+    /// Headline: worst-scenario oracle-grounded survival rate — delivered fraction
+    /// of the queries the connectivity oracle proved survivable, minimised over the
+    /// regional and partition scenarios (the CI gate floors this at 0.99).
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        self.resilience_regional
+            .survival_rate()
+            .min(self.resilience_partition.survival_rate())
+    }
+
+    /// Headline: mean routing attempts per query across both failure scenarios
+    /// (`1.0` = no retry ever fired; the excess over `1.0` is the diversified-retry
+    /// bandwidth paid for the survival rate).
+    #[must_use]
+    pub fn failure_retry_overhead(&self) -> f64 {
+        let queries =
+            self.resilience_regional.total_queries() + self.resilience_partition.total_queries();
+        if queries == 0 {
+            return 0.0;
+        }
+        let retries = self.resilience_regional.total_retries_spent()
+            + self.resilience_partition.total_retries_spent();
+        1.0 + retries as f64 / queries as f64
+    }
+
+    /// Headline: mean heal-recovery latency in microseconds — the wall time of a
+    /// heal event from delta capture through snapshot patch and cache eviction,
+    /// averaged over every heal epoch of both scenarios (`0.0` when nothing
+    /// healed, which must read as a broken phase, not a fast one).
+    #[must_use]
+    pub fn heal_recovery_us(&self) -> f64 {
+        let means: Vec<f64> = [&self.resilience_regional, &self.resilience_partition]
+            .iter()
+            .map(|r| r.mean_heal_recovery_nanos())
+            .filter(|&m| m > 0.0)
+            .collect();
+        if means.is_empty() {
+            return 0.0;
+        }
+        means.iter().sum::<f64>() / means.len() as f64 / 1e3
+    }
+
+    /// Headline: routing throughput while failure epochs are live (regional
+    /// scenario — damage, retries, oracle classification and heals all included in
+    /// the denominator's wall time only insofar as they delay the batches).
+    #[must_use]
+    pub fn failure_queries_per_sec(&self) -> f64 {
+        self.resilience_regional.routing_queries_per_sec()
+    }
+
+    /// Fraction of both scenarios' failure epochs that patched the snapshot without
+    /// a structural rebuild fallback (`1.0` = the correlated damage always stayed
+    /// on the delta path — the acceptance bar, gated in CI).
+    #[must_use]
+    pub fn failure_rebuild_free(&self) -> f64 {
+        let epochs =
+            self.resilience_regional.epochs().len() + self.resilience_partition.epochs().len();
+        if epochs == 0 {
+            return 0.0;
+        }
+        let fallbacks = self.resilience_regional.rebuild_fallbacks()
+            + self.resilience_partition.rebuild_fallbacks();
+        1.0 - fallbacks as f64 / epochs as f64
     }
 
     /// The byzantine level the headline and the CI gate read: the middle
@@ -563,6 +658,56 @@ impl EngineBenchReport {
         )
     }
 
+    /// One scenario of the `resilience` JSON section: the oracle-grounded split,
+    /// retry spend, throughput under damage, heal latency and fallback count.
+    #[must_use]
+    fn resilience_scenario_json(scenario: &InterleavedReport) -> String {
+        let split = scenario.survivability().unwrap_or_default();
+        format!(
+            concat!(
+                "{{\"survival_rate\":{:.6},\"queries\":{},\"predicted_survivable\":{},",
+                "\"survivable_delivered\":{},\"survivable_dropped\":{},",
+                "\"unsurvivable\":{},\"retries_spent\":{},\"queries_per_sec\":{:.1},",
+                "\"mean_heal_recovery_us\":{:.1},\"rebuild_fallbacks\":{}}}"
+            ),
+            scenario.survival_rate(),
+            scenario.total_queries(),
+            split.predicted_survivable,
+            split.survivable_delivered,
+            split.survivable_dropped,
+            split.unsurvivable,
+            split.retries_spent,
+            scenario.routing_queries_per_sec(),
+            scenario.mean_heal_recovery_nanos() / 1e3,
+            scenario.rebuild_fallbacks(),
+        )
+    }
+
+    /// The `resilience` JSON section: both correlated-failure scenarios, the
+    /// post-failure stretch sample, and the aggregate readings the CI gate checks.
+    #[must_use]
+    fn resilience_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"region_width\":{},\"partition_side_width\":{},",
+                "\"survival_rate\":{:.6},\"failure_retry_overhead\":{:.4},",
+                "\"heal_recovery_us\":{:.1},\"failure_rebuild_free\":{:.4},",
+                "\"failure_queries_per_sec\":{:.1},",
+                "\"regional\":{},\"partition\":{},\"stretch_after_failures\":{}}}"
+            ),
+            self.config.failure_region_width,
+            self.config.partition_side_width(),
+            self.survival_rate(),
+            self.failure_retry_overhead(),
+            self.heal_recovery_us(),
+            self.failure_rebuild_free(),
+            self.failure_queries_per_sec(),
+            Self::resilience_scenario_json(&self.resilience_regional),
+            Self::resilience_scenario_json(&self.resilience_partition),
+            self.stretch_after_failures.to_json(),
+        )
+    }
+
     /// The `telemetry` JSON section: instrumentation overhead ratio, the sampled
     /// stretch distribution, the per-epoch phase breakdown of the churn-interleaved
     /// run, and the full metrics snapshot (phase histograms, per-shard cache table,
@@ -599,9 +744,12 @@ impl EngineBenchReport {
                 "\"snapshot_patch_speedup\":{:.2},\"delta_patch_speedup\":{:.2},",
                 "\"cache_row_hit_rate\":{:.6},\"byzantine_throughput\":{:.1},",
                 "\"byzantine_success_rate\":{:.6},\"stretch_p50\":{:.3},",
-                "\"stretch_p99\":{:.3},\"telemetry_overhead_ratio\":{:.4}}},",
+                "\"stretch_p99\":{:.3},\"telemetry_overhead_ratio\":{:.4},",
+                "\"survival_rate\":{:.6},\"failure_retry_overhead\":{:.4},",
+                "\"heal_recovery_us\":{:.1},\"failure_rebuild_free\":{:.4}}},",
                 "\"telemetry\":{},",
                 "\"snapshot_maintenance\":{},\"cache_invalidation\":{},\"byzantine\":{},",
+                "\"resilience\":{},",
                 "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
                 "\"interleaved\":{}}}"
             ),
@@ -625,10 +773,15 @@ impl EngineBenchReport {
             self.stretch_p50(),
             self.stretch_p99(),
             self.telemetry_overhead_ratio,
+            self.survival_rate(),
+            self.failure_retry_overhead(),
+            self.heal_recovery_us(),
+            self.failure_rebuild_free(),
             self.telemetry_json(),
             self.snapshot_maintenance_json(),
             self.cache_invalidation_json(),
             self.byzantine_json(),
+            self.resilience_json(),
             self.uncached.to_json(),
             self.uncached_frozen.to_json(),
             self.cached_cold.to_json(),
@@ -808,6 +961,42 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
     let cache_row = cache_run(true);
     let cache_bucket = cache_run(false);
 
+    // Resilience phase: failure epochs alternating correlated damage with heals,
+    // over trickle churn, on overlays routing with the paper's backtrack strategy
+    // (a dead end under damage is recoverable, not terminal — retries then
+    // diversify the survivors the oracle says must exist). Each scenario gets its
+    // own identically seeded network so damage trajectories are reproducible and
+    // independent of everything measured above.
+    let resilient_config = network_config.fault_strategy(FaultStrategy::paper_backtrack());
+    let failure_churn = ChurnMix::fraction_of(config.nodes, config.cache_churn_fraction);
+    let failure_run = |schedule: FailureSchedule| {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut network = Network::build(&resilient_config, &mut rng);
+        let mut engine = QueryEngine::new(
+            EngineConfig::default()
+                .threads(config.threads)
+                .failures(schedule),
+        );
+        let report = engine.run_interleaved(
+            &mut network,
+            config.epochs,
+            per_epoch,
+            failure_churn,
+            config.seed ^ 0xFA11,
+        );
+        (report, network)
+    };
+    let (resilience_regional, damaged_network) =
+        failure_run(FailureSchedule::regional(config.failure_region_width));
+    let (resilience_partition, _) = failure_run(FailureSchedule::partition_and_heal(
+        config.partition_side_width(),
+    ));
+    // Post-failure stretch: the regional overlay exactly as its last epoch left it
+    // (damaged on odd epoch counts, healed on even) — `measure_stretch` BFSes the
+    // surviving adjacency, so unreachable pairs drop out instead of poisoning the
+    // ratio.
+    let stretch_after_failures = measure_stretch(&damaged_network, config.seed ^ 0x57E8);
+
     EngineBenchReport {
         config: *config,
         uncached,
@@ -825,6 +1014,9 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         maintenance_rebuild,
         cache_row,
         cache_bucket,
+        resilience_regional,
+        resilience_partition,
+        stretch_after_failures,
     }
 }
 
@@ -919,6 +1111,33 @@ pub fn print(report: &EngineBenchReport) {
         report.maintenance_patch.rebuild_fallbacks(),
     );
     println!(
+        "resilience (region {} / partition 2x{} nodes, retry budget {}):",
+        config.failure_region_width,
+        config.partition_side_width(),
+        faultline_engine::FailureSchedule::DEFAULT_RETRIES,
+    );
+    let scenario = |label: &str, r: &InterleavedReport| {
+        println!(
+            "  {:<10} survival {:>7.4}   {:>10.0} q/s   retries {:>6}   heal {:>8.1} µs   rebuild fallbacks {}",
+            label,
+            r.survival_rate(),
+            r.routing_queries_per_sec(),
+            r.total_retries_spent(),
+            r.mean_heal_recovery_nanos() / 1e3,
+            r.rebuild_fallbacks(),
+        );
+    };
+    scenario("regional", &report.resilience_regional);
+    scenario("partition", &report.resilience_partition);
+    println!(
+        "  post-failure stretch ({}/{} pairs): p50 {:.2}, p99 {:.2} (pristine p50 {:.2})",
+        report.stretch_after_failures.pairs_measured,
+        report.stretch_after_failures.pairs_requested,
+        report.stretch_after_failures.p50(),
+        report.stretch_after_failures.p99(),
+        report.stretch_p50(),
+    );
+    println!(
         "cache invalidation ({:.2}% churn/epoch): warm hit rate {:.4} row-level vs {:.4} bucket-mask, {} routes flushed vs {} by the old mask",
         config.cache_churn_fraction * 100.0,
         report.cache_row.warm_hit_rate(),
@@ -943,6 +1162,7 @@ mod tests {
             maintenance_churn_fraction: 0.005,
             cache_churn_fraction: 0.002,
             byzantine_redundancy: 4,
+            failure_region_width: 4,
             seed: 7,
         }
     }
@@ -1056,6 +1276,16 @@ mod tests {
             "\"interleaved\"",
             "\"stretch_p50\"",
             "\"stretch_p99\"",
+            "\"resilience\"",
+            "\"survival_rate\"",
+            "\"failure_retry_overhead\"",
+            "\"heal_recovery_us\"",
+            "\"failure_rebuild_free\"",
+            "\"region_width\"",
+            "\"partition_side_width\"",
+            "\"predicted_survivable\"",
+            "\"survivable_dropped\"",
+            "\"stretch_after_failures\"",
             "\"telemetry_overhead_ratio\"",
             "\"telemetry\"",
             "\"overhead_ratio\"",
@@ -1158,6 +1388,38 @@ mod tests {
             1.0,
             "light maintenance churn must never hit the rebuild fallback"
         );
+    }
+
+    #[test]
+    fn resilience_scenarios_survive_and_stay_on_the_patch_path() {
+        let report = run(&tiny());
+        // Both scenarios ran their full trajectory and classified every query.
+        for scenario in [&report.resilience_regional, &report.resilience_partition] {
+            assert_eq!(scenario.epochs().len(), 2);
+            assert_eq!(scenario.total_queries(), 4_000);
+            assert!(scenario.survivability().is_some(), "oracle ran");
+            // Epoch 0 damages, epoch 1 heals.
+            let damage = scenario.epochs()[0].failure.expect("failure work recorded");
+            assert!(!damage.heal);
+            assert!(damage.failed_nodes > 0);
+            let heal = scenario.epochs()[1].failure.expect("failure work recorded");
+            assert!(heal.heal);
+            assert!(heal.healed_nodes > 0, "the downed region revives");
+        }
+        // The acceptance bar: oracle-grounded survival with zero rebuild fallbacks.
+        assert!(report.survival_rate() >= 0.99, "{}", report.survival_rate());
+        assert_eq!(
+            report.failure_rebuild_free(),
+            1.0,
+            "correlated damage at W = n/128 must stay on the delta path"
+        );
+        assert!(report.failure_retry_overhead() >= 1.0);
+        assert!(report.heal_recovery_us() > 0.0, "heal epochs were measured");
+        assert!(report.failure_queries_per_sec() > 0.0);
+        // The post-failure stretch sample measured real pairs on the surviving
+        // topology and still never beats BFS.
+        assert!(report.stretch_after_failures.pairs_measured > 0);
+        assert!(report.stretch_after_failures.p50() >= 1.0);
     }
 
     #[test]

@@ -305,6 +305,43 @@ impl Network {
         report
     }
 
+    /// Applies a failure plan while capturing the typed delta of every
+    /// usable-neighbour row the damage changed — bit-identical damage and RNG
+    /// stream to [`Network::apply_failure`], but the result can flow through
+    /// `FrozenView::apply_delta_with` and row-level cache invalidation instead
+    /// of a snapshot rebuild.
+    pub fn apply_failure_delta<R: Rng>(
+        &mut self,
+        plan: &dyn FailurePlan,
+        rng: &mut R,
+    ) -> (FailureReport, faultline_overlay::ChurnDelta) {
+        let geometry = self.graph().geometry();
+        let ell = self.maintainer.links_per_node();
+        let strategy = self.maintainer.strategy();
+        let placeholder = NetworkMaintainer::new(geometry, ell, strategy);
+        let maintainer = std::mem::replace(&mut self.maintainer, placeholder);
+        let mut graph = maintainer.into_graph();
+        let result = plan.apply_with_delta(&mut graph, rng);
+        self.maintainer = NetworkMaintainer::from_graph(graph, ell, strategy);
+        result
+    }
+
+    /// Revives previously crashed nodes (the healing half of a
+    /// partition-and-heal trajectory), capturing the typed delta that
+    /// re-admits their rows and their in-neighbours' restored targets.
+    /// Positions that are absent or already alive are no-ops.
+    pub fn heal_nodes(&mut self, nodes: &[NodeId]) -> faultline_overlay::ChurnDelta {
+        let geometry = self.graph().geometry();
+        let ell = self.maintainer.links_per_node();
+        let strategy = self.maintainer.strategy();
+        let placeholder = NetworkMaintainer::new(geometry, ell, strategy);
+        let maintainer = std::mem::replace(&mut self.maintainer, placeholder);
+        let mut graph = maintainer.into_graph();
+        let delta = faultline_failure::revive_nodes_with_delta(&mut graph, nodes);
+        self.maintainer = NetworkMaintainer::from_graph(graph, ell, strategy);
+        delta
+    }
+
     /// Lets a new node join at `position`, running the Section 5 maintenance heuristic.
     /// The returned report lists every node whose link table changed (ring splicing and
     /// link redirection mutate pre-existing nodes too) so route caches can invalidate
@@ -415,6 +452,38 @@ mod tests {
             graph_dead.lookup_from(3, &key, &mut rng),
             Err(CoreError::NodeNotAlive(3))
         ));
+    }
+
+    #[test]
+    fn delta_failures_patch_a_snapshot_to_match_a_fresh_freeze() {
+        use faultline_failure::RegionFailure;
+        let mut net = network(1 << 9, 11);
+        let mut frozen = net.view().freeze();
+        let mut rng = StdRng::seed_from_u64(12);
+        let (report, delta) = net.apply_failure_delta(&RegionFailure::at(40, 24), &mut rng);
+        assert_eq!(report.failed_node_count(), 24);
+        frozen.apply_delta(net.graph(), &delta);
+        let rebuilt = net.view().freeze();
+        for p in 0..net.len() {
+            let mut patched: Vec<u32> = frozen.routes().neighbors(p).to_vec();
+            let mut fresh: Vec<u32> = rebuilt.routes().neighbors(p).to_vec();
+            patched.sort_unstable();
+            fresh.sort_unstable();
+            assert_eq!(patched, fresh, "row {p} diverged after delta patch");
+        }
+        // Healing through the typed delta restores every row.
+        let heal = net.heal_nodes(&report.failed_nodes);
+        assert!(!heal.is_empty());
+        frozen.apply_delta(net.graph(), &heal);
+        assert_eq!(net.alive_count(), 1 << 9);
+        let pristine = net.view().freeze();
+        for p in 0..net.len() {
+            let mut patched: Vec<u32> = frozen.routes().neighbors(p).to_vec();
+            let mut fresh: Vec<u32> = pristine.routes().neighbors(p).to_vec();
+            patched.sort_unstable();
+            fresh.sort_unstable();
+            assert_eq!(patched, fresh, "row {p} diverged after heal");
+        }
     }
 
     #[test]

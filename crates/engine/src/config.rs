@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::failures::FailureSchedule;
 use faultline_routing::{ByzantineSet, FaultStrategy};
 
 /// How the engine decides which nodes are Byzantine.
@@ -158,6 +159,7 @@ pub struct EngineConfig {
     row_invalidation: bool,
     adaptive_freeze: AdaptiveFreeze,
     byzantine: Option<ByzantineConfig>,
+    failures: Option<FailureSchedule>,
     telemetry: bool,
 }
 
@@ -173,6 +175,7 @@ impl Default for EngineConfig {
             row_invalidation: true,
             adaptive_freeze: AdaptiveFreeze::Off,
             byzantine: None,
+            failures: None,
             telemetry: true,
         }
     }
@@ -407,6 +410,25 @@ impl EngineConfig {
     pub fn byzantine_config(&self) -> Option<&ByzantineConfig> {
         self.byzantine.as_ref()
     }
+
+    /// Opens failure epochs in
+    /// [`run_interleaved`](crate::QueryEngine::run_interleaved): the schedule's
+    /// events (correlated region crashes, partition-and-heal cycles) are applied at
+    /// epoch boundaries through the typed-delta pipeline, each epoch's queries are
+    /// classified against a connectivity oracle built over the damaged overlay, and
+    /// failed lookups get the schedule's diversified retry budget. See
+    /// [`FailureSchedule`].
+    #[must_use]
+    pub fn failures(mut self, schedule: FailureSchedule) -> Self {
+        self.failures = Some(schedule);
+        self
+    }
+
+    /// The failure schedule, if failure epochs are configured.
+    #[must_use]
+    pub fn failures_config(&self) -> Option<&FailureSchedule> {
+        self.failures.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +553,19 @@ mod tests {
             ByzantineConfig::DEFAULT_REDUNDANCY
         );
         assert_eq!(explicit.strategy_override(), None);
+    }
+
+    #[test]
+    fn failure_schedule_builder() {
+        use crate::failures::FailureEvent;
+        assert!(EngineConfig::default().failures_config().is_none());
+        let schedule = FailureSchedule::partition_and_heal(16).retries(3);
+        let config = EngineConfig::default().failures(schedule.clone());
+        let stored = config.failures_config().expect("schedule stored");
+        assert_eq!(stored, &schedule);
+        assert_eq!(stored.retry_budget(), 3);
+        assert_eq!(stored.event_for(0), FailureEvent::Partition { width: 16 });
+        assert_eq!(stored.event_for(1), FailureEvent::Heal);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Failure epochs: correlated regional damage, partition-and-heal cycles, and the
+//! survivability accounting that grounds them in connectivity truth.
+//!
+//! A [`FailureSchedule`] on an [`EngineConfig`](crate::EngineConfig) makes
+//! [`run_interleaved`](crate::QueryEngine::run_interleaved) interleave query batches
+//! with *correlated* failures — the adversarially-chosen contiguous regions the
+//! paper's independent-failure theorems do not cover — and with heal events that
+//! revive the downed nodes through the same typed-delta pipeline churn uses. Every
+//! failure-configured epoch also builds a
+//! [`ConnectivityOracle`](faultline_theory::ConnectivityOracle) over the damaged
+//! overlay, so each query is classified against *ground truth*: a dropped lookup
+//! whose endpoints the oracle proves disconnected is excluded from the success
+//! denominator, while a dropped lookup the oracle proves survivable is a routing
+//! failure the resilience gate counts ([`SurvivabilitySplit`]).
+
+use faultline_overlay::NodeId;
+
+/// One event of a failure schedule, applied at the start of its epoch (before the
+/// epoch's snapshot work and query batch, so the batch routes the damaged overlay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// No damage this epoch (routing measures recovery or steady state).
+    Quiet,
+    /// A contiguous region of `width` grid points crashes at a schedule-seeded
+    /// random start — correlated failure, the case independent-failure analysis
+    /// underestimates.
+    Region {
+        /// Consecutive grid points to crash.
+        width: u64,
+    },
+    /// Two regions of `width` points each crash at diametrically opposite starts
+    /// (`s` and `s + n/2`), the worst correlated cut for a ring geometry: long
+    /// links spanning either gap die with their endpoints.
+    Partition {
+        /// Consecutive grid points to crash per region (two regions fail).
+        width: u64,
+    },
+    /// Every node downed by this schedule's earlier events revives; their rows and
+    /// their in-neighbours' restored targets flow back through one typed delta.
+    Heal,
+}
+
+/// A cyclic schedule of failure events for
+/// [`run_interleaved`](crate::QueryEngine::run_interleaved), plus the retry budget
+/// failed lookups get while the overlay is damaged.
+///
+/// Epoch `i` applies `events[i % events.len()]`. The two stock schedules cover the
+/// resilience bench's scenarios: [`FailureSchedule::regional`] alternates one
+/// correlated region crash with a heal, [`FailureSchedule::partition_and_heal`]
+/// alternates a two-sided partition with a heal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+    retries: u32,
+}
+
+impl FailureSchedule {
+    /// Default retry budget: up to two diversified re-routes per failed lookup.
+    /// Enough to step around a damaged first hop without letting unsurvivable
+    /// lookups burn unbounded bandwidth.
+    pub const DEFAULT_RETRIES: u32 = 2;
+
+    /// Alternates a correlated region crash of `width` nodes with a heal epoch.
+    #[must_use]
+    pub fn regional(width: u64) -> Self {
+        Self::from_events(vec![FailureEvent::Region { width }, FailureEvent::Heal])
+    }
+
+    /// Alternates a two-sided partition (two opposite regions of `width` nodes
+    /// each) with a heal epoch.
+    #[must_use]
+    pub fn partition_and_heal(width: u64) -> Self {
+        Self::from_events(vec![FailureEvent::Partition { width }, FailureEvent::Heal])
+    }
+
+    /// A schedule cycling through an explicit event list (empty means every epoch
+    /// is [`FailureEvent::Quiet`] — oracle accounting without damage).
+    #[must_use]
+    pub fn from_events(events: Vec<FailureEvent>) -> Self {
+        Self {
+            events,
+            retries: Self::DEFAULT_RETRIES,
+        }
+    }
+
+    /// Sets the per-lookup retry budget: a failed lookup re-routes up to `retries`
+    /// more times with diversified seeds (deterministic Terminate/Backtrack
+    /// strategies escalate to random re-route for the retries, so each attempt
+    /// explores a genuinely different path). `0` disables retries.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The configured retry budget.
+    #[must_use]
+    pub fn retry_budget(&self) -> u32 {
+        self.retries
+    }
+
+    /// The event cycle.
+    #[must_use]
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// The event epoch `epoch` applies ([`FailureEvent::Quiet`] for an empty
+    /// schedule).
+    #[must_use]
+    pub fn event_for(&self, epoch: usize) -> FailureEvent {
+        if self.events.is_empty() {
+            FailureEvent::Quiet
+        } else {
+            self.events[epoch % self.events.len()]
+        }
+    }
+}
+
+/// Per-epoch query accounting against the connectivity oracle's ground truth.
+///
+/// Every query of a failure-configured epoch lands in exactly one of the three
+/// buckets: delivered-survivable, dropped-survivable (a genuine routing failure —
+/// the oracle proves a path existed), or unsurvivable (the oracle proves the
+/// endpoints disconnected; no router could have delivered it, so it is excluded
+/// from the success denominator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SurvivabilitySplit {
+    /// Queries whose endpoints the oracle proved connected on the damaged overlay.
+    pub predicted_survivable: usize,
+    /// Survivable queries the engine delivered.
+    pub survivable_delivered: usize,
+    /// Survivable queries the engine dropped — the resilience gate's numerator of
+    /// shame.
+    pub survivable_dropped: usize,
+    /// Queries whose endpoints the oracle proved disconnected (includes lookups
+    /// from or to crashed nodes).
+    pub unsurvivable: usize,
+    /// Extra routing attempts spent beyond each lookup's first walk (the
+    /// bandwidth price of the retry budget).
+    pub retries_spent: u64,
+}
+
+impl SurvivabilitySplit {
+    /// Delivered fraction of the oracle-survivable queries (`1.0` when none were
+    /// survivable — an empty denominator is not a failure).
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        if self.predicted_survivable == 0 {
+            1.0
+        } else {
+            self.survivable_delivered as f64 / self.predicted_survivable as f64
+        }
+    }
+
+    /// Total queries classified.
+    #[must_use]
+    pub fn queries(&self) -> usize {
+        self.predicted_survivable + self.unsurvivable
+    }
+
+    /// Accumulates another split into this one (used for run-level aggregates).
+    pub fn absorb(&mut self, other: &SurvivabilitySplit) {
+        self.predicted_survivable += other.predicted_survivable;
+        self.survivable_delivered += other.survivable_delivered;
+        self.survivable_dropped += other.survivable_dropped;
+        self.unsurvivable += other.unsurvivable;
+        self.retries_spent += other.retries_spent;
+    }
+}
+
+/// What the failure phase of one epoch did to the overlay and the engine's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailureWork {
+    /// Whether this epoch's event was a heal (revival) rather than damage.
+    pub heal: bool,
+    /// Nodes crashed by this epoch's event.
+    pub failed_nodes: usize,
+    /// Nodes revived by this epoch's event.
+    pub healed_nodes: usize,
+    /// Rows the failure/heal delta changed (victims plus their in-neighbours).
+    pub delta_rows: usize,
+    /// Nanoseconds spent patching the persistent snapshot with the failure delta
+    /// (0 when no snapshot was live).
+    pub patch_nanos: u64,
+    /// Cached routes evicted because their walks depended on a changed row.
+    pub flushed_routes: usize,
+    /// Whether the failure patch abandoned itself for an in-place rebuild (the
+    /// resilience gate requires this to never happen at bench scale).
+    pub fallback_rebuild: bool,
+    /// Wall-clock nanoseconds of the whole failure phase: graph mutation, snapshot
+    /// patch, and cache invalidation (oracle construction excluded — it is
+    /// measurement apparatus, not recovery work). On heal epochs this is the
+    /// heal-recovery latency the bench reports.
+    pub recovery_nanos: u64,
+}
+
+/// Nodes of `victims` currently downed, tracked across epochs so a heal event
+/// knows exactly what to revive. Plain data — the interleaved runner owns one.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DownedSet {
+    nodes: Vec<NodeId>,
+}
+
+impl DownedSet {
+    pub(crate) fn extend(&mut self, victims: &[NodeId]) {
+        self.nodes.extend_from_slice(victims);
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_cycle_their_events() {
+        let schedule = FailureSchedule::regional(32);
+        assert_eq!(schedule.event_for(0), FailureEvent::Region { width: 32 });
+        assert_eq!(schedule.event_for(1), FailureEvent::Heal);
+        assert_eq!(schedule.event_for(2), FailureEvent::Region { width: 32 });
+        let partition = FailureSchedule::partition_and_heal(16);
+        assert_eq!(
+            partition.event_for(4),
+            FailureEvent::Partition { width: 16 }
+        );
+        assert_eq!(partition.event_for(5), FailureEvent::Heal);
+        assert_eq!(
+            FailureSchedule::from_events(Vec::new()).event_for(9),
+            FailureEvent::Quiet
+        );
+    }
+
+    #[test]
+    fn retry_budget_defaults_and_overrides() {
+        assert_eq!(
+            FailureSchedule::regional(8).retry_budget(),
+            FailureSchedule::DEFAULT_RETRIES
+        );
+        assert_eq!(FailureSchedule::regional(8).retries(0).retry_budget(), 0);
+        assert_eq!(FailureSchedule::regional(8).retries(5).retry_budget(), 5);
+    }
+
+    #[test]
+    fn survival_rate_handles_empty_denominator() {
+        let mut split = SurvivabilitySplit::default();
+        assert_eq!(split.survival_rate(), 1.0);
+        split.predicted_survivable = 100;
+        split.survivable_delivered = 99;
+        split.survivable_dropped = 1;
+        split.unsurvivable = 10;
+        assert!((split.survival_rate() - 0.99).abs() < 1e-12);
+        assert_eq!(split.queries(), 110);
+        let mut total = SurvivabilitySplit::default();
+        total.absorb(&split);
+        total.absorb(&split);
+        assert_eq!(total.predicted_survivable, 200);
+        assert_eq!(total.survivable_delivered, 198);
+        assert!((total.survival_rate() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downed_set_dedups_and_drains() {
+        let mut downed = DownedSet::default();
+        downed.extend(&[5, 3, 5]);
+        downed.extend(&[3, 9]);
+        assert_eq!(downed.take(), vec![3, 5, 9]);
+        assert!(downed.take().is_empty());
+    }
+}

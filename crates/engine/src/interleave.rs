@@ -10,13 +10,15 @@
 
 use crate::batch::QueryBatch;
 use crate::config::SnapshotMaintenance;
-use crate::run::QueryEngine;
-use crate::stats::BatchReport;
+use crate::failures::{DownedSet, FailureEvent, FailureSchedule, FailureWork, SurvivabilitySplit};
+use crate::run::{saturate_u32, QueryEngine};
+use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network};
-use faultline_failure::{ChurnEvent, ChurnSchedule};
-use faultline_overlay::ChurnDelta;
+use faultline_failure::{ChurnEvent, ChurnSchedule, RegionFailure};
+use faultline_overlay::{ChurnDelta, NodeId};
 use faultline_sim::{seed_for_trial, trial_rng};
-use faultline_telemetry::{Phase, PhaseNanos};
+use faultline_telemetry::{EventKind, Phase, PhaseNanos};
+use faultline_theory::ConnectivityOracle;
 use rand::Rng;
 use std::time::Instant;
 
@@ -169,6 +171,13 @@ pub struct EpochReport {
     pub byzantine_after: usize,
     /// Snapshot maintenance (rebuild / patch / skip) performed this epoch.
     pub snapshot: SnapshotWork,
+    /// What the epoch's failure event did (damage or heal, delta size, patch and
+    /// invalidation cost); `None` when the run has no failure schedule.
+    pub failure: Option<FailureWork>,
+    /// The epoch's queries classified against the connectivity oracle's ground
+    /// truth on the (possibly damaged) overlay the batch routed; `None` when the
+    /// run has no failure schedule.
+    pub survivability: Option<SurvivabilitySplit>,
     /// Telemetry wall-time attributed to each engine phase *during this epoch* (the
     /// difference of two cumulative [`Telemetry::phase_totals`] readings; all zeros
     /// when telemetry is disabled). `BatchShard` sums per-worker shard time, so it
@@ -244,14 +253,61 @@ impl InterleavedReport {
         self.epochs.iter().filter(|e| e.snapshot.compacted).count()
     }
 
-    /// Number of epochs whose patch fell back to an in-place rebuild (structural
-    /// blast radius crossed the threshold) — the cadence the CI gate table prints.
+    /// Number of epochs in which a patch fell back to an in-place rebuild
+    /// (structural blast radius crossed the threshold), counting both churn
+    /// patches and failure/heal patches — the cadence the CI gate table prints,
+    /// and the number the resilience gate requires to be zero.
     #[must_use]
     pub fn rebuild_fallbacks(&self) -> usize {
         self.epochs
             .iter()
-            .filter(|e| e.snapshot.fallback_rebuild)
+            .filter(|e| {
+                e.snapshot.fallback_rebuild || e.failure.is_some_and(|f| f.fallback_rebuild)
+            })
             .count()
+    }
+
+    /// Aggregate survivability accounting over the whole run (`None` when the run
+    /// had no failure schedule, so no oracle classified anything).
+    #[must_use]
+    pub fn survivability(&self) -> Option<SurvivabilitySplit> {
+        let mut total = SurvivabilitySplit::default();
+        let mut any = false;
+        for split in self.epochs.iter().filter_map(|e| e.survivability.as_ref()) {
+            total.absorb(split);
+            any = true;
+        }
+        any.then_some(total)
+    }
+
+    /// Delivered fraction of the oracle-survivable queries across the run — the
+    /// resilience gate's headline. `1.0` when no failure schedule ran (nothing was
+    /// predicted, nothing was betrayed).
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        self.survivability()
+            .map_or(1.0, |split| split.survival_rate())
+    }
+
+    /// Extra routing attempts spent on diversified retries across the run (0
+    /// without a failure schedule).
+    #[must_use]
+    pub fn total_retries_spent(&self) -> u64 {
+        self.survivability().map_or(0, |split| split.retries_spent)
+    }
+
+    /// Mean wall-clock nanoseconds a heal epoch spent on recovery work — node
+    /// revival, snapshot patch, and cache invalidation (0.0 when no epoch healed
+    /// anything).
+    #[must_use]
+    pub fn mean_heal_recovery_nanos(&self) -> f64 {
+        Self::mean_nonzero(
+            self.epochs
+                .iter()
+                .filter_map(|e| e.failure)
+                .filter(|f| f.heal && f.healed_nodes > 0)
+                .map(|f| f.recovery_nanos),
+        )
     }
 
     /// Cache hit fraction over the *warm* epochs (epoch 0 always starts cold, so it
@@ -307,6 +363,40 @@ impl InterleavedReport {
             .epochs
             .iter()
             .map(|e| {
+                let failure = match &e.failure {
+                    Some(f) => format!(
+                        concat!(
+                            "{{\"heal\":{},\"failed_nodes\":{},\"healed_nodes\":{},",
+                            "\"delta_rows\":{},\"patch_ns\":{},\"flushed_routes\":{},",
+                            "\"fallback_rebuild\":{},\"recovery_ns\":{}}}"
+                        ),
+                        f.heal,
+                        f.failed_nodes,
+                        f.healed_nodes,
+                        f.delta_rows,
+                        f.patch_nanos,
+                        f.flushed_routes,
+                        f.fallback_rebuild,
+                        f.recovery_nanos
+                    ),
+                    None => "null".to_owned(),
+                };
+                let survivability = match &e.survivability {
+                    Some(s) => format!(
+                        concat!(
+                            "{{\"predicted_survivable\":{},\"survivable_delivered\":{},",
+                            "\"survivable_dropped\":{},\"unsurvivable\":{},",
+                            "\"retries_spent\":{},\"survival_rate\":{:.6}}}"
+                        ),
+                        s.predicted_survivable,
+                        s.survivable_delivered,
+                        s.survivable_dropped,
+                        s.unsurvivable,
+                        s.retries_spent,
+                        s.survival_rate()
+                    ),
+                    None => "null".to_owned(),
+                };
                 format!(
                     concat!(
                         "{{\"epoch\":{},\"joins\":{},\"leaves\":{},",
@@ -315,6 +405,7 @@ impl InterleavedReport {
                         "\"snapshot\":{{\"rebuild_ns\":{},\"patch_ns\":{},",
                         "\"rows_patched\":{},\"rows_in_place\":{},\"compacted\":{},",
                         "\"fallback_rebuild\":{},\"skipped\":{}}},",
+                        "\"failure\":{},\"survivability\":{},",
                         "\"phases\":{},\"batch\":{}}}"
                     ),
                     e.epoch,
@@ -332,6 +423,8 @@ impl InterleavedReport {
                     e.snapshot.compacted,
                     e.snapshot.fallback_rebuild,
                     e.snapshot.skipped,
+                    failure,
+                    survivability,
                     e.phases.to_json(),
                     e.batch.to_json()
                 )
@@ -340,10 +433,12 @@ impl InterleavedReport {
         format!(
             concat!(
                 "{{\"total_queries\":{},\"overall_success_rate\":{:.6},",
+                "\"survival_rate\":{:.6},",
                 "\"routing_queries_per_sec\":{:.1},\"epochs\":[{}]}}"
             ),
             self.total_queries(),
             self.overall_success_rate(),
+            self.survival_rate(),
             self.routing_queries_per_sec(),
             epochs.join(",")
         )
@@ -390,6 +485,8 @@ impl QueryEngine {
     ) -> InterleavedReport {
         let n = network.len();
         self.resolve_adversaries(network);
+        let failure_schedule = self.config().failures_config().cloned();
+        let mut downed = DownedSet::default();
         let mut reports = Vec::with_capacity(epochs);
         let mut snapshot: Option<FrozenView> = None;
         for epoch in 0..epochs {
@@ -397,6 +494,32 @@ impl QueryEngine {
             // totals so the report carries a per-epoch breakdown.
             self.telemetry().set_epoch(epoch as u64);
             let phases_before = self.telemetry().phase_totals();
+
+            // Failure phase first: the epoch's batch routes the overlay the event
+            // left behind, and a surviving snapshot is patched (never rebuilt)
+            // from the event's typed delta before any freeze decision is made.
+            let failure = failure_schedule.as_ref().map(|schedule| {
+                self.failure_phase(
+                    network,
+                    &mut snapshot,
+                    &mut downed,
+                    schedule,
+                    epoch,
+                    master_seed,
+                )
+            });
+            // Ground truth for the epoch's traffic: directed reachability over the
+            // post-event usable-neighbour graph. Built per epoch because both
+            // failures and last epoch's churn moved the graph.
+            let oracle = failure_schedule.as_ref().map(|_| {
+                let graph = network.graph();
+                ConnectivityOracle::build(
+                    n as u32,
+                    |p| graph.is_alive(u64::from(p)),
+                    |p| graph.usable_neighbors(u64::from(p)).map(|q| q as u32),
+                )
+            });
+
             let mut work = SnapshotWork::default();
             if self.snapshot_worthwhile(queries_per_epoch) {
                 if snapshot.is_none() {
@@ -425,6 +548,9 @@ impl QueryEngine {
                 None => QueryBatch::uniform(network, queries_per_epoch, batch_seed),
             };
             let batch_report = self.run_batch_with_snapshot(network, &batch, snapshot.as_ref());
+            let survivability = oracle.as_ref().map(|oracle| {
+                classify_survivability(batch.pairs(), batch_report.outcomes(), oracle, n)
+            });
 
             // Churn phase: one consistent schedule over the current population, applied
             // through the maintainer so links are regenerated as the paper prescribes.
@@ -528,6 +654,8 @@ impl QueryEngine {
                     .adversaries()
                     .map_or(0, faultline_routing::ByzantineSet::len),
                 snapshot: work,
+                failure,
+                survivability,
                 phases: self
                     .telemetry()
                     .phase_totals()
@@ -536,6 +664,114 @@ impl QueryEngine {
         }
         InterleavedReport { epochs: reports }
     }
+
+    /// Applies one epoch's failure event through the typed-delta pipeline: mutate
+    /// the overlay (crash regions or revive the downed set), patch the surviving
+    /// snapshot from the event's delta, and evict exactly the cache entries whose
+    /// walks depended on a changed row. All randomness comes from a dedicated
+    /// failure stream, so failure trajectories never perturb churn or routing
+    /// draws.
+    fn failure_phase(
+        &mut self,
+        network: &mut Network,
+        snapshot: &mut Option<FrozenView>,
+        downed: &mut DownedSet,
+        schedule: &FailureSchedule,
+        epoch: usize,
+        master_seed: u64,
+    ) -> FailureWork {
+        let started = Instant::now();
+        let n = network.len();
+        let mut work = FailureWork::default();
+        let mut delta = ChurnDelta::new();
+        let mut fail_rng = trial_rng(master_seed ^ 0xFA17_0FA1_70FA_170F, epoch as u64);
+        match schedule.event_for(epoch) {
+            FailureEvent::Quiet => {}
+            FailureEvent::Region { width } => {
+                let plan = RegionFailure::random(width);
+                let (report, d) = network.apply_failure_delta(&plan, &mut fail_rng);
+                work.failed_nodes = report.failed_nodes.len();
+                downed.extend(&report.failed_nodes);
+                delta.absorb(d);
+            }
+            FailureEvent::Partition { width } => {
+                // Two diametrically opposite regions: the worst correlated cut a
+                // ring admits, since every long link spanning either gap loses an
+                // endpoint.
+                let start = fail_rng.gen_range(0..n.max(1));
+                for s in [start, (start + n / 2) % n.max(1)] {
+                    let plan = RegionFailure::at(s, width);
+                    let (report, d) = network.apply_failure_delta(&plan, &mut fail_rng);
+                    work.failed_nodes += report.failed_nodes.len();
+                    downed.extend(&report.failed_nodes);
+                    delta.absorb(d);
+                }
+            }
+            FailureEvent::Heal => {
+                work.heal = true;
+                let revive = downed.take();
+                if !revive.is_empty() {
+                    delta.absorb(network.heal_nodes(&revive));
+                    work.healed_nodes = revive.len();
+                }
+            }
+        }
+        if work.failed_nodes > 0 {
+            self.telemetry().event(
+                EventKind::FailureApplied,
+                saturate_u32(work.failed_nodes as u64),
+            );
+        }
+        if work.healed_nodes > 0 {
+            self.telemetry().event(
+                EventKind::HealApplied,
+                saturate_u32(work.healed_nodes as u64),
+            );
+        }
+        work.delta_rows = delta.len();
+        if !delta.is_empty() {
+            if let Some(live) = snapshot.as_mut() {
+                let patch_started = Instant::now();
+                let stats = live.apply_delta_with(network.graph(), &delta, self.telemetry());
+                work.patch_nanos = patch_started.elapsed().as_nanos() as u64;
+                work.fallback_rebuild = stats.rebuilt;
+            }
+            work.flushed_routes = if self.config().row_invalidation_enabled() {
+                self.invalidate_delta(&delta, n)
+            } else {
+                let changed: Vec<NodeId> = delta.changed_nodes().collect();
+                self.invalidate_nodes(&changed, n)
+            };
+        }
+        work.recovery_nanos = started.elapsed().as_nanos() as u64;
+        work
+    }
+}
+
+/// Buckets each query of a batch against the oracle's verdict on its endpoints:
+/// survivable-delivered, survivable-dropped, or unsurvivable (out-of-range
+/// endpoints are unsurvivable by definition — no walk was even possible).
+fn classify_survivability(
+    pairs: &[(NodeId, NodeId)],
+    outcomes: &[QueryOutcome],
+    oracle: &ConnectivityOracle,
+    n: u64,
+) -> SurvivabilitySplit {
+    let mut split = SurvivabilitySplit::default();
+    for (&(source, target), outcome) in pairs.iter().zip(outcomes) {
+        split.retries_spent += u64::from(outcome.attempts.saturating_sub(1));
+        if source < n && target < n && oracle.survivable(source as u32, target as u32) {
+            split.predicted_survivable += 1;
+            if outcome.delivered {
+                split.survivable_delivered += 1;
+            } else {
+                split.survivable_dropped += 1;
+            }
+        } else {
+            split.unsurvivable += 1;
+        }
+    }
+    split
 }
 
 #[cfg(test)]

@@ -48,6 +48,17 @@
 //!   [`ChurnMix::adversarial_joins`] conscripts arrivals (a join at a stale label
 //!   *clears* it — labels are reused, so newcomers never inherit old convictions).
 //!   [`BatchReport`] splits honest-vs-contested success/hop/latency percentiles.
+//! * **Failure epochs** — [`EngineConfig::failures`] interleaves *correlated*
+//!   damage with the traffic: a [`FailureSchedule`] cycles region crashes,
+//!   two-sided partitions, and heal events through the same typed-delta pipeline
+//!   churn uses (snapshot rows patched in place, caches evicted at row
+//!   granularity — no rebuild, no bucket-mask flush). Each failure-configured
+//!   epoch builds a [`ConnectivityOracle`](faultline_theory::ConnectivityOracle)
+//!   over the damaged overlay and classifies every query against ground truth
+//!   ([`SurvivabilitySplit`]): lookups the oracle proves disconnected leave the
+//!   success denominator, and dropped-but-survivable lookups are the routing
+//!   failures the resilience gate counts. Failed lookups get a bounded
+//!   diversified-retry budget while the overlay is damaged.
 //! * **Percentile stats** — every batch reports p50/p95/p99 hop and per-query wall-time
 //!   ladders plus queries/sec, exportable as JSON for the benchmark trajectory.
 //!   Latency percentiles come from log-bucketed histograms ([`LatencyDigest`]) that
@@ -87,6 +98,7 @@
 mod batch;
 mod cache;
 mod config;
+mod failures;
 mod interleave;
 mod run;
 mod stats;
@@ -96,6 +108,7 @@ pub use cache::{
     bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, RowSet, NUM_BUCKETS,
 };
 pub use config::{ByzantineConfig, ByzantineMembership, EngineConfig, SnapshotMaintenance};
+pub use failures::{FailureEvent, FailureSchedule, FailureWork, SurvivabilitySplit};
 pub use interleave::{ChurnMix, EpochReport, InterleavedReport, SnapshotWork};
 pub use run::QueryEngine;
 pub use stats::{AdversarySplit, BatchReport, LatencyDigest, QueryOutcome};

@@ -6,7 +6,7 @@ use crate::config::{ByzantineMembership, EngineConfig};
 use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network, NetworkView};
 use faultline_overlay::{ChurnDelta, NodeId};
-use faultline_routing::{ByzantineSet, RedundantRouter, RouteScratch};
+use faultline_routing::{ByzantineSet, FaultStrategy, RedundantRouter, RouteScratch, Router};
 use faultline_sim::seed_for_trial;
 use faultline_telemetry::{EventKind, Phase, Telemetry};
 use rand::rngs::{SmallRng, StdRng};
@@ -53,7 +53,7 @@ pub struct QueryEngine {
 }
 
 /// Clamps a count into an event-ring payload.
-fn saturate_u32(value: u64) -> u32 {
+pub(crate) fn saturate_u32(value: u64) -> u32 {
     u32::try_from(value).unwrap_or(u32::MAX)
 }
 
@@ -400,6 +400,13 @@ impl QueryEngine {
     ) -> BatchReport {
         let n = network.len();
         let caching = self.config.cache_capacity_entries() > 0;
+        // Failure-epoch runs grant failed lookups a bounded diversified-retry
+        // budget; without a schedule the honest path is single-attempt, exactly
+        // the pre-resilience behaviour.
+        let retry_budget = self
+            .config
+            .failures_config()
+            .map_or(0, crate::failures::FailureSchedule::retry_budget);
         self.resolve_adversaries(network);
         let view = self.routing_view(network);
         // Byzantine lane: a non-empty resolved adversary set routes every query
@@ -497,6 +504,7 @@ impl QueryEngine {
                                 n,
                                 batch.seed(),
                                 index,
+                                retry_budget,
                                 source,
                                 target,
                             ),
@@ -551,11 +559,27 @@ fn ewma(previous: Option<f64>, observation: f64) -> f64 {
     }
 }
 
+/// The router a diversified retry attempt uses: an already-randomized strategy is
+/// kept (a fresh seed changes its re-route draws), while the deterministic
+/// strategies — whose walk a fresh seed cannot change — escalate to random
+/// re-route, so no retry ever replays the exact walk that just failed.
+fn diversified(router: Router) -> Router {
+    match router.strategy() {
+        FaultStrategy::RandomReroute { .. } => router,
+        _ => router.with_strategy(FaultStrategy::RandomReroute { max_attempts: 2 }),
+    }
+}
+
 /// Routes (or cache-serves) one query on a shard worker.
 ///
 /// Cache misses go through the frozen CSR kernel when a snapshot was compiled for the
 /// batch (the default), falling back to the live-graph walk otherwise; both produce
 /// identical outcomes for the deterministic strategies.
+///
+/// When `retry_budget > 0` (failure epochs), an undelivered lookup re-routes up to
+/// that many more times, each attempt with a seed derived from `(batch seed, query
+/// index, attempt)` and a diversified strategy ([`diversified`]) — deterministic at
+/// any thread count, like the first attempt.
 #[allow(clippy::too_many_arguments)]
 fn route_one(
     view: NetworkView<'_>,
@@ -565,6 +589,7 @@ fn route_one(
     n: u64,
     batch_seed: u64,
     index: usize,
+    retry_budget: u32,
     source: NodeId,
     target: NodeId,
 ) -> QueryOutcome {
@@ -585,44 +610,62 @@ fn route_one(
             nanos: started.elapsed().as_nanos() as u64,
         };
     }
-    let seed = seed_for_trial(batch_seed, index as u64);
+    let base_seed = seed_for_trial(batch_seed, index as u64);
     let endpoint_bits = (1 << source_bucket) | (1 << target_bucket);
     // The visited-node list (the walk's row dependencies) and the touched-bucket
     // mask only matter to a cache entry; both are skipped on the uncached hot path.
+    // Retries accumulate into the same dependency set: every attempt's walk is a
+    // row dependency of the final cached digest.
     let mut deps: Vec<u32> = Vec::new();
-    let (delivered, hops, recoveries, touched) = match frozen {
-        Some(snapshot) => {
-            let result = snapshot.route_seeded(source, target, seed, scratch);
-            let touched = if cache.enabled() {
-                deps.reserve_exact(scratch.path().len() + 2);
-                deps.extend_from_slice(scratch.path());
-                buckets_mask_u32(scratch.path(), n) | endpoint_bits
-            } else {
-                endpoint_bits
-            };
-            (
-                result.is_delivered(),
-                result.hops,
-                result.recoveries,
-                touched,
-            )
-        }
-        None => {
-            let result = view.route_seeded(source, target, seed);
-            let touched = match &result.path {
-                Some(path) => {
-                    deps.reserve_exact(path.len() + 2);
-                    deps.extend(path.iter().map(|&p| p as u32));
-                    buckets_mask(path, n) | endpoint_bits
+    let mut touched = endpoint_bits;
+    let mut total_hops = 0u64;
+    let mut attempts = 0u32;
+    let (delivered, hops, recoveries) = loop {
+        let seed = if attempts == 0 {
+            base_seed
+        } else {
+            seed_for_trial(base_seed, u64::from(attempts))
+        };
+        let (d, h, r) = match frozen {
+            Some(snapshot) => {
+                let result = if attempts == 0 {
+                    snapshot.route_seeded(source, target, seed, scratch)
+                } else {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    diversified(snapshot.router()).route_frozen(
+                        snapshot.routes(),
+                        source,
+                        target,
+                        &mut rng,
+                        scratch,
+                    )
+                };
+                if cache.enabled() {
+                    deps.reserve(scratch.path().len() + 2);
+                    deps.extend_from_slice(scratch.path());
+                    touched |= buckets_mask_u32(scratch.path(), n);
                 }
-                None => endpoint_bits,
-            };
-            (
-                result.is_delivered(),
-                result.hops,
-                result.recoveries,
-                touched,
-            )
+                (result.is_delivered(), result.hops, result.recoveries)
+            }
+            None => {
+                let result = if attempts == 0 {
+                    view.route_seeded(source, target, seed)
+                } else {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    diversified(view.router()).route(view.graph(), source, target, &mut rng)
+                };
+                if let Some(path) = &result.path {
+                    deps.reserve(path.len() + 2);
+                    deps.extend(path.iter().map(|&p| p as u32));
+                    touched |= buckets_mask(path, n);
+                }
+                (result.is_delivered(), result.hops, result.recoveries)
+            }
+        };
+        attempts += 1;
+        total_hops += h;
+        if d || attempts > retry_budget {
+            break (d, h, r);
         }
     };
     if cache.enabled() {
@@ -635,12 +678,14 @@ fn route_one(
     // A random-reroute recovery samples the global alive set: the digest depends on
     // membership state no row-dependency list can capture, so row-level invalidation
     // must always evict it. Terminate never recovers; backtrack recovers along
-    // visited rows only.
-    let volatile = recoveries > 0
-        && matches!(
-            view.router().strategy(),
-            faultline_routing::FaultStrategy::RandomReroute { .. }
-        );
+    // visited rows only. A retried lookup is volatile for the same reason — its
+    // diversified attempts re-route randomly.
+    let volatile = attempts > 1
+        || (recoveries > 0
+            && matches!(
+                view.router().strategy(),
+                FaultStrategy::RandomReroute { .. }
+            ));
     cache.insert(
         source_bucket,
         target_bucket,
@@ -660,9 +705,9 @@ fn route_one(
         hops,
         recoveries,
         cached: false,
-        attempts: 1,
+        attempts,
         adversary_drops: 0,
-        total_hops: hops,
+        total_hops,
         nanos: started.elapsed().as_nanos() as u64,
     }
 }

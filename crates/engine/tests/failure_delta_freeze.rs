@@ -1,0 +1,81 @@
+//! Delta-patched snapshots versus a fresh freeze, under arbitrary failure/heal
+//! sequences.
+//!
+//! The failure pipeline's core claim: a [`FrozenView`] kept alive across any
+//! interleaving of correlated crashes and heals, patched only from the typed
+//! [`ChurnDelta`]s the maintainer captured, serves **exactly** the rows a
+//! from-scratch freeze of the final topology would — same live set, same
+//! usable-neighbour row per node, regardless of how the damage overlapped, how
+//! often rows bounced between dense and overflow storage, or whether a patch
+//! crossed the structural rebuild threshold along the way.
+
+use faultline_core::{ConstructionMode, Network, NetworkConfig};
+use faultline_failure::{NodeFailure, RegionFailure};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn incremental_network(n: u64, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config =
+        NetworkConfig::paper_default(n).construction(ConstructionMode::incremental_default());
+    Network::build(&config, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn patched_snapshot_equals_fresh_freeze_after_arbitrary_failures(
+        seed in any::<u64>(),
+        steps in 1usize..10,
+    ) {
+        let n = 256u64;
+        let mut network = incremental_network(n, seed ^ 0xD00F);
+        let mut snapshot = network.view().freeze();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for _ in 0..steps {
+            let delta = match rng.gen_range(0..4u32) {
+                0 => {
+                    let width = rng.gen_range(1..16u64);
+                    let start = rng.gen_range(0..n);
+                    network
+                        .apply_failure_delta(&RegionFailure::at(start, width), &mut rng)
+                        .1
+                }
+                1 => {
+                    let count = rng.gen_range(1..12u64);
+                    network
+                        .apply_failure_delta(&NodeFailure::count(count), &mut rng)
+                        .1
+                }
+                _ => {
+                    // Heal a random subset of whatever is currently down (possibly
+                    // empty, possibly overlapping earlier heals).
+                    let dead: Vec<u64> =
+                        (0..n).filter(|&p| !network.graph().is_alive(p)).collect();
+                    let keep = if dead.is_empty() {
+                        0
+                    } else {
+                        rng.gen_range(0..=dead.len())
+                    };
+                    network.heal_nodes(&dead[..keep])
+                }
+            };
+            snapshot.apply_delta(network.graph(), &delta);
+        }
+
+        let fresh = network.view().freeze();
+        let patched = snapshot.routes();
+        let expected = fresh.routes();
+        prop_assert_eq!(patched.len(), expected.len());
+        prop_assert_eq!(patched.alive_sorted(), expected.alive_sorted());
+        for p in 0..n {
+            prop_assert_eq!(
+                patched.neighbors(p),
+                expected.neighbors(p),
+                "row {} diverged from a fresh freeze", p
+            );
+        }
+    }
+}

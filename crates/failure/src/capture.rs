@@ -1,0 +1,240 @@
+//! Typed-delta capture for failure plans: turn graph damage into a
+//! [`ChurnDelta`] instead of a snapshot rebuild.
+//!
+//! The Section 5 maintainer emits deltas for free — it knows which rows it
+//! rewrote. Failure plans mutate the graph behind the overlay's back, so the
+//! delta has to be *measured*: record the usable-neighbour rows that could
+//! change, damage the graph, and diff. The candidate set is exact and cheap to
+//! name: a crash or heal of node `v` can only change `v`'s own row and the rows
+//! of nodes holding a live link *to* `v` (its in-neighbours, ring links
+//! included); a link failure changes only the link's source row.
+//!
+//! The resulting delta satisfies the `apply_delta` contract — every recorded
+//! row equals the post-damage `usable_neighbors` row, captured *after* all
+//! damage settled — so failures flow through the same row-patching and
+//! row-level cache invalidation as churn, with no bucket-mask flush and no
+//! from-scratch `freeze()`.
+
+use faultline_overlay::{ChurnDelta, NodeId, OverlayGraph, RowChangeKind};
+
+/// The post-change usable-neighbour row of `p`, in snapshot (u32) width — the
+/// exact row `FrozenRoutes::apply_delta` expects a delta to carry.
+#[must_use]
+pub fn usable_row(graph: &OverlayGraph, p: NodeId) -> Vec<u32> {
+    graph.usable_neighbors(p).map(|q| q as u32).collect()
+}
+
+/// Every node whose usable-neighbour row can change when `victims` flip
+/// liveness: the victims themselves plus all present nodes holding a live link
+/// (ring or long) to a victim. Sorted, deduplicated. One O(links) scan.
+#[must_use]
+pub fn blast_radius(graph: &OverlayGraph, victims: &[NodeId]) -> Vec<NodeId> {
+    let n = graph.len() as usize;
+    let mut mask = vec![false; n];
+    for &v in victims {
+        if (v as usize) < n {
+            mask[v as usize] = true;
+        }
+    }
+    let mut out: Vec<NodeId> = victims.to_vec();
+    for &q in graph.present_nodes() {
+        if mask[q as usize] {
+            continue;
+        }
+        if graph
+            .links(q)
+            .iter()
+            .any(|l| l.alive && (l.target as usize) < n && mask[l.target as usize])
+        {
+            out.push(q);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Pre-damage state of one candidate row.
+#[derive(Debug, Clone)]
+struct CaptureEntry {
+    node: NodeId,
+    alive: bool,
+    row: Vec<u32>,
+}
+
+/// Two-phase row differ: [`DeltaCapture::snapshot`] the candidate rows before
+/// damaging the graph, then [`DeltaCapture::diff`] afterwards to emit exactly
+/// the rows that changed.
+///
+/// Emitting *only* changed rows matters: an unchanged row in a delta is not
+/// wrong, but it invalidates every cached route that walked it — false
+/// evictions with no topology change behind them.
+#[derive(Debug, Clone)]
+pub struct DeltaCapture {
+    entries: Vec<CaptureEntry>,
+}
+
+impl DeltaCapture {
+    /// Records the current usable row and liveness of every present candidate
+    /// (deduplicated; absent nodes are skipped).
+    #[must_use]
+    pub fn snapshot<I>(graph: &OverlayGraph, candidates: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut nodes: Vec<NodeId> = candidates
+            .into_iter()
+            .filter(|&p| graph.is_present(p))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let entries = nodes
+            .into_iter()
+            .map(|p| CaptureEntry {
+                node: p,
+                alive: graph.is_alive(p),
+                row: usable_row(graph, p),
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of candidate rows being watched.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no candidates were captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Diffs the captured rows against the (now damaged or healed) graph,
+    /// emitting one classified [`RowChangeKind`] entry per changed row:
+    /// identical row with flipped liveness → `LivenessOnly`; same length,
+    /// different content → `LinkReplaced`; length change → `Structural`.
+    #[must_use]
+    pub fn diff(self, graph: &OverlayGraph) -> ChurnDelta {
+        let mut delta = ChurnDelta::new();
+        for entry in self.entries {
+            let alive = graph.is_alive(entry.node);
+            let row = usable_row(graph, entry.node);
+            let kind = if row == entry.row {
+                if alive == entry.alive {
+                    continue;
+                }
+                RowChangeKind::LivenessOnly
+            } else if row.len() == entry.row.len() {
+                RowChangeKind::LinkReplaced
+            } else {
+                RowChangeKind::Structural
+            };
+            delta.record(entry.node, kind, alive, row);
+        }
+        delta
+    }
+}
+
+/// Fails `victims` (assumed distinct and alive) while capturing the typed
+/// delta: blast radius, snapshot, damage, diff.
+#[must_use]
+pub fn fail_nodes_with_delta(graph: &mut OverlayGraph, victims: &[NodeId]) -> ChurnDelta {
+    let capture = DeltaCapture::snapshot(graph, blast_radius(graph, victims));
+    for &v in victims {
+        graph.fail_node(v);
+    }
+    capture.diff(graph)
+}
+
+/// Revives `victims` (previously crashed nodes) while capturing the typed
+/// delta that re-admits their rows and their in-neighbours' restored targets.
+#[must_use]
+pub fn revive_nodes_with_delta(graph: &mut OverlayGraph, victims: &[NodeId]) -> ChurnDelta {
+    let capture = DeltaCapture::snapshot(graph, blast_radius(graph, victims));
+    for &v in victims {
+        graph.revive_node(v);
+    }
+    capture.diff(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultline_linkdist::InversePowerLaw;
+    use faultline_metric::Geometry;
+    use faultline_overlay::GraphBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn graph(n: u64, ell: usize, seed: u64) -> OverlayGraph {
+        let geometry = Geometry::ring(n);
+        let spec = InversePowerLaw::exponent_one(&geometry);
+        let mut rng = StdRng::seed_from_u64(seed);
+        GraphBuilder::new(geometry)
+            .links_per_node(ell)
+            .build(&spec, &mut rng)
+    }
+
+    #[test]
+    fn blast_radius_names_victims_and_live_in_neighbours() {
+        let g = graph(64, 3, 1);
+        let radius = blast_radius(&g, &[10]);
+        assert!(radius.contains(&10));
+        for &q in g.present_nodes() {
+            let points_at_victim = g.links(q).iter().any(|l| l.alive && l.target == 10);
+            assert_eq!(
+                radius.contains(&q),
+                q == 10 || points_at_victim,
+                "node {q} membership"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_rows_match_post_damage_usable_rows() {
+        let mut g = graph(128, 4, 2);
+        let victims = vec![5, 6, 7];
+        let delta = fail_nodes_with_delta(&mut g, &victims);
+        assert!(!delta.is_empty());
+        for rd in delta.rows() {
+            assert_eq!(rd.row, usable_row(&g, rd.node), "row of {}", rd.node);
+            assert_eq!(rd.alive, g.is_alive(rd.node));
+        }
+        // Every victim flipped liveness, so every victim has a delta row.
+        for &v in &victims {
+            assert!(delta.changed_nodes().any(|p| p == v), "victim {v} missing");
+        }
+    }
+
+    #[test]
+    fn unchanged_rows_are_not_emitted() {
+        let mut g = graph(128, 4, 3);
+        let before: Vec<Vec<u32>> = (0..128).map(|p| usable_row(&g, p)).collect();
+        let delta = fail_nodes_with_delta(&mut g, &[40]);
+        for rd in delta.rows() {
+            let changed = rd.row != before[rd.node as usize] || (rd.node == 40 && !g.is_alive(40));
+            assert!(changed, "node {} emitted without a change", rd.node);
+        }
+        // Nodes far from the victim with no link to it must not appear.
+        let radius = blast_radius(&g, &[40]);
+        for p in delta.changed_nodes() {
+            assert!(radius.contains(&p));
+        }
+    }
+
+    #[test]
+    fn heal_reverses_the_failure_delta() {
+        let mut g = graph(96, 3, 4);
+        let pristine = g.clone();
+        let _down = fail_nodes_with_delta(&mut g, &[20, 21]);
+        let heal = revive_nodes_with_delta(&mut g, &[20, 21]);
+        assert_eq!(g, pristine, "heal restores the graph exactly");
+        for rd in heal.rows() {
+            assert_eq!(rd.row, usable_row(&g, rd.node));
+        }
+        // Healing again is a no-op and emits nothing.
+        let empty = revive_nodes_with_delta(&mut g, &[20, 21]);
+        assert!(empty.is_empty());
+    }
+}

@@ -18,17 +18,29 @@
 //! All models implement [`FailurePlan`] and mutate an
 //! [`OverlayGraph`](faultline_overlay::OverlayGraph) in place, returning a
 //! [`FailureReport`] describing what was damaged.
+//!
+//! Every plan is also **delta-aware**: [`FailurePlan::apply_with_delta`] inflicts
+//! bit-identical damage (same RNG stream) while capturing the typed
+//! [`ChurnDelta`](faultline_overlay::ChurnDelta) of exactly the usable-neighbour
+//! rows the damage changed — the victims plus their in-neighbours ([`blast_radius`]) —
+//! so failures flow through frozen-snapshot row patching and row-level cache
+//! invalidation instead of forcing a rebuild. [`revive_nodes_with_delta`] is the
+//! healing inverse, re-admitting crashed rows the same way.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod capture;
 mod churn;
 mod link;
 mod node;
 mod plan;
 mod region;
 
+pub use capture::{
+    blast_radius, fail_nodes_with_delta, revive_nodes_with_delta, usable_row, DeltaCapture,
+};
 pub use churn::{ChurnEvent, ChurnSchedule};
 pub use link::LinkFailure;
 pub use node::{binomial_present_set, NodeFailure, NodeFailureMode};

@@ -1,7 +1,8 @@
 //! Independent link failures (Section 4.3.3).
 
+use crate::capture::DeltaCapture;
 use crate::plan::{FailurePlan, FailureReport};
-use faultline_overlay::OverlayGraph;
+use faultline_overlay::{ChurnDelta, NodeId, OverlayGraph};
 use rand::{Rng, RngCore};
 
 /// Fails each long-distance link independently, keeping it with probability `presence`.
@@ -64,6 +65,49 @@ impl FailurePlan for LinkFailure {
             failed_nodes: Vec::new(),
             failed_links,
         }
+    }
+
+    fn apply_with_delta(
+        &self,
+        graph: &mut OverlayGraph,
+        rng: &mut dyn RngCore,
+    ) -> (FailureReport, ChurnDelta) {
+        // Pass 1: draw every link's fate up front, walking the live long links
+        // in the exact order `fail_long_links_where` visits them, so the RNG
+        // stream matches `apply` bit for bit. Only sources that lose a link can
+        // change a usable row — a directed link failure never touches the
+        // target's row.
+        let presence = self.presence;
+        let n = graph.len();
+        let mut decisions: Vec<bool> = Vec::new();
+        let mut sources: Vec<NodeId> = Vec::new();
+        for p in 0..n {
+            for link in graph.links(p).iter().filter(|l| l.alive && l.is_long()) {
+                let _ = link;
+                let kill = !rng.gen_bool(presence);
+                decisions.push(kill);
+                if kill {
+                    sources.push(p);
+                }
+            }
+        }
+        sources.dedup();
+        let capture = DeltaCapture::snapshot(graph, sources);
+        // Pass 2: replay the pre-drawn fates onto the graph.
+        let mut next = 0;
+        let failed_links = graph.fail_long_links_where(|_, _| {
+            let kill = decisions[next];
+            next += 1;
+            kill
+        });
+        debug_assert_eq!(next, decisions.len(), "replay covered every live link");
+        (
+            FailureReport {
+                failed_nodes: Vec::new(),
+                failed_links,
+            },
+            capture.diff(graph),
+        )
     }
 }
 

@@ -1,7 +1,8 @@
 //! Node-crash failure models (Sections 4.3.4 and 6).
 
+use crate::capture::fail_nodes_with_delta;
 use crate::plan::{FailurePlan, FailureReport};
-use faultline_overlay::{NodeId, OverlayGraph};
+use faultline_overlay::{ChurnDelta, NodeId, OverlayGraph};
 use rand::{seq::SliceRandom, Rng, RngCore};
 
 /// How many nodes a [`NodeFailure`] plan crashes.
@@ -75,20 +76,12 @@ impl NodeFailure {
     pub fn mode(&self) -> NodeFailureMode {
         self.mode
     }
-}
 
-impl FailurePlan for NodeFailure {
-    fn name(&self) -> String {
-        match self.mode {
-            NodeFailureMode::Fraction(f) => format!("node-failure(fraction={f})"),
-            NodeFailureMode::Independent(p) => format!("node-failure(independent p={p})"),
-            NodeFailureMode::Count(c) => format!("node-failure(count={c})"),
-        }
-    }
-
-    fn apply(&self, graph: &mut OverlayGraph, rng: &mut dyn RngCore) -> FailureReport {
+    /// Draws this plan's victim set from `rng` exactly as
+    /// [`FailurePlan::apply`] would, without touching the graph.
+    fn select_victims(&self, graph: &OverlayGraph, rng: &mut dyn RngCore) -> Vec<NodeId> {
         let alive: Vec<NodeId> = graph.alive_nodes();
-        let victims: Vec<NodeId> = match self.mode {
+        match self.mode {
             NodeFailureMode::Independent(p) => {
                 alive.into_iter().filter(|_| rng.gen_bool(p)).collect()
             }
@@ -106,7 +99,21 @@ impl FailurePlan for NodeFailure {
                 pool.truncate(k);
                 pool
             }
-        };
+        }
+    }
+}
+
+impl FailurePlan for NodeFailure {
+    fn name(&self) -> String {
+        match self.mode {
+            NodeFailureMode::Fraction(f) => format!("node-failure(fraction={f})"),
+            NodeFailureMode::Independent(p) => format!("node-failure(independent p={p})"),
+            NodeFailureMode::Count(c) => format!("node-failure(count={c})"),
+        }
+    }
+
+    fn apply(&self, graph: &mut OverlayGraph, rng: &mut dyn RngCore) -> FailureReport {
+        let victims = self.select_victims(graph, rng);
         for &v in &victims {
             graph.fail_node(v);
         }
@@ -114,6 +121,22 @@ impl FailurePlan for NodeFailure {
             failed_nodes: victims,
             failed_links: 0,
         }
+    }
+
+    fn apply_with_delta(
+        &self,
+        graph: &mut OverlayGraph,
+        rng: &mut dyn RngCore,
+    ) -> (FailureReport, ChurnDelta) {
+        let victims = self.select_victims(graph, rng);
+        let delta = fail_nodes_with_delta(graph, &victims);
+        (
+            FailureReport {
+                failed_nodes: victims,
+                failed_links: 0,
+            },
+            delta,
+        )
     }
 }
 

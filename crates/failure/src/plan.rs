@@ -1,6 +1,7 @@
 //! The [`FailurePlan`] trait and [`FailureReport`] summary.
 
-use faultline_overlay::{NodeId, OverlayGraph};
+use crate::capture::DeltaCapture;
+use faultline_overlay::{ChurnDelta, NodeId, OverlayGraph};
 use rand::RngCore;
 
 /// Summary of the damage a failure plan inflicted on an overlay.
@@ -43,6 +44,26 @@ pub trait FailurePlan: std::fmt::Debug {
 
     /// Damages `graph` in place, drawing randomness from `rng`.
     fn apply(&self, graph: &mut OverlayGraph, rng: &mut dyn RngCore) -> FailureReport;
+
+    /// Damages `graph` exactly like [`FailurePlan::apply`] — same RNG stream,
+    /// same damage — while also capturing the typed [`ChurnDelta`] of every
+    /// usable-neighbour row the damage changed, so the failure can flow through
+    /// snapshot row-patching and row-level cache invalidation instead of a
+    /// rebuild.
+    ///
+    /// The default implementation watches every present row (correct for any
+    /// plan, O(n·ℓ) capture); the concrete plans override it with their exact
+    /// blast radius.
+    fn apply_with_delta(
+        &self,
+        graph: &mut OverlayGraph,
+        rng: &mut dyn RngCore,
+    ) -> (FailureReport, ChurnDelta) {
+        let candidates: Vec<NodeId> = graph.present_nodes().to_vec();
+        let capture = DeltaCapture::snapshot(graph, candidates);
+        let report = self.apply(graph, rng);
+        (report, capture.diff(graph))
+    }
 }
 
 /// A plan that does nothing — the failure-free control configuration.
@@ -56,6 +77,14 @@ impl FailurePlan for NoFailure {
 
     fn apply(&self, _graph: &mut OverlayGraph, _rng: &mut dyn RngCore) -> FailureReport {
         FailureReport::none()
+    }
+
+    fn apply_with_delta(
+        &self,
+        _graph: &mut OverlayGraph,
+        _rng: &mut dyn RngCore,
+    ) -> (FailureReport, ChurnDelta) {
+        (FailureReport::none(), ChurnDelta::new())
     }
 }
 

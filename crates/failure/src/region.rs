@@ -1,9 +1,10 @@
 //! Correlated (contiguous-region) failures — a robustness probe beyond the paper's
 //! independent-failure models.
 
+use crate::capture::fail_nodes_with_delta;
 use crate::plan::{FailurePlan, FailureReport};
 use faultline_metric::MetricSpace;
-use faultline_overlay::{NodeId, OverlayGraph};
+use faultline_overlay::{ChurnDelta, NodeId, OverlayGraph};
 use rand::{Rng, RngCore};
 
 /// Crashes every node inside a contiguous interval of the metric space.
@@ -41,6 +42,36 @@ impl RegionFailure {
     pub fn width(&self) -> u64 {
         self.width
     }
+
+    /// The alive victims of this plan, in failure order, drawing the random
+    /// start from `rng` exactly as [`FailurePlan::apply`] would. Distinct even
+    /// when the width wraps the whole ring.
+    fn select_victims(&self, graph: &OverlayGraph, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let n = graph.geometry().len();
+        if n == 0 || self.width == 0 {
+            return Vec::new();
+        }
+        let start = match self.start {
+            Some(s) => s.min(n - 1),
+            None => rng.gen_range(0..n),
+        };
+        let mut victims = Vec::new();
+        for offset in 0..self.width.min(n) {
+            let p = if graph.geometry().is_ring() {
+                (start + offset) % n
+            } else {
+                let p = start + offset;
+                if p >= n {
+                    break;
+                }
+                p
+            };
+            if graph.is_alive(p) {
+                victims.push(p);
+            }
+        }
+        victims
+    }
 }
 
 impl FailurePlan for RegionFailure {
@@ -52,34 +83,30 @@ impl FailurePlan for RegionFailure {
     }
 
     fn apply(&self, graph: &mut OverlayGraph, rng: &mut dyn RngCore) -> FailureReport {
-        let n = graph.geometry().len();
-        if n == 0 || self.width == 0 {
-            return FailureReport::none();
-        }
-        let start = match self.start {
-            Some(s) => s.min(n - 1),
-            None => rng.gen_range(0..n),
-        };
-        let mut failed = Vec::new();
-        for offset in 0..self.width {
-            let p = if graph.geometry().is_ring() {
-                (start + offset) % n
-            } else {
-                let p = start + offset;
-                if p >= n {
-                    break;
-                }
-                p
-            };
-            if graph.is_alive(p) {
-                graph.fail_node(p);
-                failed.push(p);
-            }
+        let failed = self.select_victims(graph, rng);
+        for &p in &failed {
+            graph.fail_node(p);
         }
         FailureReport {
             failed_nodes: failed,
             failed_links: 0,
         }
+    }
+
+    fn apply_with_delta(
+        &self,
+        graph: &mut OverlayGraph,
+        rng: &mut dyn RngCore,
+    ) -> (FailureReport, ChurnDelta) {
+        let failed = self.select_victims(graph, rng);
+        let delta = fail_nodes_with_delta(graph, &failed);
+        (
+            FailureReport {
+                failed_nodes: failed,
+                failed_links: 0,
+            },
+            delta,
+        )
     }
 }
 

@@ -1,0 +1,91 @@
+//! The delta-aware contract of every failure plan: `apply_with_delta` must be
+//! indistinguishable from `apply` — same damage, same RNG consumption — and the
+//! delta it emits must describe the post-damage graph exactly.
+
+use faultline_failure::{
+    usable_row, FailurePlan, LinkFailure, NoFailure, NodeFailure, RegionFailure,
+};
+use faultline_linkdist::InversePowerLaw;
+use faultline_metric::Geometry;
+use faultline_overlay::{GraphBuilder, OverlayGraph};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn graph(n: u64, ell: usize, seed: u64) -> OverlayGraph {
+    let geometry = Geometry::ring(n);
+    let spec = InversePowerLaw::exponent_one(&geometry);
+    let mut rng = StdRng::seed_from_u64(seed);
+    GraphBuilder::new(geometry)
+        .links_per_node(ell)
+        .build(&spec, &mut rng)
+}
+
+fn plans() -> Vec<Box<dyn FailurePlan>> {
+    vec![
+        Box::new(NoFailure),
+        Box::new(RegionFailure::at(100, 40)),
+        Box::new(RegionFailure::random(64)),
+        Box::new(NodeFailure::fraction(0.15)),
+        Box::new(NodeFailure::independent(0.1)),
+        Box::new(NodeFailure::count(25)),
+        Box::new(LinkFailure::with_presence(0.8)),
+    ]
+}
+
+#[test]
+fn apply_with_delta_matches_apply_bit_for_bit() {
+    for plan in plans() {
+        let pristine = graph(512, 6, 9);
+        let mut plain = pristine.clone();
+        let mut delta_ed = pristine.clone();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+
+        let report_a = plan.apply(&mut plain, &mut rng_a);
+        let (report_b, _delta) = plan.apply_with_delta(&mut delta_ed, &mut rng_b);
+
+        assert_eq!(report_a, report_b, "{}: reports diverged", plan.name());
+        assert_eq!(plain, delta_ed, "{}: graphs diverged", plan.name());
+        // Same RNG stream consumed: the next draw must agree.
+        assert_eq!(
+            rng_a.gen::<u64>(),
+            rng_b.gen::<u64>(),
+            "{}: RNG streams diverged",
+            plan.name()
+        );
+    }
+}
+
+#[test]
+fn emitted_deltas_describe_the_damaged_graph_exactly() {
+    for plan in plans() {
+        let mut g = graph(512, 6, 10);
+        let before: Vec<Vec<u32>> = (0..512).map(|p| usable_row(&g, p)).collect();
+        let before_alive: Vec<bool> = (0..512).map(|p| g.is_alive(p)).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (_report, delta) = plan.apply_with_delta(&mut g, &mut rng);
+
+        // Every emitted row is the post-damage truth.
+        for rd in delta.rows() {
+            assert_eq!(
+                rd.row,
+                usable_row(&g, rd.node),
+                "{}: stale row for {}",
+                plan.name(),
+                rd.node
+            );
+            assert_eq!(rd.alive, g.is_alive(rd.node), "{}", plan.name());
+        }
+        // And every changed row was emitted: no silent damage.
+        let changed: Vec<u64> = delta.changed_nodes().collect();
+        for p in 0..512u64 {
+            let now = usable_row(&g, p);
+            if now != before[p as usize] || g.is_alive(p) != before_alive[p as usize] {
+                assert!(
+                    changed.contains(&p),
+                    "{}: node {p} changed without a delta row",
+                    plan.name()
+                );
+            }
+        }
+    }
+}

@@ -21,10 +21,14 @@ pub enum EventKind {
     CacheInvalidation,
     /// A joining node was conscripted into the byzantine adversary set.
     AdversaryConviction,
+    /// A failure plan damaged the overlay (payload: failed nodes, saturated).
+    FailureApplied,
+    /// A heal event revived failed nodes (payload: revived nodes, saturated).
+    HealApplied,
 }
 
 /// Number of event kinds (the length of [`EventKind::ALL`]).
-pub const NUM_EVENT_KINDS: usize = 5;
+pub const NUM_EVENT_KINDS: usize = 7;
 
 impl EventKind {
     /// Every kind, in stable reporting order.
@@ -34,6 +38,8 @@ impl EventKind {
         EventKind::CacheEviction,
         EventKind::CacheInvalidation,
         EventKind::AdversaryConviction,
+        EventKind::FailureApplied,
+        EventKind::HealApplied,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -45,6 +51,8 @@ impl EventKind {
             EventKind::CacheEviction => "cache_eviction",
             EventKind::CacheInvalidation => "cache_invalidation",
             EventKind::AdversaryConviction => "adversary_conviction",
+            EventKind::FailureApplied => "failure_applied",
+            EventKind::HealApplied => "heal_applied",
         }
     }
 

@@ -15,6 +15,11 @@
 //! * [`oracle`] — an exact BFS shortest-path oracle over any caller-supplied adjacency,
 //!   the ground truth behind the benchmark's sampled routing-stretch measurement
 //!   (greedy hops ÷ optimal hops).
+//! * [`connectivity`] — exact connectivity structure of a failure-damaged overlay:
+//!   Tarjan SCCs plus a condensation walk for directed `survivable(src, dst)` ground
+//!   truth, and DFS-lowlink bridges / articulation points / 2-edge-connected
+//!   components over the symmetrized view — the denominator of the engine's
+//!   survivability gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,10 +27,12 @@
 
 pub mod bounds;
 pub mod chain;
+pub mod connectivity;
 pub mod kuw;
 pub mod oracle;
 
 pub use bounds::{BoundKind, ModelBounds, Table1Row};
 pub use chain::{ChainEstimate, GreedyChain, OffsetDistribution};
+pub use connectivity::ConnectivityOracle;
 pub use kuw::{kuw_upper_bound, kuw_upper_bound_discrete};
 pub use oracle::{bfs_distances, hop_distance, UNREACHABLE};

@@ -1,8 +1,16 @@
-//! Fault tolerance under node crashes: the Section 6 experiment at laptop scale.
+//! Fault tolerance under *correlated* crashes: failure epochs at engine scale.
 //!
-//! Builds one overlay per failure level, crashes a fraction of the nodes, then routes
-//! messages between random surviving nodes with each of the paper's three recovery
-//! strategies (terminate, random re-route, backtracking).
+//! Builds one overlay, then interleaves query batches with a failure schedule that
+//! alternates crashing a contiguous region (and, in the second scenario, two
+//! antipodal regions — a partition) with healing it. Every epoch the engine builds
+//! a connectivity oracle over the damaged topology and classifies each lookup:
+//! pairs the damage provably disconnected leave the success denominator, so the
+//! printed survival rate isolates *routing* failures from *topology* failures —
+//! the honest version of the paper's Section 6 resilience claim.
+//!
+//! All routing runs through the frozen-snapshot kernel; failures and heals reach
+//! the snapshot as typed row deltas (patched in place, never recompiled), and
+//! dropped lookups retry with diversified walks while the overlay is damaged.
 //!
 //! Run with:
 //!
@@ -10,46 +18,80 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use faultline::failure::NodeFailure;
+use faultline::engine::{ChurnMix, EngineConfig, FailureSchedule, InterleavedReport, QueryEngine};
 use faultline::routing::FaultStrategy;
-use faultline::{Network, NetworkConfig};
+use faultline::{ConstructionMode, Network, NetworkConfig};
 use rand::{rngs::StdRng, SeedableRng};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 1u64 << 13;
-    let messages = 500u64;
-    let strategies = [
-        ("terminate", FaultStrategy::Terminate),
-        ("random re-route", FaultStrategy::single_reroute()),
-        ("backtracking(5)", FaultStrategy::paper_backtrack()),
-    ];
+fn scenario(label: &str, schedule: FailureSchedule) {
+    let n = 1u64 << 12;
+    // Incremental construction so heals replay the Section 5 maintainer; the
+    // backtrack strategy so a dead end under damage is recoverable, not terminal.
+    let config = NetworkConfig::paper_default(n)
+        .construction(ConstructionMode::incremental_default())
+        .fault_strategy(FaultStrategy::paper_backtrack());
+    let mut rng = StdRng::seed_from_u64(2002);
+    let mut network = Network::build(&config, &mut rng);
 
-    println!("nodes = {n}, messages per point = {messages}");
+    let mut engine = QueryEngine::new(EngineConfig::default().threads(4).failures(schedule));
+    let report = engine.run_interleaved(&mut network, 6, 25_000, ChurnMix::balanced(8), 42);
+
+    println!("## {label} (n = {n}, 25k queries/epoch, retry budget 2)");
     println!(
-        "{:<10} {:<18} {:>16} {:>12}",
-        "failed", "strategy", "failed searches", "mean hops"
+        "{:<6} {:<22} {:>7} {:>11} {:>10} {:>8} {:>8} {:>9}",
+        "epoch", "event", "alive", "survivable", "delivered", "dropped", "retries", "survival"
     );
-
-    for tenth in 0..=8u32 {
-        let fraction = f64::from(tenth) / 10.0;
-        for (label, strategy) in strategies {
-            let mut rng = StdRng::seed_from_u64(42 + u64::from(tenth));
-            let config = NetworkConfig::paper_default(n).fault_strategy(strategy);
-            let mut network = Network::build(&config, &mut rng);
-            network.apply_failure(&NodeFailure::fraction(fraction), &mut rng);
-            let stats = network.route_random_batch(messages, &mut rng)?;
-            println!(
-                "{:<10.1} {:<18} {:>16.3} {:>12.2}",
-                fraction,
-                label,
-                stats.failure_fraction(),
-                stats.mean_hops_delivered().unwrap_or(f64::NAN)
-            );
-        }
+    for epoch in report.epochs() {
+        let work = epoch.failure.expect("failure schedule is configured");
+        let event = if work.heal {
+            format!("heal +{} nodes", work.healed_nodes)
+        } else if work.failed_nodes > 0 {
+            format!("crash -{} nodes", work.failed_nodes)
+        } else {
+            "quiet".to_string()
+        };
+        let split = epoch.survivability.expect("oracle classifies every epoch");
+        println!(
+            "{:<6} {:<22} {:>7} {:>11} {:>10} {:>8} {:>8} {:>9.4}",
+            epoch.epoch,
+            event,
+            epoch.alive_after,
+            split.predicted_survivable,
+            split.survivable_delivered,
+            split.survivable_dropped,
+            split.retries_spent,
+            split.survival_rate(),
+        );
     }
+    print_totals(&report);
     println!();
-    println!("Compare with Figure 6 of the paper: failed searches grow with the failure");
-    println!("fraction, and backtracking fails noticeably less often than terminating at");
-    println!("the cost of slightly longer routes.");
-    Ok(())
+}
+
+fn print_totals(report: &InterleavedReport) {
+    let split = report.survivability().expect("classified epochs");
+    println!(
+        "survival {:.4} over {} survivable queries ({} excluded as provably disconnected)",
+        report.survival_rate(),
+        split.predicted_survivable,
+        split.unsurvivable,
+    );
+    println!(
+        "{} diversified retries, mean heal recovery {:.1} µs, {} rebuild fallbacks, {:.0} q/s under damage",
+        report.total_retries_spent(),
+        report.mean_heal_recovery_nanos() / 1e3,
+        report.rebuild_fallbacks(),
+        report.routing_queries_per_sec(),
+    );
+}
+
+fn main() {
+    scenario("regional crash-and-heal", FailureSchedule::regional(32));
+    scenario(
+        "partition-and-heal",
+        FailureSchedule::partition_and_heal(16),
+    );
+    println!("The survival split is the point: raw success rates blame routing for pairs");
+    println!("no algorithm could serve, while the oracle-grounded rate stays near 1.0 —");
+    println!("backtracking plus diversified retries deliver almost everything the damaged");
+    println!("topology still connects, and heals restore the excluded pairs.");
 }
