@@ -28,6 +28,7 @@
 
 use faultline_overlay::NodeId;
 use faultline_telemetry::ShardHandle;
+// xlint: allow(determinism) -- bucket-pair lookups are keyed, never ordered; the one iteration (eviction scan) minimises over the total order (last_used, key), so the victim is independent of iteration order
 use std::collections::HashMap;
 
 /// Number of buckets the metric space is divided into.
@@ -152,6 +153,7 @@ struct CacheEntry {
 pub struct RouteCache {
     capacity: usize,
     tick: u64,
+    // xlint: allow(determinism) -- O(1) digest lookups at ~70ns/hit; `retain` is per-entry (order-free) and the eviction scan tie-breaks on the key, so results and stats replay identically across processes
     entries: HashMap<(u64, u64), CacheEntry>,
     hits: u64,
     misses: u64,
@@ -229,11 +231,14 @@ impl RouteCache {
         if self.entries.len() >= self.capacity
             && !self.entries.contains_key(&(source_bucket, target_bucket))
         {
-            if let Some(&stalest) = self
+            // Recency stamps are unique (the tick bumps on every get and insert), but
+            // tie-break on the key anyway so the evicted victim can never depend on
+            // the map's per-process iteration order.
+            if let Some(stalest) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, entry)| entry.last_used)
-                .map(|(key, _)| key)
+                .min_by_key(|&(key, entry)| (entry.last_used, *key))
+                .map(|(key, _)| *key)
             {
                 self.entries.remove(&stalest);
                 self.telemetry.eviction();

@@ -523,6 +523,7 @@ impl QueryEngine {
             let mut work = SnapshotWork::default();
             if self.snapshot_worthwhile(queries_per_epoch) {
                 if snapshot.is_none() {
+                    // xlint: allow(determinism) -- rebuild cost feeds the adaptive-freeze EWMA and the epoch report; proptest-pinned not to change outcomes
                     let started = Instant::now();
                     snapshot = Some(self.note_snapshot_built(self.routing_view(network).freeze()));
                     work.rebuild_nanos = started.elapsed().as_nanos() as u64;
@@ -628,6 +629,7 @@ impl QueryEngine {
                     }
                     SnapshotMaintenance::Rebuild => None,
                 };
+                // xlint: allow(determinism) -- patch cost is reported in SnapshotWork only, never read by routing
                 let started = Instant::now();
                 match patch(live) {
                     Some(stats) => {
@@ -680,6 +682,7 @@ impl QueryEngine {
         epoch: usize,
         master_seed: u64,
     ) -> FailureWork {
+        // xlint: allow(determinism) -- failure-phase wall time is reported in FailureWork only, never read by routing
         let started = Instant::now();
         let n = network.len();
         let mut work = FailureWork::default();
@@ -731,6 +734,7 @@ impl QueryEngine {
         work.delta_rows = delta.len();
         if !delta.is_empty() {
             if let Some(live) = snapshot.as_mut() {
+                // xlint: allow(determinism) -- delta-patch cost is reported in FailureWork only, never read by routing
                 let patch_started = Instant::now();
                 let stats = live.apply_delta_with(network.graph(), &delta, self.telemetry());
                 work.patch_nanos = patch_started.elapsed().as_nanos() as u64;

@@ -96,6 +96,7 @@ impl QueryEngine {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(config.thread_count())
             .build()
+            // xlint: allow(panic_policy) -- startup-time invariant: the builder only errors on a zero thread count and EngineConfig clamps it to at least one
             .expect("thread pool construction cannot fail");
         let telemetry = if config.telemetry_enabled() {
             Telemetry::new(config.shard_count())
@@ -376,6 +377,7 @@ impl QueryEngine {
     pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
         let frozen = self.snapshot_worthwhile(batch.len()).then(|| {
             self.snapshots_built += 1;
+            // xlint: allow(determinism) -- freeze-cost reading feeds telemetry and the adaptive-freeze EWMA, whose outcomes are proptest-pinned identical to eager freezing; query results never depend on it
             let started = Instant::now();
             let view = self.routing_view(network).freeze();
             let nanos = started.elapsed().as_nanos() as u64;
@@ -460,6 +462,7 @@ impl QueryEngine {
         let mut shard_outputs: Vec<Vec<(usize, QueryOutcome)>> = vec![Vec::new(); shard_count];
         let telemetry_handle = self.telemetry.clone();
         let telemetry = &telemetry_handle;
+        // xlint: allow(determinism) -- batch wall-time is reported in stats only, never read by routing
         let started = Instant::now();
         self.pool.scope(|scope| {
             let jobs = self
@@ -525,6 +528,7 @@ impl QueryEngine {
         }
         let outcomes = outcomes
             .into_iter()
+            // xlint: allow(panic_policy) -- shard partitioning is exhaustive by construction (every index lands in exactly one shard slice); a gap is a bug worth crashing on, not a recoverable state
             .map(|o| o.expect("every query is either pre-failed or routed by one shard"))
             .collect();
         let is_byzantine = byzantine.is_some();
@@ -593,6 +597,7 @@ fn route_one(
     source: NodeId,
     target: NodeId,
 ) -> QueryOutcome {
+    // xlint: allow(determinism) -- per-query latency stamp: reported in percentiles only, never read by routing
     let started = Instant::now();
     let source_bucket = bucket_of(source, n);
     let target_bucket = bucket_of(target, n);
@@ -732,6 +737,7 @@ fn route_one_byzantine(
     source: NodeId,
     target: NodeId,
 ) -> QueryOutcome {
+    // xlint: allow(determinism) -- per-query latency stamp: reported in percentiles only, never read by routing
     let started = Instant::now();
     let seed = seed_for_trial(batch_seed, index as u64);
     let result = match frozen {

@@ -21,6 +21,7 @@ use crate::result::{FailureReason, RouteOutcome, RouteResult};
 use crate::router::Router;
 use faultline_overlay::{FrozenRoutes, NodeId, OverlayGraph};
 use rand::{seq::SliceRandom, Rng};
+// xlint: allow(determinism) -- membership is only ever probed (`contains`) on the hot path; the one iterator is order-insensitive at its call sites (engine tests sort, counts fold)
 use std::collections::HashSet;
 
 /// A set of Byzantine (adversarial) nodes.
@@ -31,6 +32,7 @@ use std::collections::HashSet;
 /// literature reports lookup resilience).
 #[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ByzantineSet {
+    // xlint: allow(determinism) -- conviction membership: O(1) contains/insert/remove on the routing hot path; iteration order never reaches results (see `iter`'s contract)
     nodes: HashSet<NodeId>,
 }
 
@@ -190,6 +192,10 @@ impl RedundantRouter {
         (result, false)
     }
 
+    // The frozen redundant path shares the CSR kernel's zero-allocation contract:
+    // every retry walk reads the visited sequence out of the caller's scratch.
+    // xlint: begin(no_alloc)
+
     /// Performs one greedy walk over the snapshot, truncating at the first Byzantine
     /// node on the visited sequence (read from `scratch` — no per-walk allocation).
     /// Returns `(delivered, hops, recoveries, dropped_by_adversary)`.
@@ -280,6 +286,8 @@ impl RedundantRouter {
             recoveries,
         }
     }
+
+    // xlint: end(no_alloc)
 
     /// Routes a lookup from `source` to `target`, issuing up to `redundancy` walks.
     ///

@@ -92,6 +92,12 @@ impl RouteScratch {
     }
 }
 
+// The frozen kernel's zero-allocation contract, enforced two ways: dynamically by the
+// counting allocator in tests/zero_alloc.rs, and statically by xlint over this fenced
+// region — everything from the metric specialisations to the end of the routing loop
+// must not allocate (all per-route state lives in the caller's RouteScratch).
+// xlint: begin(no_alloc)
+
 /// A one-dimensional metric specialised at compile time; the frozen kernel is
 /// monomorphised per implementation so distance and sidedness are branch-free inlined
 /// integer arithmetic.
@@ -311,6 +317,7 @@ impl Router {
                 outcome,
                 hops,
                 recoveries,
+                // xlint: allow(no_alloc) -- the result path is opt-in: only a router built with_path_recording(true) reaches this collect, and the counting-allocator test pins the recording-off hot path at zero allocations
                 path: record_path.then(|| scratch.path.iter().map(|&p| u64::from(p)).collect()),
             };
 
@@ -422,6 +429,8 @@ impl Router {
         }
     }
 }
+
+// xlint: end(no_alloc)
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,5 @@
+// Fixture: a deliberately unparseable annotation acknowledged with a trailing
+// allow on the same line. Expected findings: none.
+
+/* xlint: experimental(tuning) */ // xlint: allow(annotation) -- reserved form, parser lands next PR
+fn acknowledged() {}

@@ -1,0 +1,15 @@
+// Fixture: annotation meta-rule violations. Expected findings: an allow without a
+// justification, an unknown rule name, an unclosed begin marker, and a stale allow
+// that suppresses nothing — four, in source order.
+
+// xlint: allow(determinism)
+fn missing_justification() {}
+
+// xlint: allow(not_a_rule) -- the rule name is wrong
+fn unknown_rule() {}
+
+// xlint: begin(no_alloc)
+fn unclosed_region() {}
+
+// xlint: allow(panic_policy) -- this code no longer panics
+fn stale() {}

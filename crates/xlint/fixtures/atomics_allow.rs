@@ -1,0 +1,12 @@
+// Fixture: the same atomic ops, explicit Orderings everywhere and the one SeqCst
+// justified. Expected findings: none.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(cell: &AtomicU64) -> u64 {
+    let seen = cell.load(Ordering::Acquire);
+    cell.fetch_add(1, Ordering::Relaxed);
+    // xlint: allow(atomics) -- cross-variable publication point; both prior writes must be visible before the flag flips, and a fence would cost the same here
+    cell.store(seen, Ordering::SeqCst);
+    seen
+}

@@ -1,0 +1,17 @@
+// Fixture: atomics violations (linted as crates/telemetry/src/…). Expected
+// findings: a bare .load(), a bare .fetch_add(1), and a SeqCst without a
+// justification — three, in source order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(cell: &AtomicU64) -> u64 {
+    let seen = cell.load();
+    cell.fetch_add(1);
+    cell.store(seen, Ordering::SeqCst);
+    seen
+}
+
+fn fine(cell: &AtomicU64) -> u64 {
+    cell.fetch_add(1, Ordering::Relaxed);
+    cell.load(Ordering::Acquire)
+}

@@ -1,0 +1,21 @@
+// Fixture: the same determinism violations, each silenced by a justified allow
+// annotation. Expected findings: none.
+
+// xlint: allow(determinism) -- keyed lookups only; iteration never reaches results
+use std::collections::HashMap;
+// xlint: allow(determinism) -- membership probes only; the set is never iterated
+use std::collections::HashSet;
+
+fn unseeded() -> u64 {
+    // xlint: allow(determinism) -- calibration path, outputs discarded before reporting
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn wall_clock() -> (std::time::Instant, u64) {
+    // xlint: allow(determinism) -- timing feeds telemetry only, never routing
+    let t = Instant::now();
+    // xlint: allow(determinism) -- displayed timestamp; results never read it
+    let epoch = SystemTime::UNIX_EPOCH;
+    (t, 0)
+}

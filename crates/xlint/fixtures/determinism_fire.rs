@@ -1,0 +1,17 @@
+// Fixture: determinism violations in a result-affecting crate (linted as
+// crates/engine/src/…). Expected findings: HashMap, HashSet, thread_rng,
+// Instant::now, SystemTime — five, in source order.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn unseeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn wall_clock() -> (std::time::Instant, u64) {
+    let t = Instant::now();
+    let epoch = SystemTime::UNIX_EPOCH;
+    (t, 0)
+}

@@ -1,0 +1,11 @@
+// Fixture: a fenced region whose one allocation carries a justified allow.
+// Expected findings: none.
+
+// xlint: begin(no_alloc)
+
+fn kernel(input: &[u8], record: bool) -> Option<Vec<u8>> {
+    // xlint: allow(no_alloc) -- opt-in result path; the hot path never takes this branch
+    record.then(|| input.to_vec())
+}
+
+// xlint: end(no_alloc)

@@ -1,0 +1,24 @@
+// Fixture: allocation calls inside a fenced no_alloc region. Expected findings:
+// Vec::new, Box::new, format!, .collect, .to_vec — five, in source order — and
+// nothing for the identical calls outside the fence.
+
+fn warm_up() -> Vec<u8> {
+    Vec::new() // outside the fence: fine
+}
+
+// xlint: begin(no_alloc)
+
+fn kernel(input: &[u8]) -> usize {
+    let v: Vec<u8> = Vec::new();
+    let b = Box::new(0u8);
+    let s = format!("{}", input.len());
+    let c: Vec<u8> = input.iter().copied().collect();
+    let t = input.to_vec();
+    v.len() + c.len() + t.len() + s.len() + usize::from(*b)
+}
+
+// xlint: end(no_alloc)
+
+fn cool_down(input: &[u8]) -> Vec<u8> {
+    input.to_vec() // outside the fence: fine
+}

@@ -1,0 +1,17 @@
+// Fixture: panic-policy sites carrying justified invariants. Expected findings:
+// none.
+
+fn lookup(values: &[u64], index: usize) -> u64 {
+    // xlint: allow(panic_policy) -- index is produced by the sharder, which never exceeds the slice it partitioned
+    let direct = values.get(index).unwrap();
+    *direct
+}
+
+fn exhaustive(kind: u8) -> u64 {
+    match kind {
+        0 => 1,
+        1 => 2,
+        // xlint: allow(panic_policy) -- kind is a validated 1-bit field; a third value is memory corruption worth crashing on
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: panic-policy violations in an engine/failure library path. Expected
+// findings: .unwrap(), .expect(), panic!, unreachable! — four, in source order —
+// and nothing from the #[cfg(test)] module.
+
+fn lookup(values: &[u64], index: usize) -> u64 {
+    let direct = values.get(index).unwrap();
+    let labeled = values.get(index).expect("index checked by caller");
+    if *direct != *labeled {
+        panic!("mismatch");
+    }
+    match index {
+        _ if index < values.len() => *direct,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: unsafe hygiene satisfied the intended way (SAFETY comments), plus one
+// deliberate allow for a generated block. Expected findings: none.
+
+// SAFETY: the pointee is pinned by the caller for the duration of the call.
+unsafe fn read_pinned(p: *const u8) -> u8 {
+    *p
+}
+
+fn caller(p: *const u8) -> u8 {
+    // SAFETY: `p` comes from a live Box this function owns.
+    unsafe { read_pinned(p) }
+}
+
+fn generated(p: *const u8) -> u8 {
+    // xlint: allow(unsafe_hygiene) -- macro-generated block; the safety argument lives at the macro definition
+    unsafe { read_pinned(p) }
+}

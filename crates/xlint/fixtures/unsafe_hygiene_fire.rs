@@ -1,0 +1,18 @@
+// Fixture: unsafe without SAFETY comments. Expected findings: the bare unsafe fn
+// and the bare unsafe block — two, in source order. The commented block at the
+// end must NOT fire.
+
+unsafe fn transmute_lifetime<'a>(x: &'a u8) -> &'static u8 {
+    std::mem::transmute(x)
+}
+
+fn caller(x: &u8) -> u8 {
+    let r = unsafe { transmute_lifetime(x) };
+    *r
+}
+
+fn covered(x: &u8) -> u8 {
+    // SAFETY: the reference never outlives this stack frame.
+    let r = unsafe { transmute_lifetime(x) };
+    *r
+}

@@ -1,0 +1,446 @@
+//! A hand-rolled Rust lexer, just deep enough to lint honestly.
+//!
+//! The rules in this crate match on *token streams*, not on raw text, because every
+//! textual approach (grep, line regexes) misfires the moment a banned identifier
+//! appears inside a string literal, a doc comment, or a `r#"raw string"#` — and a
+//! linter that cries wolf gets allow-annotated into silence. The lexer therefore has
+//! to get the genuinely tricky corners of Rust's lexical grammar right:
+//!
+//! * raw strings with arbitrary hash fences (`r##"…"##`), including byte raw strings;
+//! * nested block comments (`/* /* */ */` is ONE comment);
+//! * `'a` lifetimes vs `'a'` char literals (one lookahead character apart);
+//! * byte literals (`b'x'`, `b"…"`) and raw identifiers (`r#match`);
+//! * doc comments, which are comments here, never items.
+//!
+//! Everything else — numeric literal fine-structure, operator gluing — is
+//! deliberately coarse: rules only ever look at identifiers, punctuation shape, and
+//! comment text, so `>>=` lexing as three tokens is irrelevant and keeping it that
+//! way keeps the lexer small enough to test exhaustively.
+//!
+//! Spans are **byte** offsets into the source (`start..end`), with 1-based line and
+//! column (also in bytes) for diagnostics; `tests/lexer_adversarial.rs` pins spans on
+//! the adversarial corners above so rule diagnostics stay byte-accurate.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `fn`, …).
+    Ident,
+    /// Raw identifier (`r#match`); the span includes the `r#` prefix.
+    RawIdent,
+    /// Lifetime (`'a`, `'static`) — an apostrophe with no closing quote.
+    Lifetime,
+    /// Char literal (`'a'`, `'\n'`) or byte char (`b'x'`).
+    Char,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Numeric literal (integers and floats, prefixes and suffixes included).
+    Number,
+    /// `// …` line comment, doc variants included. Span covers to end of line
+    /// (newline excluded).
+    LineComment,
+    /// `/* … */` block comment, nesting respected, doc variants included.
+    BlockComment,
+    /// A single punctuation byte (`.`, `:`, `!`, `(`, `)`, …). Multi-byte operators
+    /// arrive as consecutive `Punct` tokens.
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `source` (the string it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Lexes `source` into tokens. Whitespace is skipped; comments are kept (rules read
+/// them for `SAFETY:` prefixes and `xlint:` annotations). The lexer never fails:
+/// unterminated literals run to end-of-input and stray bytes become `Punct`, which
+/// matches how rules want to degrade on malformed input (lint what you can see).
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/column. All consumption funnels through
+    /// here so spans and positions cannot drift apart.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.next_kind(b);
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.tokens
+    }
+
+    /// Consumes one token starting at byte `b` and returns its kind.
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' => self.r_prefixed(),
+            b'b' => self.b_prefixed(),
+            b'c' if self.peek(1) == Some(b'"') => {
+                self.bump();
+                self.string_body()
+            }
+            b'\'' => self.quote(),
+            b'"' => self.string_body(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ if is_ident_start(b) => self.ident(),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    /// Block comment with nesting: `/* /* */ */` is one token, as in rustc.
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `r` starts a raw string (`r"…"`, `r#"…"#`), a raw identifier (`r#ident`), or a
+    /// plain identifier (`routing`). Disambiguation is pure lookahead: hashes-then-quote
+    /// is a raw string, `r#` then ident-start is a raw identifier.
+    fn r_prefixed(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(1 + hashes) == Some(b'"') {
+            self.bump();
+            return self.raw_string_body(hashes);
+        }
+        if hashes >= 1 && self.peek(2).is_some_and(is_ident_start) {
+            self.bump_n(2);
+            self.ident();
+            return TokenKind::RawIdent;
+        }
+        self.ident()
+    }
+
+    /// `b` starts a byte char (`b'x'`), byte string (`b"…"`), raw byte string
+    /// (`br#"…"#`), or a plain identifier (`bucket`).
+    fn b_prefixed(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some(b'\'') => {
+                self.bump();
+                self.quote()
+            }
+            Some(b'"') => {
+                self.bump();
+                self.string_body()
+            }
+            Some(b'r') => {
+                let mut hashes = 0usize;
+                while self.peek(2 + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some(b'"') {
+                    self.bump_n(2);
+                    return self.raw_string_body(hashes);
+                }
+                self.ident()
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// An apostrophe: char literal or lifetime. `'a'` (quote within two chars of the
+    /// ident) and `'\…'` are chars; `'a`/`'static` with no closing quote are
+    /// lifetimes. This is the same one-token lookahead rustc's lexer uses.
+    fn quote(&mut self) -> TokenKind {
+        self.bump();
+        match self.peek(0) {
+            // Escape sequence: unambiguously a char literal.
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                self.char_tail();
+                TokenKind::Char
+            }
+            Some(b) if is_ident_start(b) => {
+                // `'a'` is a char; `'a` / `'abc` (no closing quote after the ident
+                // run) is a lifetime.
+                let mut len = 1usize;
+                while self.peek(len).is_some_and(is_ident_continue) {
+                    len += 1;
+                }
+                if self.peek(len) == Some(b'\'') {
+                    self.bump_n(len + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump_n(len);
+                    TokenKind::Lifetime
+                }
+            }
+            // `'('`, `'9'`, `' '` … — any other single char followed by a quote.
+            Some(_) => {
+                self.bump();
+                self.char_tail();
+                TokenKind::Char
+            }
+            None => TokenKind::Lifetime,
+        }
+    }
+
+    /// Consumes the closing `'` of a char literal if present (unterminated literals
+    /// just end; the rules lint what they can see).
+    fn char_tail(&mut self) {
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+    }
+
+    /// Body of a `"…"` string, opening quote at the cursor. Handles `\"` and `\\`.
+    fn string_body(&mut self) -> TokenKind {
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Body of a raw string: cursor on the first `#` (or the quote when `hashes == 0`).
+    /// No escapes; the string ends at `"` followed by exactly `hashes` hashes.
+    fn raw_string_body(&mut self, hashes: usize) -> TokenKind {
+        self.bump_n(hashes + 1); // fence + opening quote
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let closed = (1..=hashes).all(|i| self.peek(i) == Some(b'#'));
+                if closed {
+                    self.bump_n(hashes + 1);
+                    return TokenKind::Str;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::Str
+    }
+
+    /// Numeric literal, coarsely: digits, then any alphanumeric/underscore run
+    /// (covers `0xFF`, `1_000u64`, `2e10`), then at most one `.`-digit fraction.
+    /// `1.0` is one token; `x.0` is three (`.0` only glues after a digit start);
+    /// `1.min(2)` keeps the `.` for the method call.
+    fn number(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        self.bump();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_punct_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Number, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(
+            kinds("&'a str, 'x', '\\n', 'static"),
+            vec![
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Ident, "str"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Char, "'x'"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Lifetime, "'static"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        assert_eq!(
+            kinds(r####"r#"raw "inner" text"# r#match r"plain" br##"bytes"##"####),
+            vec![
+                (TokenKind::Str, r###"r#"raw "inner" text"#"###),
+                (TokenKind::RawIdent, "r#match"),
+                (TokenKind::Str, r#"r"plain""#),
+                (TokenKind::Str, r###"br##"bytes"##"###),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* outer /* inner */ tail */ b";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* outer /* inner */ tail */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_banned_words() {
+        let toks = kinds(r#"let s = "HashMap::new() /* unsafe */";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, text)| *k != TokenKind::Ident || !text.contains("HashMap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn line_and_col_track_newlines() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text(src), "cd");
+    }
+}

@@ -1,0 +1,155 @@
+//! The xlint CLI.
+//!
+//! ```text
+//! xlint --workspace [--root DIR] [--json PATH] [--summary PATH] [--deny-findings]
+//! xlint FILE.rs [FILE.rs …]        # lint explicit files (classified by path)
+//! xlint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny-findings`), 1 findings under
+//! `--deny-findings`, 2 usage or I/O error. CI runs
+//! `cargo run --release -p xlint -- --workspace --deny-findings`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::findings::{to_json, to_markdown, ALL_RULES};
+use xlint::{lint_source, walk, Finding};
+
+struct Options {
+    workspace: bool,
+    root: PathBuf,
+    files: Vec<PathBuf>,
+    json: Option<PathBuf>,
+    summary: Option<PathBuf>,
+    deny: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: xlint (--workspace | FILE.rs …) [--root DIR] [--json PATH] \
+     [--summary PATH] [--deny-findings] [--quiet] [--list-rules]"
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        workspace: false,
+        root: PathBuf::from("."),
+        files: Vec::new(),
+        json: None,
+        summary: None,
+        deny: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--deny-findings" => opts.deny = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?)),
+            "--summary" => {
+                opts.summary = Some(PathBuf::from(args.next().ok_or("--summary needs a path")?));
+            }
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{}", rule.name());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if !opts.workspace && opts.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: &Options) -> Result<(Vec<Finding>, usize), String> {
+    let items: Vec<walk::WorkItem> = if opts.workspace {
+        walk::collect(&opts.root).map_err(|e| format!("walking {}: {e}", opts.root.display()))?
+    } else {
+        opts.files
+            .iter()
+            .map(|path| walk::WorkItem {
+                path: path.clone(),
+                context: walk::classify(path),
+            })
+            .collect()
+    };
+    let mut findings = Vec::new();
+    let scanned = items.len();
+    for item in items {
+        let on_disk = if opts.workspace {
+            opts.root.join(&item.path)
+        } else {
+            item.path.clone()
+        };
+        let source = std::fs::read_to_string(&on_disk)
+            .map_err(|e| format!("reading {}: {e}", on_disk.display()))?;
+        let label = item.path.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&label, &source, &item.context));
+    }
+    findings.sort_by(|a, b| (&a.path, a.start).cmp(&(&b.path, b.start)));
+    Ok((findings, scanned))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (findings, scanned) = match run(&opts) {
+        Ok(result) => result,
+        Err(msg) => {
+            eprintln!("xlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !opts.quiet {
+        for finding in &findings {
+            println!("{}", finding.render());
+        }
+        println!(
+            "xlint: {} finding(s) across {} file(s)",
+            findings.len(),
+            scanned
+        );
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, to_json(&findings, scanned)) {
+            eprintln!("xlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &opts.summary {
+        let append = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(to_markdown(&findings, scanned).as_bytes()));
+        if let Err(e) = append {
+            eprintln!("xlint: appending {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,102 @@
+//! Workspace traversal and file classification.
+//!
+//! The walker is plain `std::fs` recursion with a deterministic (sorted) visit
+//! order — the linter enforces determinism, so its own output must be stable for a
+//! given tree. Classification is purely path-shaped: `crates/<name>/src/**` is
+//! library code, `tests`/`benches`/`examples`/`build.rs` are test-like, and two
+//! subtrees are skipped entirely:
+//!
+//! * `crates/shims/**` — vendored stand-ins for crates.io dependencies; third-party
+//!   idiom, not ours to lint;
+//! * `crates/xlint/fixtures/**` — the rule fixtures *are* violations, on purpose;
+//! * `target/`, hidden directories.
+
+use crate::rules::{FileContext, FileKind};
+use std::path::{Path, PathBuf};
+
+/// One file to lint: its path relative to the walk root, plus context.
+#[derive(Debug)]
+pub struct WorkItem {
+    pub path: PathBuf,
+    pub context: FileContext,
+}
+
+/// Recursively collects every lintable `.rs` file under `root`, sorted by path.
+pub fn collect(root: &Path) -> std::io::Result<Vec<WorkItem>> {
+    let mut files = Vec::new();
+    visit(root, root, &mut files)?;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<WorkItem>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') || name == "shims" || name == "fixtures" {
+                continue;
+            }
+            visit(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            let context = classify(&rel);
+            out.push(WorkItem { path: rel, context });
+        }
+    }
+    Ok(())
+}
+
+/// Derives the lint context from a workspace-relative path.
+#[must_use]
+pub fn classify(rel: &Path) -> FileContext {
+    let parts: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    let (crate_name, tree) = match parts.as_slice() {
+        // crates/<name>/<tree>/...
+        ["crates", name, tree, ..] => (Some((*name).to_string()), *tree),
+        // Root package: src/, tests/, examples/ at the workspace root.
+        [tree, ..] => (Some("faultline".to_string()), *tree),
+        [] => (None, ""),
+    };
+    let file = parts.last().copied().unwrap_or_default();
+    let kind = if tree == "src" && file != "build.rs" {
+        FileKind::Lib
+    } else {
+        FileKind::TestLike
+    };
+    FileContext { crate_name, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_tree() {
+        let ctx = classify(Path::new("crates/engine/src/cache.rs"));
+        assert_eq!(ctx.crate_name.as_deref(), Some("engine"));
+        assert_eq!(ctx.kind, FileKind::Lib);
+
+        let ctx = classify(Path::new("crates/engine/tests/determinism.rs"));
+        assert_eq!(ctx.kind, FileKind::TestLike);
+
+        let ctx = classify(Path::new("crates/overlay/benches/freeze.rs"));
+        assert_eq!(ctx.kind, FileKind::TestLike);
+
+        let ctx = classify(Path::new("src/lib.rs"));
+        assert_eq!(ctx.crate_name.as_deref(), Some("faultline"));
+        assert_eq!(ctx.kind, FileKind::Lib);
+
+        let ctx = classify(Path::new("examples/quickstart.rs"));
+        assert_eq!(ctx.kind, FileKind::TestLike);
+    }
+}

@@ -1,0 +1,187 @@
+//! Adversarial inputs for the lexer: the corners of Rust's lexical grammar where a
+//! naive scanner mis-tokenizes and every downstream rule span goes wrong. Each test
+//! pins exact byte offsets (`start..end`), not just token kinds, so a lexer change
+//! that shifts spans — even by one byte — fails here before it mis-points a
+//! diagnostic.
+//!
+//! The cases mirror real failure modes: a banned identifier "hidden" after a raw
+//! string with hashes fires at the wrong offset if the fence isn't honoured; a
+//! nested block comment that a non-nesting scanner closes early leaks its tail into
+//! code; `'a'` read as a lifetime swallows the closing quote and shifts every later
+//! span.
+
+use xlint::lexer::{lex, TokenKind};
+use xlint::{lint_source, FileContext, FileKind, Rule};
+
+fn kinds_and_spans(src: &str) -> Vec<(TokenKind, usize, usize, String)> {
+    lex(src)
+        .into_iter()
+        .map(|t| (t.kind, t.start, t.end, t.text(src).to_string()))
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_quotes_and_fake_terminators() {
+    //                0         1         2
+    //                0123456789012345678901234567
+    let src = r####"x r##"a "# b"## y"####;
+    let toks = kinds_and_spans(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, 0, 1, "x".into()),
+            (TokenKind::Str, 2, 15, r####"r##"a "# b"##"####.into()),
+            (TokenKind::Ident, 16, 17, "y".into()),
+        ]
+    );
+}
+
+#[test]
+fn raw_byte_string_and_plain_raw_string_spans() {
+    let src = r###"br#"bytes"# r"plain""###;
+    let toks = kinds_and_spans(src);
+    assert_eq!(
+        toks[0],
+        (TokenKind::Str, 0, 11, r###"br#"bytes"#"###.into())
+    );
+    assert_eq!(toks[1], (TokenKind::Str, 12, 20, r#"r"plain""#.into()));
+}
+
+#[test]
+fn nested_block_comments_close_at_the_matching_depth() {
+    //         0         1         2         3
+    //         0123456789012345678901234567890123
+    let src = "a /* x /* y */ z */ b /* w */ c";
+    let toks = kinds_and_spans(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, 0, 1, "a".into()),
+            (TokenKind::BlockComment, 2, 19, "/* x /* y */ z */".into()),
+            (TokenKind::Ident, 20, 21, "b".into()),
+            (TokenKind::BlockComment, 22, 29, "/* w */".into()),
+            (TokenKind::Ident, 30, 31, "c".into()),
+        ]
+    );
+}
+
+#[test]
+fn lifetimes_vs_char_literals_one_byte_apart() {
+    //         0         1         2         3
+    //         0123456789012345678901234567890123456
+    let src = "&'a x<'b,'c>('a','\\'',b'q','static)";
+    let toks = kinds_and_spans(src);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.0 == TokenKind::Lifetime)
+        .map(|t| (t.1, t.2, t.3.clone()))
+        .collect();
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|t| t.0 == TokenKind::Char)
+        .map(|t| (t.1, t.2, t.3.clone()))
+        .collect();
+    assert_eq!(
+        lifetimes,
+        vec![
+            (1, 3, "'a".into()),
+            (6, 8, "'b".into()),
+            (9, 11, "'c".into()),
+            (27, 34, "'static".into()),
+        ]
+    );
+    assert_eq!(
+        chars,
+        vec![
+            (13, 16, "'a'".into()),
+            (17, 21, "'\\''".into()),
+            (22, 26, "b'q'".into()),
+        ]
+    );
+}
+
+#[test]
+fn raw_identifiers_are_single_tokens_with_the_prefix() {
+    //         0         1         2
+    //         012345678901234567890123
+    let src = "r#match r#unsafe normal";
+    let toks = kinds_and_spans(src);
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::RawIdent, 0, 7, "r#match".into()),
+            (TokenKind::RawIdent, 8, 16, "r#unsafe".into()),
+            (TokenKind::Ident, 17, 23, "normal".into()),
+        ]
+    );
+}
+
+#[test]
+fn byte_strings_and_escapes_do_not_terminate_early() {
+    //         0         1         2
+    //         0123456789012345678901234
+    let src = r#"b"a\"b" "c\\" tail"#;
+    let toks = kinds_and_spans(src);
+    assert_eq!(toks[0], (TokenKind::Str, 0, 7, r#"b"a\"b""#.into()));
+    assert_eq!(toks[1], (TokenKind::Str, 8, 13, r#""c\\""#.into()));
+    assert_eq!(toks[2], (TokenKind::Ident, 14, 18, "tail".into()));
+}
+
+#[test]
+fn rule_spans_stay_byte_accurate_after_adversarial_prefixes() {
+    // A banned identifier AFTER a raw string containing fake terminators and a
+    // nested comment: if the lexer closes either early, the finding's span shifts.
+    let src = "fn f() {\n    let s = r##\"HashMap \"# fake\"##;\n    /* /* inner */ outer */\n    let m = HashMap::new();\n}\n";
+    let ctx = FileContext {
+        crate_name: Some("engine".to_string()),
+        kind: FileKind::Lib,
+    };
+    let findings = lint_source("adv.rs", src, &ctx);
+    assert_eq!(
+        findings.len(),
+        1,
+        "only the real HashMap fires: {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.rule, Rule::Determinism);
+    assert_eq!(f.line, 4);
+    assert_eq!(&src[f.start..f.end], "HashMap");
+    // Byte-exact: the span points at the code occurrence, not the raw-string one.
+    assert_eq!(f.start, src.rfind("HashMap::new").unwrap());
+}
+
+#[test]
+fn unterminated_literals_lex_to_end_without_panicking() {
+    for src in [
+        "let s = \"unterminated",
+        "let s = r#\"unterminated",
+        "/* unterminated",
+        "let c = '",
+    ] {
+        let toks = lex(src);
+        assert!(!toks.is_empty());
+        assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+    }
+}
+
+#[test]
+fn shebang_like_and_unicode_identifiers_survive() {
+    let src = "let café = \"ünïcode\"; // naïve comment\n";
+    let toks = kinds_and_spans(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.0 == TokenKind::Ident && t.3 == "café"));
+    assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+    assert!(toks.iter().any(|t| t.0 == TokenKind::LineComment));
+}
+
+#[test]
+fn numeric_literals_do_not_eat_method_calls() {
+    let src = "let x = 1.0f64.min(2.5); let t = a.0;";
+    let toks = kinds_and_spans(src);
+    assert!(toks.iter().any(|t| t.0 == TokenKind::Ident && t.3 == "min"));
+    // Tuple access: `a` `.` `0` — three tokens.
+    let a_pos = toks.iter().position(|t| t.3 == "a").unwrap();
+    assert_eq!(toks[a_pos + 1].3, ".");
+    assert_eq!(toks[a_pos + 2].0, TokenKind::Number);
+}
