@@ -23,7 +23,14 @@
 //!
 //! `--metrics PATH` additionally writes the full human-readable telemetry dump
 //! (phase histograms, per-shard cache table, event-ring counts) to `PATH`.
+//!
+//! `--scenario PATH` (repeatable; a directory runs every `.toml` inside) runs
+//! declarative scenario files through the `ScenarioSpec` front door after the fixed
+//! arms. Each scenario lands as a named `scenarios.<name>` section in the same
+//! JSON artifact and as a row in the step summary; a scenario that fails to parse
+//! or validate terminates the run with its `file: line N:` diagnostic.
 
+use faultline_bench::scenario_run::{self, ScenarioOutcome};
 use faultline_bench::{engine_run, BenchArgs};
 use faultline_engine::{MetricsSnapshot, Phase};
 use std::io::Write;
@@ -192,6 +199,7 @@ fn write_step_summary(
     readings: &[GateReading],
     cadence: &[CadenceRow],
     telemetry: &MetricsSnapshot,
+    scenarios: &[ScenarioOutcome],
 ) {
     let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
         return;
@@ -237,6 +245,25 @@ fn write_step_summary(
             h.quantile(0.5) / 1e3,
             h.quantile(0.99) / 1e3,
         ));
+    }
+    if !scenarios.is_empty() {
+        table.push_str(
+            "\n### Scenarios\n\n| scenario | skew | nodes | epochs | queries | q/s | success | survival | rebuild fallbacks |\n|---|---|---|---|---|---|---|---|---|\n",
+        );
+        for outcome in scenarios {
+            table.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} | {:.0} | {:.4} | {:.4} | {} |\n",
+                outcome.spec.name,
+                outcome.spec.workload.skew.label(),
+                outcome.spec.network.nodes,
+                outcome.spec.workload.epochs,
+                outcome.report.total_queries(),
+                outcome.report.routing_queries_per_sec(),
+                outcome.report.overall_success_rate(),
+                outcome.survival_rate(),
+                outcome.report.rebuild_fallbacks(),
+            ));
+        }
     }
     table.push_str(&format!(
         "\nevents recorded: {} ({} dropped); max-skew shard: {}\n",
@@ -290,8 +317,24 @@ fn main() {
     let report = engine_run::run(&config);
     engine_run::print(&report);
 
+    let scenarios = match scenario_run::run_all(&args.scenario) {
+        Ok(outcomes) => outcomes,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    for outcome in &scenarios {
+        scenario_run::print(outcome);
+    }
+
+    let json = if scenarios.is_empty() {
+        report.to_json()
+    } else {
+        report.to_json_with_scenarios(&scenario_run::scenarios_json(&scenarios))
+    };
     let path = std::env::var("ENGINE_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
-    match std::fs::write(&path, report.to_json()) {
+    match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path}"),
         Err(error) => {
             eprintln!("failed to write {path}: {error}");
@@ -378,7 +421,7 @@ fn main() {
             CadenceRow::of("resilience (regional)", &report.resilience_regional),
             CadenceRow::of("resilience (partition)", &report.resilience_partition),
         ];
-        write_step_summary(&readings, &cadence, &report.telemetry);
+        write_step_summary(&readings, &cadence, &report.telemetry, &scenarios);
         let mut regressed = false;
         for reading in &readings {
             if reading.passed() {

@@ -15,6 +15,8 @@
 ///   release builds, large enough to catch throughput-path regressions.
 /// * `--metrics PATH` — write the human-readable telemetry dump (phase histograms,
 ///   per-shard cache table, event counts) to `PATH` after the run.
+/// * `--scenario PATH` — run a declarative scenario file (repeatable; a directory runs
+///   every `.toml` inside). Only `engine_throughput` honours it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of grid points, if given on the command line.
@@ -33,6 +35,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Path to write the human-readable telemetry dump to, if given.
     pub metrics: Option<String>,
+    /// Scenario files (or directories of them) to run, in command-line order.
+    pub scenario: Vec<String>,
 }
 
 impl Default for BenchArgs {
@@ -46,6 +50,7 @@ impl Default for BenchArgs {
             paper_scale: false,
             quick: false,
             metrics: None,
+            scenario: Vec::new(),
         }
     }
 }
@@ -61,7 +66,7 @@ impl BenchArgs {
             Err(message) => {
                 eprintln!("{message}");
                 eprintln!(
-                    "usage: [--nodes N] [--links L] [--trials T] [--messages M] [--seed S] [--paper-scale] [--quick] [--metrics PATH]"
+                    "usage: [--nodes N] [--links L] [--trials T] [--messages M] [--seed S] [--paper-scale] [--quick] [--metrics PATH] [--scenario PATH]..."
                 );
                 std::process::exit(2);
             }
@@ -92,6 +97,7 @@ impl BenchArgs {
                 "--paper-scale" => out.paper_scale = true,
                 "--quick" => out.quick = true,
                 "--metrics" => out.metrics = Some(grab("--metrics")?),
+                "--scenario" => out.scenario.push(grab("--scenario")?),
                 other => return Err(format!("unknown flag: {other}")),
             }
         }
@@ -196,6 +202,14 @@ mod tests {
         assert_eq!(args.metrics.as_deref(), Some("telemetry.txt"));
         assert_eq!(parse(&[]).metrics, None);
         assert!(BenchArgs::try_parse(vec!["--metrics".to_string()]).is_err());
+    }
+
+    #[test]
+    fn scenario_flag_repeats_in_order() {
+        let args = parse(&["--scenario", "a.toml", "--quick", "--scenario", "dir"]);
+        assert_eq!(args.scenario, vec!["a.toml".to_string(), "dir".to_string()]);
+        assert!(parse(&[]).scenario.is_empty());
+        assert!(BenchArgs::try_parse(vec!["--scenario".to_string()]).is_err());
     }
 
     #[test]

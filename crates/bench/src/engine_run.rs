@@ -789,6 +789,16 @@ impl EngineBenchReport {
             self.interleaved.to_json(),
         )
     }
+
+    /// Renders the full report with a `scenarios` object (as produced by
+    /// [`crate::scenario_run::scenarios_json`]) spliced in as the first key, so
+    /// `--scenario` runs land in the same `BENCH_engine.json` artifact as the
+    /// fixed arms.
+    #[must_use]
+    pub fn to_json_with_scenarios(&self, scenarios: &str) -> String {
+        let base = self.to_json();
+        format!("{{\"scenarios\":{scenarios},{rest}", rest = &base[1..])
+    }
 }
 
 /// Runs the full experiment: uncached batch, cold/warm cached batches, then churn

@@ -13,6 +13,7 @@
 //! | Ablations (exponent sweep, replacement strategy, region failures) | [`ablation`] | `ablation_exponent`, `ablation_replacement` |
 //! | Baseline comparison (Chord / Kleinberg / Plaxton) | [`baseline_cmp`] | `baseline_comparison` |
 //! | Engine throughput (parallel batched lookups, caching, live churn) | [`engine_run`] | `engine_throughput` (writes `BENCH_engine.json`) |
+//! | Declarative scenarios (`examples/scenarios/*.toml`) | [`scenario_run`] | `engine_throughput --scenario PATH` |
 //!
 //! The experiment functions are ordinary library code so the integration tests run them at
 //! tiny scale to validate the *shape* of every result (monotonicity, orderings,
@@ -29,6 +30,7 @@ pub mod engine_run;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod scenario_run;
 pub mod table1;
 
 pub use cli::BenchArgs;

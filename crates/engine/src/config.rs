@@ -2,6 +2,7 @@
 
 use crate::failures::FailureSchedule;
 use faultline_routing::{ByzantineSet, FaultStrategy};
+use std::fmt;
 
 /// How the engine decides which nodes are Byzantine.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,15 +44,11 @@ impl ByzantineConfig {
     /// Corrupts a uniformly random `fraction` of the alive nodes (sampled once, when
     /// the engine first routes over a network, from `seed`).
     ///
-    /// # Panics
-    ///
-    /// Panics if `fraction` is not in `[0, 1]`.
+    /// A fraction outside `[0, 1]` is reported as
+    /// [`ConfigError::ByzantineFractionOutOfRange`] by [`EngineConfig::validate`],
+    /// not rejected here.
     #[must_use]
     pub fn fraction(fraction: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "Byzantine fraction must be in [0, 1]"
-        );
         Self {
             membership: ByzantineMembership::Fraction { fraction, seed },
             redundancy: Self::DEFAULT_REDUNDANCY,
@@ -69,14 +66,11 @@ impl ByzantineConfig {
         }
     }
 
-    /// Sets the number of diversified walks per lookup.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `redundancy == 0`.
+    /// Sets the number of diversified walks per lookup. Zero walks would make every
+    /// lookup fail by construction, so `0` is reported as
+    /// [`ConfigError::ByzantineZeroRedundancy`] by [`EngineConfig::validate`].
     #[must_use]
     pub fn redundancy(mut self, redundancy: u32) -> Self {
-        assert!(redundancy > 0, "at least one walk per lookup is required");
         self.redundancy = redundancy;
         self
     }
@@ -129,20 +123,107 @@ pub enum SnapshotMaintenance {
     Rebuild,
 }
 
-/// The adaptive snapshot-freeze policy (see
-/// [`EngineConfig::adaptive_freeze`] / [`EngineConfig::adaptive_freeze_auto`]).
+/// When a frozen-enabled batch compiles its routing snapshot (see
+/// [`EngineConfig::freeze_policy`]).
+///
+/// Routing results are unaffected by the choice — live-graph and frozen routing are
+/// bit-identical for the deterministic strategies — only where cache misses are
+/// routed (and hence wall-clock) changes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-enum AdaptiveFreeze {
-    /// Always compile a snapshot for frozen-enabled batches.
+pub enum FreezePolicy {
+    /// Compile a snapshot for every frozen-enabled batch — the default.
     #[default]
-    Off,
-    /// Skip the freeze when the previous batch's cache hit rate is at least this.
-    Fixed(f64),
+    Always,
+    /// Skip the freeze for any batch that starts with a cache hit rate of at least
+    /// this threshold: a near-fully-warm cache leaves the uncached kernel too cold
+    /// to amortise the build. The threshold must lie in `[0, 1]` and requires a
+    /// non-zero cache capacity (the policy reads the previous batch's hit rate);
+    /// both are checked by [`EngineConfig::validate`].
+    HitRate(f64),
     /// Derive the skip decision from the engine's own measurements: skip when the
     /// predicted miss volume times the measured per-miss kernel gain no longer
     /// amortises the measured freeze cost.
     Auto,
 }
+
+/// A typed rejection from [`EngineConfig::validate`].
+///
+/// Every variant names a configuration that previous releases either silently
+/// clamped (shard counts) or panicked on deep in a builder (byzantine knobs). The
+/// validation pass replaces both behaviours with one typed, diagnosable error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `shards == 0`: no unit of parallel work could ever be scheduled.
+    ZeroShards,
+    /// More shards than source buckets: queries are assigned to shards by source
+    /// bucket, so the excess shards could never receive work.
+    ShardsExceedBuckets {
+        /// The configured shard count.
+        shards: usize,
+        /// The fixed bucket count queries shard by.
+        buckets: usize,
+    },
+    /// A [`FreezePolicy::HitRate`] threshold outside `[0, 1]`.
+    FreezeThresholdOutOfRange {
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// [`FreezePolicy::HitRate`] with caching disabled: the policy gates on the
+    /// previous batch's cache hit rate, which a capacity-0 engine never observes,
+    /// so the policy would silently never trigger.
+    HitRateFreezeWithoutCache,
+    /// A Byzantine corruption fraction outside `[0, 1]`.
+    ByzantineFractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// Zero redundant walks per Byzantine lookup: every lookup would fail by
+    /// construction.
+    ByzantineZeroRedundancy,
+    /// The failure schedule scripts more events than the run has epochs, so the
+    /// tail events would silently never fire. Only
+    /// [`run_interleaved`](crate::QueryEngine::run_interleaved) can check this — it
+    /// knows the epoch count — so it is raised per run, never by
+    /// [`EngineConfig::validate`] itself.
+    ScheduleOutlivesRun {
+        /// Scripted events in the schedule.
+        events: usize,
+        /// Epochs the run will actually execute.
+        epochs: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ConfigError::ShardsExceedBuckets { shards, buckets } => write!(
+                f,
+                "{shards} shards exceed the {buckets} source buckets; the excess could never receive work"
+            ),
+            ConfigError::FreezeThresholdOutOfRange { threshold } => write!(
+                f,
+                "hit-rate freeze threshold {threshold} outside [0, 1]"
+            ),
+            ConfigError::HitRateFreezeWithoutCache => write!(
+                f,
+                "hit-rate freeze policy requires a non-zero cache capacity (the policy reads the cache hit rate)"
+            ),
+            ConfigError::ByzantineFractionOutOfRange { fraction } => {
+                write!(f, "Byzantine fraction {fraction} outside [0, 1]")
+            }
+            ConfigError::ByzantineZeroRedundancy => {
+                write!(f, "at least one redundant walk per Byzantine lookup is required")
+            }
+            ConfigError::ScheduleOutlivesRun { events, epochs } => write!(
+                f,
+                "failure schedule scripts {events} events but the run has only {epochs} epochs; the tail would never fire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of a [`QueryEngine`](crate::QueryEngine).
 ///
@@ -157,7 +238,7 @@ pub struct EngineConfig {
     frozen: bool,
     maintenance: SnapshotMaintenance,
     row_invalidation: bool,
-    adaptive_freeze: AdaptiveFreeze,
+    freeze: FreezePolicy,
     byzantine: Option<ByzantineConfig>,
     failures: Option<FailureSchedule>,
     telemetry: bool,
@@ -173,7 +254,7 @@ impl Default for EngineConfig {
             frozen: true,
             maintenance: SnapshotMaintenance::Delta,
             row_invalidation: true,
-            adaptive_freeze: AdaptiveFreeze::Off,
+            freeze: FreezePolicy::Always,
             byzantine: None,
             failures: None,
             telemetry: true,
@@ -190,11 +271,14 @@ impl EngineConfig {
     }
 
     /// Sets the number of shards (each owns a private route cache and is processed as
-    /// one unit of parallel work). Clamped to `1..=NUM_BUCKETS`: queries are assigned
-    /// by source bucket, so shards beyond the bucket count could never receive work.
+    /// one unit of parallel work). Must lie in `1..=NUM_BUCKETS` — queries are
+    /// assigned by source bucket, so shards beyond the bucket count could never
+    /// receive work — but out-of-range values are no longer silently clamped here:
+    /// [`EngineConfig::validate`] reports them as [`ConfigError::ZeroShards`] /
+    /// [`ConfigError::ShardsExceedBuckets`].
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards.clamp(1, crate::cache::NUM_BUCKETS as usize);
+        self.shards = shards;
         self
     }
 
@@ -225,23 +309,23 @@ impl EngineConfig {
         self
     }
 
-    /// Enables or disables incremental snapshot maintenance in
-    /// [`run_interleaved`](crate::QueryEngine::run_interleaved) (default: enabled).
+    /// Legacy boolean shorthand for [`EngineConfig::maintenance`]:
+    /// `incremental(true)` is `maintenance(SnapshotMaintenance::Delta)` and
+    /// `incremental(false)` is `maintenance(SnapshotMaintenance::Rebuild)`.
     ///
-    /// `incremental(true)` selects [`SnapshotMaintenance::Delta`] (the default);
-    /// `incremental(false)` selects [`SnapshotMaintenance::Rebuild`] — the
-    /// pre-patching behaviour, kept as the benchmark baseline. Use
-    /// [`EngineConfig::maintenance`] to pick the touched-list patching mode
-    /// explicitly. Every mode produces identical epoch reports; only the per-epoch
-    /// maintenance cost differs.
+    /// The boolean predates [`SnapshotMaintenance`] growing its third mode and can
+    /// no longer express the full choice, so it survives one release as a
+    /// forwarding wrapper only.
+    #[deprecated(
+        note = "use maintenance(SnapshotMaintenance::Delta) / maintenance(SnapshotMaintenance::Rebuild)"
+    )]
     #[must_use]
-    pub fn incremental(mut self, incremental: bool) -> Self {
-        self.maintenance = if incremental {
+    pub fn incremental(self, incremental: bool) -> Self {
+        self.maintenance(if incremental {
             SnapshotMaintenance::Delta
         } else {
             SnapshotMaintenance::Rebuild
-        };
-        self
+        })
     }
 
     /// Selects how the interleaved runner maintains its persistent snapshot (default:
@@ -268,38 +352,30 @@ impl EngineConfig {
         self
     }
 
-    /// Enables the adaptive snapshot policy with a **fixed** threshold: skip
-    /// compiling (and maintaining) a snapshot for any batch that starts with a cache
-    /// hit rate of at least `hit_rate_threshold`, because a near-fully-warm cache
-    /// leaves the uncached kernel too cold to amortise the build. Disabled by
-    /// default: every frozen-enabled batch gets a snapshot.
-    ///
-    /// Routing results are unaffected — live-graph and frozen routing are
-    /// bit-identical for the deterministic strategies — only where the misses are
-    /// routed changes.
+    /// Selects when frozen-enabled batches compile their routing snapshot (default:
+    /// [`FreezePolicy::Always`]). [`FreezePolicy::HitRate`] skips the freeze for
+    /// batches a warm cache will absorb; [`FreezePolicy::Auto`] derives the skip
+    /// decision from the engine's own freeze-cost and per-miss-cost measurements
+    /// (the two sides of the ratio the `snapshot_maintenance` benchmark section
+    /// publishes). See [`FreezePolicy`].
     #[must_use]
-    pub fn adaptive_freeze(mut self, hit_rate_threshold: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&hit_rate_threshold),
-            "hit-rate threshold outside [0, 1]"
-        );
-        self.adaptive_freeze = AdaptiveFreeze::Fixed(hit_rate_threshold);
+    pub fn freeze_policy(mut self, policy: FreezePolicy) -> Self {
+        self.freeze = policy;
         self
     }
 
-    /// Enables the adaptive snapshot policy in **auto** mode: instead of a
-    /// hand-picked hit-rate threshold, the engine derives the skip decision from its
-    /// own running measurements — the freeze cost and the per-miss routing cost on
-    /// the frozen and live paths (the two sides of the ratio the
-    /// `snapshot_maintenance` benchmark section publishes). A batch skips its
-    /// snapshot when `predicted misses × measured per-miss gain < measured freeze
-    /// cost`. Query *outcomes* are unaffected (frozen and live routing are
-    /// bit-identical for the deterministic strategies); only where misses are routed
-    /// — and hence wall-clock — depends on the measurements.
+    /// Legacy spelling of `freeze_policy(FreezePolicy::HitRate(hit_rate_threshold))`.
+    #[deprecated(note = "use freeze_policy(FreezePolicy::HitRate(t))")]
     #[must_use]
-    pub fn adaptive_freeze_auto(mut self) -> Self {
-        self.adaptive_freeze = AdaptiveFreeze::Auto;
-        self
+    pub fn adaptive_freeze(self, hit_rate_threshold: f64) -> Self {
+        self.freeze_policy(FreezePolicy::HitRate(hit_rate_threshold))
+    }
+
+    /// Legacy spelling of `freeze_policy(FreezePolicy::Auto)`.
+    #[deprecated(note = "use freeze_policy(FreezePolicy::Auto)")]
+    #[must_use]
+    pub fn adaptive_freeze_auto(self) -> Self {
+        self.freeze_policy(FreezePolicy::Auto)
     }
 
     /// Configured worker threads (0 = available parallelism).
@@ -350,26 +426,17 @@ impl EngineConfig {
         self.row_invalidation
     }
 
-    /// The adaptive-freeze hit-rate threshold, if the fixed-threshold policy is
-    /// enabled (`None` in both off and auto modes).
+    /// The configured snapshot-freeze policy (see [`EngineConfig::freeze_policy`]).
     #[must_use]
-    pub fn adaptive_freeze_threshold(&self) -> Option<f64> {
-        match self.adaptive_freeze {
-            AdaptiveFreeze::Fixed(threshold) => Some(threshold),
-            _ => None,
-        }
+    pub fn freeze_policy_mode(&self) -> FreezePolicy {
+        self.freeze
     }
 
-    /// Whether the measurement-derived (auto) adaptive-freeze policy is enabled.
-    #[must_use]
-    pub fn adaptive_freeze_auto_enabled(&self) -> bool {
-        self.adaptive_freeze == AdaptiveFreeze::Auto
-    }
-
-    /// Whether any adaptive-freeze policy (fixed or auto) is enabled.
+    /// Whether an adaptive (non-[`Always`](FreezePolicy::Always)) freeze policy is
+    /// enabled.
     #[must_use]
     pub fn adaptive_freeze_enabled(&self) -> bool {
-        self.adaptive_freeze != AdaptiveFreeze::Off
+        self.freeze != FreezePolicy::Always
     }
 
     /// Enables or disables the engine's telemetry subsystem (default: enabled).
@@ -429,6 +496,63 @@ impl EngineConfig {
     pub fn failures_config(&self) -> Option<&FailureSchedule> {
         self.failures.as_ref()
     }
+
+    /// Checks the configuration for contradictions and returns the first as a typed
+    /// [`ConfigError`].
+    ///
+    /// This is the single validation path: [`QueryEngine::new`](crate::QueryEngine::new)
+    /// calls it at construction (and panics with the error's message, since a bad
+    /// config there is a programming error), every
+    /// [`run_batch`](crate::QueryEngine::run_batch) re-asserts it, and
+    /// `ScenarioSpec::into_engine_config` in the scenario DSL surfaces it as a
+    /// diagnosable `Result`. Earlier releases silently clamped shard counts and
+    /// panicked inside the byzantine builders; both now land here instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let buckets = crate::cache::NUM_BUCKETS as usize;
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.shards > buckets {
+            return Err(ConfigError::ShardsExceedBuckets {
+                shards: self.shards,
+                buckets,
+            });
+        }
+        if let FreezePolicy::HitRate(threshold) = self.freeze {
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(ConfigError::FreezeThresholdOutOfRange { threshold });
+            }
+            if self.cache_capacity == 0 {
+                return Err(ConfigError::HitRateFreezeWithoutCache);
+            }
+        }
+        if let Some(byzantine) = &self.byzantine {
+            if byzantine.redundancy == 0 {
+                return Err(ConfigError::ByzantineZeroRedundancy);
+            }
+            if let ByzantineMembership::Fraction { fraction, .. } = byzantine.membership {
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(ConfigError::ByzantineFractionOutOfRange { fraction });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate`](EngineConfig::validate) plus the per-run check only an
+    /// interleaved run can make: a failure schedule scripting more events than the
+    /// run has epochs would silently drop its tail
+    /// ([`ConfigError::ScheduleOutlivesRun`]).
+    pub fn validate_for_epochs(&self, epochs: usize) -> Result<(), ConfigError> {
+        self.validate()?;
+        if let Some(schedule) = &self.failures {
+            let events = schedule.events().len();
+            if events > epochs {
+                return Err(ConfigError::ScheduleOutlivesRun { events, epochs });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -443,15 +567,15 @@ mod tests {
             .cache_capacity(64)
             .max_hops(1000)
             .frozen(false)
-            .incremental(false)
-            .adaptive_freeze(0.95);
+            .maintenance(SnapshotMaintenance::Rebuild)
+            .freeze_policy(FreezePolicy::HitRate(0.95));
         assert_eq!(config.thread_count(), 8);
         assert_eq!(config.shard_count(), 32);
         assert_eq!(config.cache_capacity_entries(), 64);
         assert_eq!(config.max_hops_override(), Some(1000));
         assert!(!config.frozen_enabled());
         assert!(!config.incremental_enabled());
-        assert_eq!(config.adaptive_freeze_threshold(), Some(0.95));
+        assert_eq!(config.freeze_policy_mode(), FreezePolicy::HitRate(0.95));
         assert!(
             EngineConfig::default().frozen_enabled(),
             "the fast path is the default"
@@ -469,7 +593,10 @@ mod tests {
             EngineConfig::default().row_invalidation_enabled(),
             "row-level cache invalidation is the default"
         );
-        assert_eq!(EngineConfig::default().adaptive_freeze_threshold(), None);
+        assert_eq!(
+            EngineConfig::default().freeze_policy_mode(),
+            FreezePolicy::Always
+        );
         assert!(!EngineConfig::default().adaptive_freeze_enabled());
         assert!(
             EngineConfig::default().telemetry_enabled(),
@@ -489,38 +616,38 @@ mod tests {
             "touched-list patching is still incremental"
         );
         assert!(!config.row_invalidation_enabled());
-        // The boolean shorthand maps onto the enum.
-        assert_eq!(
-            EngineConfig::default()
-                .incremental(false)
-                .maintenance_mode(),
-            SnapshotMaintenance::Rebuild
-        );
-        assert_eq!(
-            EngineConfig::default()
-                .incremental(false)
-                .incremental(true)
-                .maintenance_mode(),
-            SnapshotMaintenance::Delta
-        );
+        assert!(!EngineConfig::default()
+            .maintenance(SnapshotMaintenance::Rebuild)
+            .incremental_enabled());
     }
 
     #[test]
-    fn adaptive_freeze_modes_are_distinguishable() {
-        let fixed = EngineConfig::default().adaptive_freeze(0.9);
-        assert_eq!(fixed.adaptive_freeze_threshold(), Some(0.9));
+    fn freeze_policies_are_distinguishable() {
+        let fixed = EngineConfig::default().freeze_policy(FreezePolicy::HitRate(0.9));
+        assert_eq!(fixed.freeze_policy_mode(), FreezePolicy::HitRate(0.9));
         assert!(fixed.adaptive_freeze_enabled());
-        assert!(!fixed.adaptive_freeze_auto_enabled());
-        let auto = EngineConfig::default().adaptive_freeze_auto();
-        assert_eq!(auto.adaptive_freeze_threshold(), None);
+        let auto = EngineConfig::default().freeze_policy(FreezePolicy::Auto);
+        assert_eq!(auto.freeze_policy_mode(), FreezePolicy::Auto);
         assert!(auto.adaptive_freeze_enabled());
-        assert!(auto.adaptive_freeze_auto_enabled());
     }
 
     #[test]
-    #[should_panic(expected = "hit-rate threshold")]
-    fn adaptive_threshold_is_range_checked() {
-        let _ = EngineConfig::default().adaptive_freeze(1.5);
+    fn freeze_threshold_is_range_checked() {
+        assert_eq!(
+            EngineConfig::default()
+                .freeze_policy(FreezePolicy::HitRate(1.5))
+                .validate(),
+            Err(ConfigError::FreezeThresholdOutOfRange { threshold: 1.5 })
+        );
+        assert_eq!(
+            EngineConfig::default()
+                .cache_capacity(0)
+                .freeze_policy(FreezePolicy::HitRate(0.9))
+                .validate(),
+            Err(ConfigError::HitRateFreezeWithoutCache)
+        );
+        // Capacity 0 on its own is legal: it is the exact-measurement baseline.
+        assert_eq!(EngineConfig::default().cache_capacity(0).validate(), Ok(()));
     }
 
     #[test]
@@ -569,24 +696,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "Byzantine fraction")]
     fn byzantine_fraction_is_range_checked() {
-        let _ = ByzantineConfig::fraction(1.01, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one walk")]
-    fn byzantine_zero_redundancy_is_rejected() {
-        let _ = ByzantineConfig::fraction(0.1, 0).redundancy(0);
-    }
-
-    #[test]
-    fn shards_clamp_to_the_bucket_range() {
-        assert_eq!(EngineConfig::default().shards(0).shard_count(), 1);
-        // Queries shard by source bucket; shards beyond NUM_BUCKETS would sit idle.
         assert_eq!(
-            EngineConfig::default().shards(500).shard_count(),
-            crate::cache::NUM_BUCKETS as usize
+            EngineConfig::default()
+                .byzantine(ByzantineConfig::fraction(1.01, 0))
+                .validate(),
+            Err(ConfigError::ByzantineFractionOutOfRange { fraction: 1.01 })
         );
+    }
+
+    #[test]
+    fn byzantine_zero_redundancy_is_rejected() {
+        assert_eq!(
+            EngineConfig::default()
+                .byzantine(ByzantineConfig::fraction(0.1, 0).redundancy(0))
+                .validate(),
+            Err(ConfigError::ByzantineZeroRedundancy)
+        );
+    }
+
+    #[test]
+    fn shards_are_validated_not_clamped() {
+        // The setter stores what it is given; validate() reports the contradiction
+        // instead of silently clamping (the pre-validation behaviour).
+        assert_eq!(EngineConfig::default().shards(0).shard_count(), 0);
+        assert_eq!(
+            EngineConfig::default().shards(0).validate(),
+            Err(ConfigError::ZeroShards)
+        );
+        let buckets = crate::cache::NUM_BUCKETS as usize;
+        assert_eq!(
+            EngineConfig::default().shards(500).validate(),
+            Err(ConfigError::ShardsExceedBuckets {
+                shards: 500,
+                buckets
+            })
+        );
+        assert_eq!(EngineConfig::default().shards(buckets).validate(), Ok(()));
+    }
+
+    #[test]
+    fn schedule_tail_past_the_run_is_rejected() {
+        use crate::failures::FailureEvent;
+        let schedule = FailureSchedule::from_events(vec![
+            FailureEvent::Region { width: 8 },
+            FailureEvent::Heal,
+            FailureEvent::Quiet,
+        ]);
+        let config = EngineConfig::default().failures(schedule);
+        assert_eq!(
+            config.validate(),
+            Ok(()),
+            "static validation cannot know the epoch count"
+        );
+        assert_eq!(
+            config.validate_for_epochs(2),
+            Err(ConfigError::ScheduleOutlivesRun {
+                events: 3,
+                epochs: 2
+            })
+        );
+        assert_eq!(config.validate_for_epochs(3), Ok(()));
+        assert_eq!(
+            EngineConfig::default().validate_for_epochs(0),
+            Ok(()),
+            "no schedule, nothing to outlive"
+        );
+    }
+
+    #[test]
+    fn config_errors_display_their_diagnosis() {
+        let text = ConfigError::ShardsExceedBuckets {
+            shards: 500,
+            buckets: 64,
+        }
+        .to_string();
+        assert!(text.contains("500"), "{text}");
+        assert!(text.contains("64"), "{text}");
+        assert!(ConfigError::ZeroShards.to_string().contains("shard"));
     }
 }

@@ -16,11 +16,31 @@ use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network};
 use faultline_failure::{ChurnEvent, ChurnSchedule, RegionFailure};
 use faultline_overlay::{ChurnDelta, NodeId};
+use faultline_routing::ByzantineSet;
 use faultline_sim::{seed_for_trial, trial_rng};
 use faultline_telemetry::{EventKind, Phase, PhaseNanos};
 use faultline_theory::ConnectivityOracle;
 use rand::Rng;
 use std::time::Instant;
+
+/// Context handed to a [`run_interleaved_with`](QueryEngine::run_interleaved_with)
+/// workload callback when it draws one epoch's batch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochWorkload<'a> {
+    /// The epoch about to route (0-based).
+    pub epoch: usize,
+    /// Total epochs in the run (for workloads that ramp over the trajectory).
+    pub epochs: usize,
+    /// The nominal per-epoch query count the run was started with; workloads may
+    /// draw more or fewer (e.g. a diurnal curve) and the reports follow the batch.
+    pub queries: usize,
+    /// The epoch's batch seed, already derived from the run's master seed — the
+    /// only entropy a deterministic workload may consume.
+    pub seed: u64,
+    /// The resolved adversary set when the byzantine lane is open: workloads
+    /// should draw honest endpoints over the current membership.
+    pub adversaries: Option<&'a ByzantineSet>,
+}
 
 /// Churn intensity applied between routing epochs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -463,18 +483,21 @@ impl QueryEngine {
     /// [`EngineConfig::maintenance`](crate::EngineConfig::maintenance) selects the
     /// touched-list recompute
     /// ([`SnapshotMaintenance::TouchedList`]) or the rebuild-per-epoch baseline
-    /// ([`SnapshotMaintenance::Rebuild`], also
-    /// [`EngineConfig::incremental`](crate::EngineConfig::incremental) `(false)`) —
+    /// ([`SnapshotMaintenance::Rebuild`]) —
     /// identical epoch reports, different maintenance cost. The same delta drives
     /// row-level cache invalidation
     /// ([`QueryEngine::invalidate_delta`](crate::QueryEngine::invalidate_delta);
     /// [`EngineConfig::row_invalidation`](crate::EngineConfig::row_invalidation)
-    /// `(false)` restores the bucket-mask flush), and the adaptive policy
-    /// ([`EngineConfig::adaptive_freeze`](crate::EngineConfig::adaptive_freeze) /
-    /// [`EngineConfig::adaptive_freeze_auto`](crate::EngineConfig::adaptive_freeze_auto))
+    /// `(false)` restores the bucket-mask flush), and an adaptive freeze policy
+    /// ([`EngineConfig::freeze_policy`](crate::EngineConfig::freeze_policy))
     /// drops the snapshot entirely for epochs whose cache is warm enough to starve
     /// the uncached path. Per-epoch maintenance work is reported in
     /// [`EpochReport::snapshot`].
+    ///
+    /// Queries are drawn uniformly (honest-endpoint uniform when the byzantine
+    /// lane is open). To drive the same epoch pipeline with a skewed workload —
+    /// Zipf targets, flash crowds, the scenario DSL's generators — use
+    /// [`QueryEngine::run_interleaved_with`].
     pub fn run_interleaved(
         &mut self,
         network: &mut Network,
@@ -483,6 +506,50 @@ impl QueryEngine {
         churn: ChurnMix,
         master_seed: u64,
     ) -> InterleavedReport {
+        self.run_interleaved_with(
+            network,
+            epochs,
+            queries_per_epoch,
+            churn,
+            master_seed,
+            // Byzantine epochs draw honest endpoints over the *current* membership
+            // (the literature's lookup-resilience convention); with no — or an
+            // empty — adversary set this is the plain uniform draw.
+            &mut |network, context| match context.adversaries {
+                Some(set) => {
+                    QueryBatch::uniform_honest(network, context.queries, context.seed, set)
+                }
+                None => QueryBatch::uniform(network, context.queries, context.seed),
+            },
+        )
+    }
+
+    /// [`run_interleaved`](QueryEngine::run_interleaved) with a caller-supplied
+    /// workload: `workload` draws each epoch's [`QueryBatch`] from the live network
+    /// and an [`EpochWorkload`] context (epoch index, nominal count, derived batch
+    /// seed, resolved adversaries). Everything else — churn, failure epochs,
+    /// snapshot maintenance, oracle classification — is identical, so a workload
+    /// that reproduces the uniform draw reproduces `run_interleaved` bit for bit.
+    ///
+    /// The callback must derive any randomness from `context.seed` (never ambient
+    /// entropy) to keep the trajectory reproducible at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EngineConfig::validate_for_epochs`](crate::EngineConfig::validate_for_epochs)
+    /// rejects the configuration for this run — e.g. a failure schedule scripting
+    /// more events than the run has epochs.
+    pub fn run_interleaved_with(
+        &mut self,
+        network: &mut Network,
+        epochs: usize,
+        queries_per_epoch: usize,
+        churn: ChurnMix,
+        master_seed: u64,
+        workload: &mut dyn FnMut(&Network, &EpochWorkload<'_>) -> QueryBatch,
+    ) -> InterleavedReport {
+        let validation = self.config().validate_for_epochs(epochs);
+        assert!(validation.is_ok(), "invalid EngineConfig: {validation:?}");
         let n = network.len();
         self.resolve_adversaries(network);
         let failure_schedule = self.config().failures_config().cloned();
@@ -539,15 +606,14 @@ impl QueryEngine {
             }
 
             let batch_seed = seed_for_trial(master_seed, epoch as u64);
-            // Byzantine epochs draw honest endpoints over the *current* membership
-            // (the literature's lookup-resilience convention); with no — or an empty —
-            // adversary set this is the plain uniform draw.
-            let batch = match self.adversaries() {
-                Some(set) => {
-                    QueryBatch::uniform_honest(network, queries_per_epoch, batch_seed, set)
-                }
-                None => QueryBatch::uniform(network, queries_per_epoch, batch_seed),
+            let context = EpochWorkload {
+                epoch,
+                epochs,
+                queries: queries_per_epoch,
+                seed: batch_seed,
+                adversaries: self.adversaries(),
             };
+            let batch = workload(network, &context);
             let batch_report = self.run_batch_with_snapshot(network, &batch, snapshot.as_ref());
             let survivability = oracle.as_ref().map(|oracle| {
                 classify_survivability(batch.pairs(), batch_report.outcomes(), oracle, n)

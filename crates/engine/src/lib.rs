@@ -33,10 +33,12 @@
 //!   into the snapshot, O(changed rows) with no usable-neighbour recompute;
 //!   [`EngineConfig::maintenance`] selects the touched-list recompute or
 //!   rebuild-per-epoch baselines ([`SnapshotMaintenance`]), and
-//!   [`EngineConfig::adaptive_freeze`] / [`EngineConfig::adaptive_freeze_auto`]
-//!   skip snapshot work when the cache is warm enough to starve the uncached path
-//!   (auto derives its threshold from the engine's own freeze-cost and per-miss
-//!   measurements).
+//!   [`EngineConfig::freeze_policy`] ([`FreezePolicy`]) skips snapshot work when
+//!   the cache is warm enough to starve the uncached path (`Auto` derives its
+//!   threshold from the engine's own freeze-cost and per-miss measurements).
+//!   [`QueryEngine::run_interleaved_with`] accepts a caller-supplied workload
+//!   callback ([`EpochWorkload`]) so skewed traffic — the scenario DSL's Zipf,
+//!   hotspot, flash-crowd, and diurnal generators — drives the same pipeline.
 //! * **Byzantine workload lane** — [`EngineConfig::byzantine`] opens an adversarial
 //!   traffic class: a [`ByzantineConfig`] names the corrupted nodes (a sampled
 //!   fraction or an explicit [`ByzantineSet`]) and every lookup issues up to
@@ -107,9 +109,12 @@ pub use batch::QueryBatch;
 pub use cache::{
     bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, RowSet, NUM_BUCKETS,
 };
-pub use config::{ByzantineConfig, ByzantineMembership, EngineConfig, SnapshotMaintenance};
+pub use config::{
+    ByzantineConfig, ByzantineMembership, ConfigError, EngineConfig, FreezePolicy,
+    SnapshotMaintenance,
+};
 pub use failures::{FailureEvent, FailureSchedule, FailureWork, SurvivabilitySplit};
-pub use interleave::{ChurnMix, EpochReport, InterleavedReport, SnapshotWork};
+pub use interleave::{ChurnMix, EpochReport, EpochWorkload, InterleavedReport, SnapshotWork};
 pub use run::QueryEngine;
 pub use stats::{AdversarySplit, BatchReport, LatencyDigest, QueryOutcome};
 

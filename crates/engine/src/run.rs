@@ -2,7 +2,7 @@
 
 use crate::batch::QueryBatch;
 use crate::cache::{bucket_of, buckets_mask, buckets_mask_u32, CachedRoute, RouteCache, RowSet};
-use crate::config::{ByzantineMembership, EngineConfig};
+use crate::config::{ByzantineMembership, EngineConfig, FreezePolicy};
 use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network, NetworkView};
 use faultline_overlay::{ChurnDelta, NodeId};
@@ -91,8 +91,17 @@ struct ByzantineLane<'a> {
 
 impl QueryEngine {
     /// Builds an engine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EngineConfig::validate`] rejects the configuration — a bad
+    /// config at construction is a programming error. Callers that want the typed
+    /// [`ConfigError`](crate::ConfigError) instead (the scenario DSL does) validate
+    /// before constructing.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
+        let validation = config.validate();
+        assert!(validation.is_ok(), "invalid EngineConfig: {validation:?}");
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(config.thread_count())
             .build()
@@ -346,8 +355,9 @@ impl QueryEngine {
         if !self.config.frozen_enabled() {
             return false;
         }
-        if self.config.adaptive_freeze_auto_enabled() {
-            return match (self.freeze_nanos_est, self.frozen_miss_nanos_est) {
+        match self.config.freeze_policy_mode() {
+            FreezePolicy::Always => true,
+            FreezePolicy::Auto => match (self.freeze_nanos_est, self.frozen_miss_nanos_est) {
                 (Some(freeze), Some(frozen_miss)) => {
                     let hit_rate = self.last_hit_rate.unwrap_or(0.0);
                     let expected_misses = upcoming_queries as f64 * (1.0 - hit_rate);
@@ -360,11 +370,11 @@ impl QueryEngine {
                 }
                 // Bootstrap: freeze until both sides of the ratio are measured.
                 _ => true,
-            };
-        }
-        match (self.config.adaptive_freeze_threshold(), self.last_hit_rate) {
-            (Some(threshold), Some(rate)) => rate < threshold,
-            _ => true,
+            },
+            FreezePolicy::HitRate(threshold) => match self.last_hit_rate {
+                Some(rate) => rate < threshold,
+                None => true,
+            },
         }
     }
 
@@ -375,6 +385,11 @@ impl QueryEngine {
     /// every cache miss in the batch (skipped entirely when the adaptive policy
     /// predicts the cache will absorb the batch).
     pub fn run_batch(&mut self, network: &Network, batch: &QueryBatch) -> BatchReport {
+        // Config is validated at construction; re-assert per batch so a future
+        // mutable-config path cannot silently route a contradictory setup. The
+        // check is a handful of comparisons — noise next to the batch itself.
+        let validation = self.config.validate();
+        assert!(validation.is_ok(), "invalid EngineConfig: {validation:?}");
         let frozen = self.snapshot_worthwhile(batch.len()).then(|| {
             self.snapshots_built += 1;
             // xlint: allow(determinism) -- freeze-cost reading feeds telemetry and the adaptive-freeze EWMA, whose outcomes are proptest-pinned identical to eager freezing; query results never depend on it

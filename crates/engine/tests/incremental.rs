@@ -3,14 +3,14 @@
 //!
 //! The interleaved runner keeps one `FrozenView` alive and patches it with each
 //! epoch's maintainer blast radius. Disabling that
-//! (`EngineConfig::incremental(false)`) recompiles the snapshot every epoch — the
+//! (`SnapshotMaintenance::Rebuild`) recompiles the snapshot every epoch — the
 //! pre-patching behaviour. Both modes must produce identical epoch reports (batch
 //! outcomes, join/leave counts, cache flushes, population trajectory); only the
 //! snapshot-maintenance timings may differ.
 
 use faultline_core::{ConstructionMode, Network, NetworkConfig};
 use faultline_engine::{
-    ChurnMix, EngineConfig, EpochReport, QueryBatch, QueryEngine, SnapshotMaintenance,
+    ChurnMix, EngineConfig, EpochReport, FreezePolicy, QueryBatch, QueryEngine, SnapshotMaintenance,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,7 +108,7 @@ fn auto_adaptive_freeze_never_changes_outcomes() {
         EngineConfig::default()
             .threads(2)
             .cache_capacity(2048)
-            .adaptive_freeze_auto(),
+            .freeze_policy(FreezePolicy::Auto),
     );
     let mut eager = QueryEngine::new(EngineConfig::default().threads(2).cache_capacity(2048));
     let batch = QueryBatch::uniform(&net, 3_000, 33);
@@ -139,15 +139,15 @@ fn heavy_churn_interleaves_still_match_while_degrading_gracefully() {
     // rebuild-per-epoch baseline regardless. Most touched rows are length-preserving
     // (redirects, ring splices) and no longer tombstone at all, which is exactly why
     // per-epoch compaction is no longer the expected steady state.
-    let run = |incremental: bool| {
+    let run = |maintenance: SnapshotMaintenance| {
         let mut net = incremental_network(512, 9);
         let mut engine =
-            QueryEngine::new(EngineConfig::default().threads(2).incremental(incremental));
+            QueryEngine::new(EngineConfig::default().threads(2).maintenance(maintenance));
         let report = engine.run_interleaved(&mut net, 10, 1_000, ChurnMix::balanced(60), 77);
         (digest(report.epochs()), report.epochs().to_vec())
     };
-    let (patched_digest, patched_epochs) = run(true);
-    let (rebuilt_digest, _) = run(false);
+    let (patched_digest, patched_epochs) = run(SnapshotMaintenance::Delta);
+    let (rebuilt_digest, _) = run(SnapshotMaintenance::Rebuild);
     assert_eq!(patched_digest, rebuilt_digest);
     assert!(
         patched_epochs
@@ -205,7 +205,7 @@ fn adaptive_policy_skips_snapshot_work_on_a_warm_cache() {
         EngineConfig::default()
             .threads(2)
             .cache_capacity(4096)
-            .adaptive_freeze(0.05),
+            .freeze_policy(FreezePolicy::HitRate(0.05)),
     );
     let cold = adaptive.run_batch(&net, &batch);
     assert_eq!(
@@ -249,7 +249,7 @@ fn adaptive_interleave_marks_skipped_epochs() {
         EngineConfig::default()
             .threads(2)
             .cache_capacity(8192)
-            .adaptive_freeze(0.05),
+            .freeze_policy(FreezePolicy::HitRate(0.05)),
     );
     // Tiny churn + replayed-scale batches: hit rate climbs fast, so later epochs must
     // cross the (deliberately low) threshold and skip snapshot maintenance.

@@ -50,7 +50,7 @@ pub struct FileContext {
 /// thread-count-invariant and replayable, so nondeterminism sources inside any of
 /// these are findings. `core` is included because the directory/view layer feeds
 /// routing; `sim`/`bench` are excluded — measuring wall time is their job.
-const RESULT_AFFECTING: [&str; 9] = [
+const RESULT_AFFECTING: [&str; 10] = [
     "construction",
     "core",
     "engine",
@@ -59,6 +59,7 @@ const RESULT_AFFECTING: [&str; 9] = [
     "metric",
     "overlay",
     "routing",
+    "scenario",
     "theory",
 ];
 
