@@ -1,0 +1,201 @@
+//! Distance-scan kernel microbench: ns/hop through the frozen CSR kernel, scalar
+//! fold vs the runtime-dispatched SIMD scan, per geometry and row length.
+//!
+//! The engine-level `simd_speedup` headline in `BENCH_engine.json` measures the
+//! vectorised kernel diluted by everything else a batch does (seeding, scratch
+//! bookkeeping, shard scheduling). This lane isolates the kernel itself: one
+//! overlay per `(geometry, links-per-node)` cell, the identical seeded query
+//! stream routed once with the kernel pinned scalar and once with the dispatched
+//! ISA, alternating best-of rounds per side, and the wall time divided by the
+//! hops actually taken. Row length is the lever that decides how much lane-level
+//! parallelism a scan can extract, so the table sweeps it explicitly.
+//!
+//! Both sides must agree bit-for-bit on every route (delivery, hops, recoveries)
+//! — the run aborts on the first divergence, making this a determinism check as
+//! well as a clock.
+//!
+//! Writes `BENCH_route_kernel.json` (or the path in `ROUTE_KERNEL_JSON`).
+
+use faultline_bench::BenchArgs;
+use faultline_core::routing::{KernelIsa, RouteScratch, Router};
+use faultline_linkdist::InversePowerLaw;
+use faultline_metric::Geometry;
+use faultline_overlay::GraphBuilder;
+use faultline_sim::seed_for_trial;
+use rand::rngs::{SmallRng, StdRng};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Long links per node swept by the table: the row length decides how many full
+/// lanes the vector scan gets per hop (2 barely fills half a lane group; 16 runs
+/// four full iterations).
+const LINK_SWEEP: [usize; 4] = [2, 4, 8, 16];
+
+/// Alternating scalar/SIMD measurement rounds per cell; each side keeps its best
+/// (fastest) round, cancelling scheduler noise the same way the engine bench's
+/// `simd_speedup` reading does.
+const ROUNDS: usize = 3;
+
+/// One measured side of a cell: total wall nanos over total hops, best round.
+struct Side {
+    ns_per_hop: f64,
+    hops: u64,
+    delivered: u64,
+}
+
+/// Routes the whole query stream once and returns (nanos, hops, delivered,
+/// digest). The digest folds every route's outcome so scalar/SIMD divergence is
+/// detected without storing per-query results.
+fn run_stream(
+    router: Router,
+    frozen: &faultline_overlay::FrozenRoutes,
+    pairs: &[(u64, u64)],
+    seed: u64,
+    scratch: &mut RouteScratch,
+) -> (u64, u64, u64, u64) {
+    let started = Instant::now();
+    let mut hops = 0u64;
+    let mut delivered = 0u64;
+    let mut digest = 0u64;
+    for (index, &(source, target)) in pairs.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(seed_for_trial(seed, index as u64));
+        let result = router.route_frozen(frozen, source, target, &mut rng, scratch);
+        hops += result.hops;
+        delivered += u64::from(result.is_delivered());
+        digest = digest.wrapping_mul(0x100_0000_01B3).wrapping_add(
+            result.hops ^ (u64::from(result.is_delivered()) << 63) ^ result.recoveries,
+        );
+    }
+    (started.elapsed().as_nanos() as u64, hops, delivered, digest)
+}
+
+/// Measures one side (one kernel) of a cell: best ns/hop over [`ROUNDS`] rounds.
+fn measure(
+    router: Router,
+    frozen: &faultline_overlay::FrozenRoutes,
+    pairs: &[(u64, u64)],
+    seed: u64,
+    scratch: &mut RouteScratch,
+) -> (Side, u64) {
+    let mut best_nanos = u64::MAX;
+    let mut hops = 0;
+    let mut delivered = 0;
+    let mut digest = 0;
+    for _ in 0..ROUNDS {
+        let (nanos, h, d, g) = run_stream(router, frozen, pairs, seed, scratch);
+        best_nanos = best_nanos.min(nanos);
+        hops = h;
+        delivered = d;
+        digest = g;
+    }
+    let side = Side {
+        ns_per_hop: if hops > 0 {
+            best_nanos as f64 / hops as f64
+        } else {
+            0.0
+        },
+        hops,
+        delivered,
+    };
+    (side, digest)
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let nodes = args.nodes_or(if args.quick { 1 << 12 } else { 1 << 14 }, 1 << 16);
+    let queries = args.messages_or(if args.quick { 2_000 } else { 20_000 }, 1 << 17) as usize;
+    let seed = args.seed;
+    let detected = KernelIsa::detect();
+    println!(
+        "# route_kernel: n = {nodes}, {queries} queries/cell, dispatched isa {} ({} lanes), best of {ROUNDS} rounds/side",
+        detected.label(),
+        detected.lanes(),
+    );
+    println!(
+        "{:<10} {:>6}   {:>14} {:>14} {:>9}   {:>10}",
+        "geometry", "links", "scalar ns/hop", "simd ns/hop", "speedup", "hops"
+    );
+
+    let mut cells = Vec::new();
+    for (geometry_label, geometry_of) in [
+        ("ring", Geometry::ring as fn(u64) -> Geometry),
+        ("line", Geometry::line as fn(u64) -> Geometry),
+    ] {
+        for &links in &LINK_SWEEP {
+            let geometry = geometry_of(nodes);
+            let spec = InversePowerLaw::exponent_one(&geometry);
+            let mut rng = StdRng::seed_from_u64(seed ^ (links as u64) << 8);
+            let graph = GraphBuilder::new(geometry)
+                .links_per_node(links)
+                .build(&spec, &mut rng);
+            let frozen = graph.freeze();
+            let router = Router::new();
+            let mut pair_rng = StdRng::seed_from_u64(seed ^ 0x9A12);
+            let pairs: Vec<(u64, u64)> = (0..queries)
+                .map(|_| {
+                    use rand::Rng;
+                    (pair_rng.gen_range(0..nodes), pair_rng.gen_range(0..nodes))
+                })
+                .collect();
+            // Path recording off, matching the engine's per-worker hot-path
+            // scratch: the reading is about the distance scan, not `Vec` pushes.
+            let mut scalar_scratch = RouteScratch::new()
+                .with_path_recording(false)
+                .with_simd(false);
+            let mut simd_scratch = RouteScratch::new().with_path_recording(false);
+            let (scalar, scalar_digest) =
+                measure(router, &frozen, &pairs, seed, &mut scalar_scratch);
+            let (simd, simd_digest) = measure(router, &frozen, &pairs, seed, &mut simd_scratch);
+            assert_eq!(
+                scalar_digest, simd_digest,
+                "kernel divergence at {geometry_label}/{links}: SIMD must be bit-identical"
+            );
+            assert_eq!(scalar.delivered, simd.delivered);
+            let speedup = if simd.ns_per_hop > 0.0 {
+                scalar.ns_per_hop / simd.ns_per_hop
+            } else {
+                0.0
+            };
+            println!(
+                "{:<10} {:>6}   {:>14.2} {:>14.2} {:>8.2}x   {:>10}",
+                geometry_label, links, scalar.ns_per_hop, simd.ns_per_hop, speedup, simd.hops
+            );
+            cells.push(format!(
+                concat!(
+                    "{{\"geometry\":\"{}\",\"links\":{},\"scalar_ns_per_hop\":{:.3},",
+                    "\"simd_ns_per_hop\":{:.3},\"speedup\":{:.3},\"hops\":{},\"delivered\":{}}}"
+                ),
+                geometry_label,
+                links,
+                scalar.ns_per_hop,
+                simd.ns_per_hop,
+                speedup,
+                simd.hops,
+                simd.delivered,
+            ));
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\"nodes\":{},\"queries\":{},\"seed\":{},\"isa\":\"{}\",\"lanes\":{},",
+            "\"rounds\":{},\"cells\":[{}]}}"
+        ),
+        nodes,
+        queries,
+        seed,
+        detected.label(),
+        detected.lanes(),
+        ROUNDS,
+        cells.join(","),
+    );
+    let path =
+        std::env::var("ROUTE_KERNEL_JSON").unwrap_or_else(|_| "BENCH_route_kernel.json".into());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(error) => {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+}

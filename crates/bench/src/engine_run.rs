@@ -7,14 +7,14 @@
 //! `BENCH_engine.json` so future PRs have a throughput/latency trajectory to compare
 //! against.
 
-use faultline_core::routing::RouteScratch;
-use faultline_core::{ConstructionMode, Network, NetworkConfig};
+use faultline_core::routing::{KernelIsa, RouteScratch};
+use faultline_core::{ConstructionMode, FrozenView, Network, NetworkConfig};
 use faultline_engine::{
     BatchReport, ByzantineConfig, ChurnMix, EngineConfig, FailureSchedule, InterleavedReport,
     MetricsSnapshot, Phase, QueryBatch, QueryEngine, SnapshotMaintenance,
 };
 use faultline_routing::FaultStrategy;
-use faultline_sim::Summary;
+use faultline_sim::{seed_for_trial, Summary};
 use faultline_theory::{bfs_distances, UNREACHABLE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +39,28 @@ pub const STRETCH_TARGETS: usize = 16;
 /// engines cancels clock drift, and keeping the *best* reading per side converges
 /// on each engine's true ceiling (noise only ever subtracts throughput).
 pub const TELEMETRY_OVERHEAD_ROUNDS: usize = 3;
+
+/// Alternating SIMD/scalar batch pairs on the kernel cell behind the
+/// `simd_speedup` reading, for the same reason as [`TELEMETRY_OVERHEAD_ROUNDS`]:
+/// both sides route the identical batch bit-for-bit, so alternating and keeping
+/// each side's best throughput cancels clock drift and converges on the true
+/// kernel-only gap.
+pub const SIMD_SPEEDUP_ROUNDS: usize = 3;
+
+/// Node-count ceiling of the dedicated `simd_speedup` network (the "kernel
+/// cell"): small enough that the frozen CSR stays cache-resident. At smoke
+/// scale the main network's neighbour rows fall out of L2, and the resulting
+/// row-fetch latency — identical on both sides of the A/B — buries the
+/// kernel's compute gap under the memory wall. The kernel cell keeps the
+/// reading about the kernel; `BENCH_route_kernel.json` sweeps the full
+/// (geometry × row length) grid including the memory-bound regime.
+pub const SIMD_KERNEL_NODES: u64 = 1 << 10;
+
+/// Long links per node of the kernel cell: rows of roughly `SIMD_KERNEL_LINKS`
+/// labels (construction trims duplicate links), three to four full eight-label
+/// vector steps after lane padding — long enough that the vector fold's
+/// advantage over the branchy scalar fold is structural rather than marginal.
+pub const SIMD_KERNEL_LINKS: usize = 32;
 
 /// Configuration of the engine throughput experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +192,29 @@ impl StretchReport {
     }
 }
 
+/// Times one pass of the kernel-cell batch through the frozen route path
+/// (`FrozenView::route_seeded`, the same call the engine's uncached frozen walk
+/// bottoms out in) and returns `(queries per second, outcome digest)`. The
+/// digest folds every route's hops/delivery/recoveries so a scalar/SIMD
+/// divergence is detected without storing per-query results.
+fn time_kernel_cell(
+    view: &FrozenView,
+    batch: &QueryBatch,
+    scratch: &mut RouteScratch,
+) -> (f64, u64) {
+    let started = std::time::Instant::now();
+    let mut digest = 0_u64;
+    for (index, &(source, target)) in batch.pairs().iter().enumerate() {
+        let seed = seed_for_trial(batch.seed(), index as u64);
+        let result = view.route_seeded(source, target, seed, scratch);
+        digest = digest.wrapping_mul(0x100_0000_01B3).wrapping_add(
+            result.hops ^ (u64::from(result.is_delivered()) << 63) ^ result.recoveries,
+        );
+    }
+    let nanos = started.elapsed().as_nanos() as f64;
+    (batch.len() as f64 / (nanos / 1e9), digest)
+}
+
 /// Measures sampled routing stretch over a frozen snapshot of `network`: for each
 /// sampled source one exact BFS over the snapshot's usable-neighbour adjacency
 /// (the ground truth), then the greedy frozen kernel routes to each sampled target
@@ -245,6 +290,27 @@ pub struct EngineBenchReport {
     /// The same batch, still uncached, through the compiled-snapshot (CSR) kernel; the
     /// speedup over `uncached` is the cross-PR number this report tracks.
     pub uncached_frozen: BatchReport,
+    /// The identical uncached batch through the frozen kernel with the vectorised
+    /// distance scan pinned off (`EngineConfig::simd(false)`) — the scalar A/B
+    /// baseline of the `simd` section. Results are bit-identical to
+    /// `uncached_frozen` (the packed-key minimum is order-independent); only the
+    /// clock differs.
+    pub uncached_scalar: BatchReport,
+    /// The distance-scan ISA the default engines dispatched (`"avx2"` on capable
+    /// x86-64, `"scalar"` elsewhere or under `FAULTLINE_FORCE_SCALAR=1`).
+    pub simd_isa: &'static str,
+    /// Packed-key lanes per scan iteration of the dispatched kernel (1 = scalar).
+    pub simd_lanes: usize,
+    /// Nodes in the cache-resident kernel cell the `simd_speedup` clock ran on
+    /// (`min(nodes, `[`SIMD_KERNEL_NODES`]`)`, with [`SIMD_KERNEL_LINKS`] links).
+    pub simd_kernel_nodes: u64,
+    /// Best kernel-cell routes/sec through the frozen route path
+    /// (`FrozenView::route_seeded`, no engine wrapper) with the dispatched
+    /// kernel, from [`SIMD_SPEEDUP_ROUNDS`] alternating SIMD/scalar passes.
+    pub simd_best_qps: f64,
+    /// Best kernel-cell routes/sec with the kernel pinned scalar, same
+    /// alternating passes; both arms are digest-checked bit-identical.
+    pub scalar_best_qps: f64,
     /// The same batch against a cold cache (misses populate it).
     pub cached_cold: BatchReport,
     /// A fresh batch against the now-warm cache (steady-state hit rate).
@@ -338,6 +404,21 @@ impl EngineBenchReport {
         let baseline = self.uncached.queries_per_sec();
         if baseline > 0.0 {
             self.uncached_frozen.queries_per_sec() / baseline
+        } else {
+            0.0
+        }
+    }
+
+    /// Headline: kernel-only speedup of the dispatched vectorised distance scan
+    /// over the scalar fold on the cache-resident kernel cell — best
+    /// alternating-round throughput each side (`0.0` when the scalar side
+    /// measured nothing). `≈1.0` when the dispatched ISA is already scalar,
+    /// which is why the CI gate only applies its floor when `simd_isa` is a
+    /// real vector ISA.
+    #[must_use]
+    pub fn simd_speedup(&self) -> f64 {
+        if self.scalar_best_qps > 0.0 {
+            self.simd_best_qps / self.scalar_best_qps
         } else {
             0.0
         }
@@ -708,6 +789,30 @@ impl EngineBenchReport {
         )
     }
 
+    /// The `simd` JSON section: the dispatched ISA and lane width, the best
+    /// alternating-round throughput on each side of the A/B, the kernel-only
+    /// speedup the CI gate floors, and the scalar baseline batch.
+    #[must_use]
+    fn simd_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"isa\":\"{}\",\"lanes\":{},\"rounds\":{},",
+                "\"kernel_nodes\":{},\"kernel_links\":{},",
+                "\"simd_speedup\":{:.3},\"simd_queries_per_sec\":{:.1},",
+                "\"scalar_queries_per_sec\":{:.1},\"uncached_scalar\":{}}}"
+            ),
+            self.simd_isa,
+            self.simd_lanes,
+            SIMD_SPEEDUP_ROUNDS,
+            self.simd_kernel_nodes,
+            SIMD_KERNEL_LINKS,
+            self.simd_speedup(),
+            self.simd_best_qps,
+            self.scalar_best_qps,
+            self.uncached_scalar.to_json(),
+        )
+    }
+
     /// The `telemetry` JSON section: instrumentation overhead ratio, the sampled
     /// stretch distribution, the per-epoch phase breakdown of the churn-interleaved
     /// run, and the full metrics snapshot (phase histograms, per-shard cache table,
@@ -741,13 +846,14 @@ impl EngineBenchReport {
                 "\"epochs\":{},\"churn_fraction\":{:.3},\"byzantine_redundancy\":{},\"seed\":{}}},",
                 "\"headline\":{{\"queries_per_sec\":{:.1},\"p99_hops\":{:.1},",
                 "\"success_rate_under_churn\":{:.6},\"frozen_speedup\":{:.2},",
+                "\"simd_speedup\":{:.3},\"simd_isa\":\"{}\",",
                 "\"snapshot_patch_speedup\":{:.2},\"delta_patch_speedup\":{:.2},",
                 "\"cache_row_hit_rate\":{:.6},\"byzantine_throughput\":{:.1},",
                 "\"byzantine_success_rate\":{:.6},\"stretch_p50\":{:.3},",
                 "\"stretch_p99\":{:.3},\"telemetry_overhead_ratio\":{:.4},",
                 "\"survival_rate\":{:.6},\"failure_retry_overhead\":{:.4},",
                 "\"heal_recovery_us\":{:.1},\"failure_rebuild_free\":{:.4}}},",
-                "\"telemetry\":{},",
+                "\"simd\":{},\"telemetry\":{},",
                 "\"snapshot_maintenance\":{},\"cache_invalidation\":{},\"byzantine\":{},",
                 "\"resilience\":{},",
                 "\"uncached\":{},\"uncached_frozen\":{},\"cached_cold\":{},\"cached_warm\":{},",
@@ -765,6 +871,8 @@ impl EngineBenchReport {
             self.p99_hops(),
             self.success_rate_under_churn(),
             self.frozen_speedup(),
+            self.simd_speedup(),
+            self.simd_isa,
             self.snapshot_patch_speedup(),
             self.delta_patch_speedup(),
             self.cache_row_hit_rate(),
@@ -777,6 +885,7 @@ impl EngineBenchReport {
             self.failure_retry_overhead(),
             self.heal_recovery_us(),
             self.failure_rebuild_free(),
+            self.simd_json(),
             self.telemetry_json(),
             self.snapshot_maintenance_json(),
             self.cache_invalidation_json(),
@@ -831,6 +940,64 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
             .cache_capacity(0),
     );
     let uncached_frozen = frozen_engine.run_batch(&network, &batch);
+
+    // SIMD A/B on the identical uncached frozen workload: the scalar engine pins
+    // the portable fold (`EngineConfig::simd(false)`), the frozen engine above
+    // dispatches the detected ISA. Both sides route bit-for-bit the same batch,
+    // so alternating rounds and keeping each side's best throughput isolates the
+    // kernel-only gap from scheduler noise (the same best-of trick the telemetry
+    // overhead ratio uses).
+    let simd_isa = frozen_engine.kernel().label();
+    let simd_lanes = frozen_engine.kernel().lanes();
+    let mut scalar_engine = QueryEngine::new(
+        EngineConfig::default()
+            .threads(config.threads)
+            .cache_capacity(0)
+            .simd(false),
+    );
+    let uncached_scalar = scalar_engine.run_batch(&network, &batch);
+
+    // The speedup clock itself runs on the cache-resident kernel cell (see
+    // [`SIMD_KERNEL_NODES`]): long rows, CSR small enough that the row fetch
+    // never leaves the cache hierarchy, so the reading isolates the kernel's
+    // compute gap instead of the shared memory wall.
+    let simd_kernel_nodes = config.nodes.min(SIMD_KERNEL_NODES);
+    let kernel_network = Network::build(
+        &NetworkConfig::paper_default(simd_kernel_nodes)
+            .links_per_node(SIMD_KERNEL_LINKS)
+            .construction(ConstructionMode::incremental_default()),
+        &mut StdRng::seed_from_u64(config.seed ^ 0x51AD),
+    );
+    let kernel_batch = QueryBatch::uniform(&kernel_network, config.queries, config.seed ^ 0x51D0);
+    // Time the frozen route path itself (`route_seeded` on the compiled
+    // snapshot), not `run_batch`: the engine wrapper adds ~100 ns of per-query
+    // bookkeeping (latency stamps, cache probe, outcome assembly) that is
+    // identical on both sides and would otherwise halve the measured ratio.
+    // The ISSUE's `simd_speedup` is a kernel reading — the uncached frozen
+    // walk with the vector fold on vs off — so that is what gets clocked.
+    let kernel_view = kernel_network.view().freeze();
+    let mut simd_scratch = RouteScratch::new()
+        .with_path_recording(false)
+        .with_kernel(frozen_engine.kernel());
+    let mut scalar_scratch = RouteScratch::new()
+        .with_path_recording(false)
+        .with_kernel(KernelIsa::scalar());
+    let mut simd_best_qps = 0.0_f64;
+    let mut scalar_best_qps = 0.0_f64;
+    let mut simd_digest = 0_u64;
+    let mut scalar_digest = 0_u64;
+    for _ in 0..=SIMD_SPEEDUP_ROUNDS {
+        let (qps, digest) = time_kernel_cell(&kernel_view, &kernel_batch, &mut simd_scratch);
+        simd_best_qps = simd_best_qps.max(qps);
+        simd_digest = digest;
+        let (qps, digest) = time_kernel_cell(&kernel_view, &kernel_batch, &mut scalar_scratch);
+        scalar_best_qps = scalar_best_qps.max(qps);
+        scalar_digest = digest;
+    }
+    assert_eq!(
+        simd_digest, scalar_digest,
+        "SIMD and scalar kernel-cell routes diverged"
+    );
 
     let mut cached_engine = QueryEngine::new(EngineConfig::default().threads(config.threads));
     let cached_cold = cached_engine.run_batch(&network, &batch);
@@ -1011,6 +1178,12 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchReport {
         config: *config,
         uncached,
         uncached_frozen,
+        uncached_scalar,
+        simd_isa,
+        simd_lanes,
+        simd_kernel_nodes,
+        simd_best_qps,
+        scalar_best_qps,
         cached_cold,
         cached_warm,
         cached_warm_bare,
@@ -1063,6 +1236,16 @@ pub fn print(report: &EngineBenchReport) {
     println!(
         "frozen snapshot speedup on the uncached path: {:.2}x",
         report.frozen_speedup()
+    );
+    println!(
+        "simd kernel: {} ({} lanes), {:.2}x over the scalar fold ({:.0} vs {:.0} routes/s through the frozen path on the {}-node kernel cell, best of {} alternating rounds)",
+        report.simd_isa,
+        report.simd_lanes,
+        report.simd_speedup(),
+        report.simd_best_qps,
+        report.scalar_best_qps,
+        report.simd_kernel_nodes,
+        SIMD_SPEEDUP_ROUNDS + 1,
     );
     println!(
         "routing stretch ({}/{} pairs): p50 {:.2}, p99 {:.2}, mean {:.2} (greedy hops / BFS-optimal hops)",
@@ -1248,6 +1431,38 @@ mod tests {
     }
 
     #[test]
+    fn simd_section_is_bit_identical_and_reports_the_dispatched_isa() {
+        let report = run(&tiny());
+        // The scalar-pinned arm routes the identical batch bit-for-bit: the packed
+        // (distance << 32 | label) minimum is order-independent, so vectorising the
+        // reduction can only change the clock, never a result.
+        assert_eq!(report.uncached_scalar.queries(), 4_000);
+        assert_eq!(
+            report.uncached_scalar.delivered(),
+            report.uncached_frozen.delivered()
+        );
+        let scalar = report.uncached_scalar.hop_summary().unwrap();
+        let simd = report.uncached_frozen.hop_summary().unwrap();
+        assert_eq!(scalar.median, simd.median);
+        assert_eq!(scalar.p99, simd.p99);
+        assert_eq!(scalar.mean, simd.mean);
+        // ISA report: a real label, consistent lanes, and a measured ratio.
+        assert!(
+            ["scalar", "avx2"].contains(&report.simd_isa),
+            "{}",
+            report.simd_isa
+        );
+        if report.simd_isa == "scalar" {
+            assert_eq!(report.simd_lanes, 1);
+        } else {
+            assert!(report.simd_lanes > 1);
+        }
+        assert!(report.simd_best_qps > 0.0);
+        assert!(report.scalar_best_qps > 0.0);
+        assert!(report.simd_speedup() > 0.0);
+    }
+
+    #[test]
     fn json_is_balanced_and_carries_headlines() {
         let report = run(&tiny());
         let json = report.to_json();
@@ -1258,6 +1473,13 @@ mod tests {
             "\"p99_hops\"",
             "\"success_rate_under_churn\"",
             "\"frozen_speedup\"",
+            "\"simd_speedup\"",
+            "\"simd_isa\"",
+            "\"simd\"",
+            "\"isa\"",
+            "\"lanes\"",
+            "\"kernel_nodes\"",
+            "\"uncached_scalar\"",
             "\"snapshot_patch_speedup\"",
             "\"delta_patch_speedup\"",
             "\"cache_row_hit_rate\"",

@@ -8,7 +8,7 @@
 
 use crate::network::Network;
 use faultline_overlay::{ChurnDelta, FrozenRoutes, NodeId, OverlayGraph, PatchStats};
-use faultline_routing::{RouteResult, RouteScratch, Router};
+use faultline_routing::{KernelIsa, RouteResult, RouteScratch, Router};
 use faultline_telemetry::Telemetry;
 use rand::rngs::{SmallRng, StdRng};
 use rand::{Rng, SeedableRng};
@@ -100,6 +100,7 @@ impl<'a> NetworkView<'a> {
         FrozenView {
             routes: self.graph.freeze(),
             router: self.router,
+            kernel: KernelIsa::detect(),
         }
     }
 }
@@ -118,6 +119,11 @@ impl<'a> NetworkView<'a> {
 pub struct FrozenView {
     routes: FrozenRoutes,
     router: Router,
+    /// The distance-scan kernel this snapshot's workers should dispatch to —
+    /// resolved once at freeze time (auto-detected, overridable via
+    /// [`FrozenView::with_kernel`]) and threaded into each worker's
+    /// [`RouteScratch`], never re-detected per hop.
+    kernel: KernelIsa,
 }
 
 impl FrozenView {
@@ -131,6 +137,22 @@ impl FrozenView {
     #[must_use]
     pub fn router(&self) -> Router {
         self.router
+    }
+
+    /// The resolved distance-scan kernel ([`KernelIsa`]) — the engine reads it
+    /// to build per-worker scratches and to report the dispatched ISA and lane
+    /// width in its benchmark trajectory.
+    #[must_use]
+    pub fn kernel(&self) -> KernelIsa {
+        self.kernel
+    }
+
+    /// Same snapshot, dispatching to an explicit kernel (the engine's
+    /// `EngineConfig::simd(false)` A/B toggle pins [`KernelIsa::scalar`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelIsa) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Number of grid points in the frozen space.

@@ -242,6 +242,7 @@ pub struct EngineConfig {
     byzantine: Option<ByzantineConfig>,
     failures: Option<FailureSchedule>,
     telemetry: bool,
+    simd: bool,
 }
 
 impl Default for EngineConfig {
@@ -258,6 +259,7 @@ impl Default for EngineConfig {
             byzantine: None,
             failures: None,
             telemetry: true,
+            simd: true,
         }
     }
 }
@@ -459,6 +461,28 @@ impl EngineConfig {
         self.telemetry
     }
 
+    /// Enables or disables the vectorised distance-scan kernel (default: enabled).
+    ///
+    /// When enabled, the engine resolves the best SIMD kernel the host supports
+    /// once at construction (`KernelIsa::detect()`: AVX2 on capable x86-64, the
+    /// scalar fold elsewhere or under `FAULTLINE_FORCE_SCALAR=1`) and threads it
+    /// into every worker's `RouteScratch`. Disabling it pins the portable scalar
+    /// kernel — the A/B baseline the `simd` benchmark section measures against.
+    /// Routing results are bit-identical either way: the packed-key minimum the
+    /// kernel reduces is order-independent, so only wall-clock changes.
+    #[must_use]
+    pub fn simd(mut self, enabled: bool) -> Self {
+        self.simd = enabled;
+        self
+    }
+
+    /// Whether the vectorised distance-scan kernel is enabled (see
+    /// [`EngineConfig::simd`]).
+    #[must_use]
+    pub fn simd_enabled(&self) -> bool {
+        self.simd
+    }
+
     /// Opens the byzantine workload lane: every batch routes through redundant
     /// diversified walks that survive the configured adversary set. See
     /// [`ByzantineConfig`].
@@ -603,6 +627,11 @@ mod tests {
             "telemetry is on by default"
         );
         assert!(!EngineConfig::default().telemetry(false).telemetry_enabled());
+        assert!(
+            EngineConfig::default().simd_enabled(),
+            "the vectorised kernel is on by default"
+        );
+        assert!(!EngineConfig::default().simd(false).simd_enabled());
     }
 
     #[test]

@@ -592,7 +592,13 @@ impl QueryEngine {
                 if snapshot.is_none() {
                     // xlint: allow(determinism) -- rebuild cost feeds the adaptive-freeze EWMA and the epoch report; proptest-pinned not to change outcomes
                     let started = Instant::now();
-                    snapshot = Some(self.note_snapshot_built(self.routing_view(network).freeze()));
+                    snapshot = Some(
+                        self.note_snapshot_built(
+                            self.routing_view(network)
+                                .freeze()
+                                .with_kernel(self.kernel()),
+                        ),
+                    );
                     work.rebuild_nanos = started.elapsed().as_nanos() as u64;
                     self.observe_freeze_nanos(work.rebuild_nanos as f64);
                     self.telemetry()

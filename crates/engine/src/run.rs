@@ -6,7 +6,9 @@ use crate::config::{ByzantineMembership, EngineConfig, FreezePolicy};
 use crate::stats::{BatchReport, QueryOutcome};
 use faultline_core::{FrozenView, Network, NetworkView};
 use faultline_overlay::{ChurnDelta, NodeId};
-use faultline_routing::{ByzantineSet, FaultStrategy, RedundantRouter, RouteScratch, Router};
+use faultline_routing::{
+    ByzantineSet, FaultStrategy, KernelIsa, RedundantRouter, RouteScratch, Router,
+};
 use faultline_sim::seed_for_trial;
 use faultline_telemetry::{EventKind, Phase, Telemetry};
 use rand::rngs::{SmallRng, StdRng};
@@ -50,6 +52,10 @@ pub struct QueryEngine {
     /// The engine's telemetry handle: per-phase histograms, per-shard cache cells,
     /// and the event ring. Disabled (inert) when `EngineConfig::telemetry(false)`.
     telemetry: Telemetry,
+    /// The distance-scan kernel every worker scratch dispatches to — resolved once
+    /// at construction (cpuid + `FAULTLINE_FORCE_SCALAR`, or pinned scalar by
+    /// `EngineConfig::simd(false)`), never re-detected on the query path.
+    kernel: KernelIsa,
 }
 
 /// Clamps a count into an event-ring payload.
@@ -119,6 +125,11 @@ impl QueryEngine {
                 cache
             })
             .collect();
+        let kernel = if config.simd_enabled() {
+            KernelIsa::detect()
+        } else {
+            KernelIsa::scalar()
+        };
         Self {
             config,
             pool,
@@ -130,7 +141,17 @@ impl QueryEngine {
             live_miss_nanos_est: None,
             adversaries: None,
             telemetry,
+            kernel,
         }
+    }
+
+    /// The distance-scan kernel this engine's workers dispatch to: the detected
+    /// best ISA by default, pinned scalar when `EngineConfig::simd(false)` (or
+    /// `FAULTLINE_FORCE_SCALAR=1`). Benchmarks read it to label their `simd`
+    /// section with the dispatched ISA and lane width.
+    #[must_use]
+    pub fn kernel(&self) -> KernelIsa {
+        self.kernel
     }
 
     /// The engine's telemetry handle: snapshot it for per-phase time histograms,
@@ -394,7 +415,7 @@ impl QueryEngine {
             self.snapshots_built += 1;
             // xlint: allow(determinism) -- freeze-cost reading feeds telemetry and the adaptive-freeze EWMA, whose outcomes are proptest-pinned identical to eager freezing; query results never depend on it
             let started = Instant::now();
-            let view = self.routing_view(network).freeze();
+            let view = self.routing_view(network).freeze().with_kernel(self.kernel);
             let nanos = started.elapsed().as_nanos() as u64;
             self.observe_freeze_nanos(nanos as f64);
             self.telemetry.record_phase(Phase::Freeze, nanos);
@@ -452,6 +473,10 @@ impl QueryEngine {
         // deterministic contract (same batch ⇒ same per-shard sequences). Queries whose
         // endpoints are not even grid points fail up front — the router would report
         // them as dead endpoints anyway, and bucketing must not panic on them.
+        // Kernel dispatch is resolved exactly once per batch: a caller-owned
+        // snapshot carries its own kernel (the interleaved runner stamps the
+        // engine's at freeze time); the live-graph fallback never consults it.
+        let kernel = frozen.map_or(self.kernel, FrozenView::kernel);
         let shard_count = self.caches.len();
         let mut shard_queries: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; batch.len()];
@@ -499,7 +524,8 @@ impl QueryEngine {
                     // byzantine lane forces it on per call and restores it); without
                     // a cache the kernel skips the per-hop stores entirely.
                     let mut scratch = RouteScratch::new()
-                        .with_path_recording(cache.enabled() && byzantine.is_none());
+                        .with_path_recording(cache.enabled() && byzantine.is_none())
+                        .with_kernel(kernel);
                     output.reserve_exact(indices.len());
                     for &index in indices {
                         let (source, target) = batch.pairs()[index];
@@ -881,6 +907,40 @@ mod tests {
             );
             assert_eq!(fast.cached_routes(), classic.cached_routes());
         }
+    }
+
+    #[test]
+    fn simd_and_scalar_engines_agree_bit_for_bit() {
+        let net = network(1 << 9, 8);
+        let batch = QueryBatch::uniform(&net, 3_000, 21);
+        let mut auto = QueryEngine::new(EngineConfig::default().threads(2));
+        let mut scalar = QueryEngine::new(EngineConfig::default().threads(2).simd(false));
+        assert_eq!(scalar.kernel().label(), "scalar");
+        assert_eq!(scalar.kernel().lanes(), 1);
+        let a = auto.run_batch(&net, &batch);
+        let b = scalar.run_batch(&net, &batch);
+        let digest = |r: &BatchReport| {
+            r.outcomes()
+                .iter()
+                .map(|o| {
+                    (
+                        o.source,
+                        o.target,
+                        o.delivered,
+                        o.hops,
+                        o.recoveries,
+                        o.cached,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            digest(&a),
+            digest(&b),
+            "the {} kernel diverged from the scalar fold",
+            auto.kernel().label()
+        );
+        assert_eq!(auto.cached_routes(), scalar.cached_routes());
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! * `offsets`/`neighbors` — flat `u32` CSR adjacency over **usable** neighbours only
 //!   (link alive ∧ target alive), so the inner loop is a contiguous scan with no
-//!   per-link liveness checks and a quarter of the memory traffic;
+//!   per-link liveness checks and a quarter of the memory traffic; every dense row is
+//!   lane-padded to a [`SIMD_LANES`] multiple with [`PAD_SENTINEL`] labels so the
+//!   vectorized routing kernel scans full-width chunks with no remainder;
 //! * an alive bitset — endpoint liveness in one word-indexed load;
 //! * the sorted alive list — so fault strategies that sample random alive nodes need no
 //!   per-query allocation;
@@ -37,6 +39,25 @@ use faultline_telemetry::{EventKind, Phase, Telemetry};
 
 /// Sentinel in the row-redirect table: the row still lives in the dense CSR arrays.
 const DENSE_ROW: u32 = u32::MAX;
+
+/// Lane width the dense CSR rows are padded to: the SIMD kernel in
+/// `faultline-routing` consumes four packed `u64` keys per iteration (AVX2
+/// `u64x4`), so every dense row slot is a multiple of four `u32` labels.
+pub const SIMD_LANES: usize = 4;
+
+/// Padding label filling the tail of a lane-padded dense row. Never a real node:
+/// [`FrozenRoutes::build`] rejects spaces larger than `u32::MAX` points, so labels
+/// stop at `u32::MAX - 1`. The SIMD kernel masks sentinel lanes to `u64::MAX` keys
+/// (a packed key that can never win the minimum); the scalar kernel never sees them
+/// because [`FrozenRoutes::neighbors`] trims the padded tail.
+pub const PAD_SENTINEL: u32 = u32::MAX;
+
+/// The lane-padded slot length for a logical row of `len` neighbours. Empty rows
+/// stay empty — there is nothing to scan, so no padding is stored for them.
+#[inline]
+const fn pad_to_lanes(len: usize) -> usize {
+    len.div_ceil(SIMD_LANES) * SIMD_LANES
+}
 
 /// Clamps a count into a 32-bit telemetry event payload.
 fn saturate_u32(value: usize) -> u32 {
@@ -114,6 +135,10 @@ pub struct FrozenRoutes {
     overflow: Vec<u32>,
     /// Number of distinct rows whose dense slot is currently tombstoned.
     tombstones: u32,
+    /// Number of [`PAD_SENTINEL`] entries currently stored in the dense `neighbors`
+    /// array (every dense row slot is padded to a [`SIMD_LANES`] multiple), so
+    /// [`FrozenRoutes::edge_count`] keeps its O(1) dense fast path.
+    dense_pad: u32,
 }
 
 impl FrozenRoutes {
@@ -140,11 +165,18 @@ impl FrozenRoutes {
 
         let mut offsets = Vec::with_capacity(n as usize + 1);
         let mut neighbors = Vec::new();
+        let mut dense_pad = 0u32;
         offsets.push(0u32);
         for p in 0..n {
+            let start = neighbors.len();
             for neighbor in graph.usable_neighbors(p) {
                 neighbors.push(neighbor as u32);
             }
+            // Lane-pad the row so the SIMD kernel scans full u64x4 chunks with no
+            // remainder; the sentinel lanes reduce to keys that can never win.
+            let padded = pad_to_lanes(neighbors.len() - start);
+            dense_pad += (start + padded - neighbors.len()) as u32;
+            neighbors.resize(start + padded, PAD_SENTINEL);
             let total = u32::try_from(neighbors.len()).expect("edge count exceeds u32 CSR");
             offsets.push(total);
         }
@@ -159,6 +191,7 @@ impl FrozenRoutes {
             row_redirect: Vec::new(),
             overflow: Vec::new(),
             tombstones: 0,
+            dense_pad,
         }
     }
 
@@ -369,14 +402,23 @@ impl FrozenRoutes {
         }
         let lo = self.offsets[i] as usize;
         let hi = self.offsets[i + 1] as usize;
-        if row == &self.neighbors[lo..hi] {
+        let logical = self.trim_padding(lo, hi);
+        if row == &self.neighbors[lo..logical] {
             return RowPatch::Unchanged;
         }
-        if row.len() == hi - lo {
-            // Link-replaced rows keep their length: overwrite the dense slot directly.
-            // The result is exactly what a fresh `freeze()` would store, so no
-            // tombstone and no overflow growth.
-            self.neighbors[lo..hi].copy_from_slice(row);
+        if pad_to_lanes(row.len()) == hi - lo {
+            // Rows whose lane-padded length matches the slot are overwritten in
+            // place (link replacements, and shrink/grow within the same lane
+            // group). The slot's sentinel tail is refreshed, so the result is
+            // exactly what a fresh `freeze()` would store — no tombstone, no
+            // overflow growth.
+            self.neighbors[lo..lo + row.len()].copy_from_slice(row);
+            self.neighbors[lo + row.len()..hi].fill(PAD_SENTINEL);
+            // `logical - lo` old sentinels leave, `hi - lo - row.len()` arrive; the
+            // subtraction cannot underflow because the old sentinels are counted in
+            // `dense_pad`.
+            self.dense_pad -= (hi - logical) as u32;
+            self.dense_pad += (hi - lo - row.len()) as u32;
             return RowPatch::InPlace;
         }
         if self.row_redirect.is_empty() {
@@ -453,10 +495,15 @@ impl FrozenRoutes {
         }
         self.offsets.clear();
         self.neighbors.clear();
+        self.dense_pad = 0;
         self.offsets.push(0u32);
         for p in 0..self.n {
+            let start = self.neighbors.len();
             self.neighbors
                 .extend(graph.usable_neighbors(p).map(|q| q as u32));
+            let padded = pad_to_lanes(self.neighbors.len() - start);
+            self.dense_pad += (start + padded - self.neighbors.len()) as u32;
+            self.neighbors.resize(start + padded, PAD_SENTINEL);
             self.offsets
                 .push(u32::try_from(self.neighbors.len()).expect("edge count exceeds u32 CSR"));
         }
@@ -489,9 +536,14 @@ impl FrozenRoutes {
         // patch cycle.
         let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::with_capacity(self.neighbors.len() + self.overflow.len() / 2);
+        let mut dense_pad = 0u32;
         offsets.push(0u32);
         for p in 0..n {
+            let start = neighbors.len();
             neighbors.extend_from_slice(self.neighbors(p as u64));
+            let padded = pad_to_lanes(neighbors.len() - start);
+            dense_pad += (start + padded - neighbors.len()) as u32;
+            neighbors.resize(start + padded, PAD_SENTINEL);
             offsets.push(u32::try_from(neighbors.len()).expect("edge count exceeds u32 CSR"));
         }
         self.offsets = offsets;
@@ -499,6 +551,7 @@ impl FrozenRoutes {
         self.row_redirect.clear();
         self.overflow.clear();
         self.tombstones = 0;
+        self.dense_pad = dense_pad;
     }
 
     /// Number of rows currently tombstoned in the dense CSR (0 after a compaction or a
@@ -537,7 +590,7 @@ impl FrozenRoutes {
     #[must_use]
     pub fn edge_count(&self) -> usize {
         if self.row_redirect.is_empty() {
-            return self.neighbors.len();
+            return self.neighbors.len() - self.dense_pad as usize;
         }
         (0..self.n).map(|p| self.neighbors(p).len()).sum()
     }
@@ -559,6 +612,43 @@ impl FrozenRoutes {
     #[inline]
     #[must_use]
     pub fn neighbors(&self, p: NodeId) -> &[u32] {
+        if p >= self.n {
+            return &[];
+        }
+        let i = p as usize;
+        if !self.row_redirect.is_empty() {
+            let slot = self.row_redirect[i];
+            if slot != DENSE_ROW {
+                let start = slot as usize;
+                let len = self.overflow[start] as usize;
+                return &self.overflow[start + 1..start + 1 + len];
+            }
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.neighbors[lo..self.trim_padding(lo, hi)]
+    }
+
+    /// The end of the logical row inside the dense slot `[lo, hi)`: trims the
+    /// lane-padding sentinel tail. Every write keeps the invariant
+    /// `pad(logical len) == slot len`, so at most `SIMD_LANES - 1` iterations.
+    #[inline]
+    fn trim_padding(&self, lo: usize, mut hi: usize) -> usize {
+        while hi > lo && self.neighbors[hi - 1] == PAD_SENTINEL {
+            hi -= 1;
+        }
+        hi
+    }
+
+    /// The physical neighbour slot of `p`: the dense row *including* its
+    /// lane-padding [`PAD_SENTINEL`] tail (always a [`SIMD_LANES`] multiple long),
+    /// or the unpadded overflow record for a patched row. This is what the SIMD
+    /// kernel scans — full-width chunks over dense rows, a masked tail over
+    /// overflow rows — while [`FrozenRoutes::neighbors`] serves the scalar kernel
+    /// the trimmed logical row.
+    #[inline]
+    #[must_use]
+    pub fn neighbors_padded(&self, p: NodeId) -> &[u32] {
         if p >= self.n {
             return &[];
         }
@@ -743,7 +833,11 @@ mod tests {
         assert_eq!(stats.alive_flips, 1, "only node 5's liveness flipped");
         assert!(!stats.rebuilt && !stats.compacted);
         patched_equals_fresh(&g, &frozen);
-        assert_eq!(frozen.patched_rows(), 3);
+        // Rows 4 and 6 shrink within their lane-padded slots (2 → 1 neighbours, both
+        // pad to one lane) and land in place; only row 5 — emptied, whose padded
+        // length drops to zero — tombstones into the overflow region.
+        assert_eq!(stats.rows_in_place, 2);
+        assert_eq!(frozen.patched_rows(), 1);
         assert!(frozen.overflow_len() > 0);
     }
 
@@ -771,12 +865,15 @@ mod tests {
     fn a_heavy_structural_blast_radius_falls_back_to_an_in_place_rebuild() {
         let mut g = chain_graph(32);
         let mut frozen = g.freeze();
-        // Shrink 12 of 32 rows (structural: every row loses a link): the call's own
-        // tombstones cross the 1/4 threshold mid-way, so patch-then-compact can never
-        // beat recompiling.
+        // Grow 12 of 32 rows past their lane-padded slots (2 → 5 neighbours, one
+        // lane → two): the call's own tombstones cross the 1/4 threshold mid-way,
+        // so patch-then-compact can never beat recompiling. (Shrinks no longer
+        // tombstone at all — they land inside the padded slot.)
         let touched: Vec<NodeId> = (0..12).collect();
         for p in 0..12u64 {
-            g.fail_link(p, p + 1);
+            g.add_link(p, p + 14, LinkKind::Long);
+            g.add_link(p, p + 16, LinkKind::Long);
+            g.add_link(p, p + 18, LinkKind::Long);
         }
         let stats = frozen.apply_churn(&g, &touched);
         assert!(stats.rebuilt, "12 of 32 rows must cross the 1/4 threshold");
@@ -847,8 +944,14 @@ mod tests {
         }
         let mut frozen = g.freeze();
         let mut compactions = 0usize;
+        // Grow each row past its lane-padded slot (2 → 5 neighbours): every patch
+        // tombstones one dense slot, so the accumulated count must eventually cross
+        // the 1/4 compaction threshold. (Shrinking rows — the pre-padding way to
+        // tombstone — now land inside their padded slots.)
         for p in 0..32u64 {
-            g.fail_link(p, (p + 1) % 64);
+            g.add_link(p, (p + 10) % 64, LinkKind::Long);
+            g.add_link(p, (p + 20) % 64, LinkKind::Long);
+            g.add_link(p, (p + 30) % 64, LinkKind::Long);
             let stats = frozen.apply_churn(&g, &[p]);
             if stats.compacted {
                 compactions += 1;
@@ -858,7 +961,7 @@ mod tests {
         }
         assert!(
             compactions > 0,
-            "tombstoning half the rows must cross the 1/8 threshold"
+            "tombstoning half the rows must cross the 1/4 threshold"
         );
     }
 
@@ -874,11 +977,14 @@ mod tests {
         assert_eq!(stats.rows_patched, 1);
         patched_equals_fresh(&g, &frozen);
 
-        // A heavy structural blast radius: rebuild fallback hits the event ring.
+        // A heavy structural blast radius (rows grown past their padded slots):
+        // rebuild fallback hits the event ring.
         let mut g2 = chain_graph(32);
         let mut frozen2 = g2.freeze();
         for p in 0..12u64 {
-            g2.fail_link(p, p + 1);
+            g2.add_link(p, p + 14, LinkKind::Long);
+            g2.add_link(p, p + 16, LinkKind::Long);
+            g2.add_link(p, p + 18, LinkKind::Long);
         }
         let touched: Vec<NodeId> = (0..12).collect();
         let stats2 = frozen2.apply_churn_with(&g2, &touched, &tel);
@@ -922,6 +1028,54 @@ mod tests {
         let g8 = OverlayGraph::fully_populated(Geometry::line(8));
         let mut frozen = g16.freeze();
         let _ = frozen.apply_churn(&g8, &[0]);
+    }
+
+    #[test]
+    fn dense_rows_are_lane_padded_and_trimmed_consistently() {
+        let g = damaged_graph();
+        let frozen = g.freeze();
+        for p in 0..16u64 {
+            let logical = frozen.neighbors(p);
+            let padded = frozen.neighbors_padded(p);
+            assert_eq!(
+                padded.len() % SIMD_LANES,
+                0,
+                "dense slot of row {p} is not a lane multiple"
+            );
+            assert_eq!(&padded[..logical.len()], logical, "row {p} prefix");
+            assert!(
+                padded[logical.len()..].iter().all(|&s| s == PAD_SENTINEL),
+                "row {p} tail is not all sentinels"
+            );
+            assert!(
+                padded.len() - logical.len() < SIMD_LANES,
+                "row {p} over-padded"
+            );
+            assert!(
+                !logical.contains(&PAD_SENTINEL),
+                "sentinel leaked into the logical row {p}"
+            );
+        }
+        let total: usize = (0..16u64).map(|p| g.usable_neighbors(p).count()).sum();
+        assert_eq!(
+            frozen.edge_count(),
+            total,
+            "padding must not count as edges"
+        );
+
+        // An in-place dense overwrite (same padded length) refreshes the sentinel
+        // tail and keeps edge_count exact through the O(1) fast path.
+        let mut g2 = chain_graph(64);
+        let mut frozen2 = g2.freeze();
+        g2.fail_link(4, 5);
+        let stats = frozen2.apply_churn(&g2, &[4]);
+        assert_eq!(stats.rows_in_place, 1, "shrink-within-pad lands in place");
+        assert_eq!(frozen2.patched_rows(), 0);
+        assert_eq!(frozen2.neighbors(4), &[3]);
+        assert_eq!(frozen2.neighbors_padded(4).len(), SIMD_LANES);
+        let total2: usize = (0..64u64).map(|p| g2.usable_neighbors(p).count()).sum();
+        assert_eq!(frozen2.edge_count(), total2);
+        assert_eq!(frozen2, g2.freeze(), "in-place shrink stays bit-identical");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod stats;
 
 pub use builder::{build_paper_overlay, GraphBuilder};
 pub use delta::{ChurnDelta, RowChangeKind, RowDelta};
-pub use frozen::{FrozenRoutes, PatchStats};
+pub use frozen::{FrozenRoutes, PatchStats, PAD_SENTINEL, SIMD_LANES};
 pub use graph::{NodeRecord, OverlayGraph};
 pub use link::{Link, LinkKind};
 

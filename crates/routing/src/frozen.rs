@@ -18,6 +18,7 @@
 
 use crate::greedy::GreedyMode;
 use crate::result::{FailureReason, RouteOutcome, RouteResult};
+use crate::simd::KernelIsa;
 use crate::strategy::FaultStrategy;
 use crate::Router;
 use faultline_overlay::{FrozenRoutes, NodeId};
@@ -31,6 +32,11 @@ use rand::Rng;
 /// [`RouteScratch::path`]; callers that never read it — the engine when its route
 /// cache is disabled — can switch recording off with
 /// [`RouteScratch::with_path_recording`] and save the per-hop store.
+///
+/// The scratch also carries the resolved distance-scan kernel ([`KernelIsa`]):
+/// runtime SIMD dispatch is decided once at construction (cpuid + the
+/// `FAULTLINE_FORCE_SCALAR` override), never per hop, so routing stays
+/// bit-identical and RNG-exact whichever kernel runs.
 #[derive(Debug, Clone)]
 pub struct RouteScratch {
     /// Visited nodes of the last route, in order (starts at the source).
@@ -38,9 +44,13 @@ pub struct RouteScratch {
     /// Backtracking history window (bounded by the strategy's `history` depth).
     history: Vec<u32>,
     /// Known dead ends, excluded from neighbour selection while backtracking.
+    /// Kept **sorted** so membership tests are a binary search instead of a
+    /// linear scan.
     dead_ends: Vec<u32>,
     /// Whether to record the visited sequence into `path`.
     record_path: bool,
+    /// The distance-scan kernel every route through this scratch dispatches to.
+    kernel: KernelIsa,
 }
 
 impl Default for RouteScratch {
@@ -50,15 +60,45 @@ impl Default for RouteScratch {
             history: Vec::new(),
             dead_ends: Vec::new(),
             record_path: true,
+            kernel: KernelIsa::detect(),
         }
     }
 }
 
 impl RouteScratch {
-    /// Creates an empty scratch (path recording enabled).
+    /// Creates an empty scratch (path recording enabled, kernel auto-detected).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Selects the distance-scan kernel: `false` pins the portable scalar fold,
+    /// `true` restores auto-detection ([`KernelIsa::detect`]). The two kernels
+    /// are contractually bit-identical — this is an A/B and determinism knob
+    /// (`EngineConfig::simd(false)`, the forced-scalar CI lane), not a
+    /// behavioural one.
+    #[must_use]
+    pub fn with_simd(mut self, simd: bool) -> Self {
+        self.kernel = if simd {
+            KernelIsa::detect()
+        } else {
+            KernelIsa::scalar()
+        };
+        self
+    }
+
+    /// Pins an explicit, already-resolved kernel (e.g. the one a
+    /// `FrozenView`/engine resolved once for all of its workers).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelIsa) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The distance-scan kernel this scratch dispatches to.
+    #[must_use]
+    pub fn kernel(&self) -> KernelIsa {
+        self.kernel
     }
 
     /// Enables or disables recording of visited nodes into the scratch path buffer
@@ -183,10 +223,21 @@ impl CsrMetric for RingMetric {
 /// test into the same comparison: any neighbour at distance ≥ `current_distance` packs
 /// to a key ≥ the seed and is ignored. The hot loop is therefore one distance, one
 /// compare and one conditional move per contiguous `u32` neighbour — no branches to
-/// mispredict.
+/// mispredict — and, because an unsigned minimum is order-independent, the same fold
+/// runs eight labels at a time on a SIMD [`KernelIsa`] over the lane-padded physical
+/// row ([`FrozenRoutes::neighbors_padded`]), bit-identical to the scalar scan.
+///
+/// The SIMD fast path covers exactly the unfiltered branch (two-sided, nothing
+/// excluded) — the overwhelmingly common case — on rows at least two vector
+/// steps long; shorter rows, one-sided and exclusion-filtered scans stay scalar
+/// over the trimmed logical row. `excluded` must be sorted
+/// ascending (the scratch keeps `dead_ends` that way): membership is a binary
+/// search.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn best_neighbor_csr<M: CsrMetric>(
     metric: M,
+    kernel: KernelIsa,
     frozen: &FrozenRoutes,
     current: u64,
     current_distance: u64,
@@ -197,13 +248,19 @@ fn best_neighbor_csr<M: CsrMetric>(
     let limit = current_distance << 32;
     let mut best = limit;
     if !one_sided && excluded.is_empty() {
-        for &neighbor in frozen.neighbors(current) {
-            let key = (metric.distance(u64::from(neighbor), target) << 32) | u64::from(neighbor);
-            best = best.min(key);
+        let padded = frozen.neighbors_padded(current);
+        if kernel.is_simd() && padded.len() >= crate::simd::MIN_SCAN_LEN {
+            best = kernel.scan(padded, frozen.is_ring(), frozen.len(), target, limit);
+        } else {
+            for &neighbor in frozen.neighbors(current) {
+                let key =
+                    (metric.distance(u64::from(neighbor), target) << 32) | u64::from(neighbor);
+                best = best.min(key);
+            }
         }
     } else {
         for &neighbor in frozen.neighbors(current) {
-            if excluded.contains(&neighbor) {
+            if excluded.binary_search(&neighbor).is_ok() {
                 continue;
             }
             if one_sided && !metric.same_side(current, u64::from(neighbor), target) {
@@ -295,6 +352,9 @@ impl Router {
         }
 
         let max_hops = self.max_hops().unwrap_or(4 * frozen.len() + 16);
+        // Dispatch is resolved here, once per route; the per-hop cost of SIMD
+        // selection is a single well-predicted branch on this copy.
+        let kernel = scratch.kernel;
         let mut hops = 0u64;
         let mut recoveries = 0u64;
         let mut current = source;
@@ -341,6 +401,7 @@ impl Router {
             };
             if let Some((next_distance, next)) = best_neighbor_csr(
                 metric,
+                kernel,
                 frozen,
                 current,
                 current_distance,
@@ -405,7 +466,13 @@ impl Router {
                 }
                 FaultStrategy::Backtrack { .. } => {
                     recoveries += 1;
-                    scratch.dead_ends.push(current as u32);
+                    // Sorted insert keeps the exclusion check in
+                    // `best_neighbor_csr` a binary search; membership is all
+                    // that matters, so ordering changes no result.
+                    let dead = current as u32;
+                    if let Err(position) = scratch.dead_ends.binary_search(&dead) {
+                        scratch.dead_ends.insert(position, dead);
+                    }
                     match scratch.history.pop() {
                         Some(prev) => {
                             current = u64::from(prev);

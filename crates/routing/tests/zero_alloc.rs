@@ -4,6 +4,10 @@
 //! The engine's uncached hot path is `SmallRng::seed_from_u64` + `route_frozen` with a
 //! per-worker [`RouteScratch`]. After one warm-up pass (which sizes the scratch
 //! buffers), routing the same workload again must perform **zero** heap allocations.
+//! The contract is proven for both distance-scan kernels — auto-detected (the SIMD
+//! scan over lane-padded rows, where the CPU has it) and pinned scalar — on rows
+//! long enough to dispatch the vector path, including unpadded overflow rows
+//! patched in by `apply_churn`.
 //!
 //! This file intentionally holds a single test: the allocation counter is global to
 //! the test binary, and a concurrently running test would pollute the delta.
@@ -61,7 +65,9 @@ fn damaged_graph(n: u64, ell: usize, seed: u64) -> OverlayGraph {
 #[test]
 fn frozen_kernel_allocates_nothing_per_query_after_warmup() {
     let n = 1u64 << 11;
-    let mut graph = damaged_graph(n, 6, 2002);
+    // 12 long links + 2 line neighbours per row: two full vector steps after lane
+    // padding, so the SIMD kernel (not just its scalar fallback) is on the path.
+    let mut graph = damaged_graph(n, 12, 2002);
     // Patch (rather than rebuild) the snapshot through a small churn step, so the
     // zero-alloc proof also covers rows served from the overflow region.
     let frozen = {
@@ -92,39 +98,51 @@ fn frozen_kernel_allocates_nothing_per_query_after_warmup() {
 
     for strategy in [FaultStrategy::Terminate, FaultStrategy::paper_backtrack()] {
         let router = Router::new().with_strategy(strategy);
-        let mut scratch = RouteScratch::new();
-        let run = |scratch: &mut RouteScratch| {
-            let mut delivered = 0usize;
-            for (index, &(s, t)) in pairs.iter().enumerate() {
-                // The engine's exact per-query recipe: a counter-based RNG built from
-                // the derived seed, then the frozen walk.
-                let mut rng = SmallRng::seed_from_u64(index as u64);
-                if router
-                    .route_frozen(&frozen, s, t, &mut rng, scratch)
-                    .is_delivered()
-                {
-                    delivered += 1;
+        let mut delivered_by_kernel = Vec::new();
+        for simd in [true, false] {
+            let mut scratch = RouteScratch::new().with_simd(simd);
+            let kernel = scratch.kernel().label();
+            let run = |scratch: &mut RouteScratch| {
+                let mut delivered = 0usize;
+                for (index, &(s, t)) in pairs.iter().enumerate() {
+                    // The engine's exact per-query recipe: a counter-based RNG built
+                    // from the derived seed, then the frozen walk.
+                    let mut rng = SmallRng::seed_from_u64(index as u64);
+                    if router
+                        .route_frozen(&frozen, s, t, &mut rng, scratch)
+                        .is_delivered()
+                    {
+                        delivered += 1;
+                    }
                 }
-            }
-            delivered
-        };
+                delivered
+            };
 
-        let warm = run(&mut scratch); // sizes the scratch buffers
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
-        let again = run(&mut scratch);
-        let after = ALLOCATIONS.load(Ordering::Relaxed);
+            let warm = run(&mut scratch); // sizes the scratch buffers
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let again = run(&mut scratch);
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
 
+            assert_eq!(
+                warm, again,
+                "identical workload must give identical results"
+            );
+            assert!(warm > 0, "some queries must deliver");
+            assert_eq!(
+                after - before,
+                0,
+                "frozen kernel allocated {} times in {} queries ({}, {} kernel)",
+                after - before,
+                pairs.len(),
+                strategy.label(),
+                kernel,
+            );
+            delivered_by_kernel.push(warm);
+        }
         assert_eq!(
-            warm, again,
-            "identical workload must give identical results"
-        );
-        assert!(warm > 0, "some queries must deliver");
-        assert_eq!(
-            after - before,
-            0,
-            "frozen kernel allocated {} times in {} queries ({})",
-            after - before,
-            pairs.len(),
+            delivered_by_kernel[0],
+            delivered_by_kernel[1],
+            "SIMD and scalar kernels disagree ({})",
             strategy.label(),
         );
     }
